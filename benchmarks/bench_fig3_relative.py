@@ -1,0 +1,64 @@
+"""Figure 3: relative performance normalized to GraphLab on two machines.
+
+The paper plots, per algorithm and graph, each system's speedup over GL@2;
+dotted lines mark the single-machine standalone (SA) level.  This bench
+prints those series for PageRank-push on TWT' — the headline panel — plus
+the orderings the figure demonstrates:
+
+* PGX.D above GL above GX at every machine count;
+* PGX.D's curve crosses the SA line at a small machine count (4-16 in the
+  paper) while GL/GX never reach it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (bench_machines, bench_scale, format_table, run_gl,
+                         run_gx, run_pgx, run_sa)
+from conftest import cached_graph
+
+
+def test_fig3_relative_performance(benchmark, capsys):
+    scale = bench_scale()
+    g = cached_graph("TWT")
+    data = {}
+
+    def run():
+        gl2 = run_gl(g, "TWT", "pr_push", 2, scale).seconds
+        sa = run_sa(g, "TWT", "pr_push", scale).seconds
+        series = []
+        for m in bench_machines():
+            if m == 1:
+                continue
+            row = {
+                "machines": m,
+                "PGX": gl2 / run_pgx(g, "TWT", "pr_push", m, scale).seconds,
+                "GL": gl2 / run_gl(g, "TWT", "pr_push", m, scale).seconds,
+                "GX": gl2 / run_gx(g, "TWT", "pr_push", m, scale).seconds,
+            }
+            series.append(row)
+        data["series"] = series
+        data["sa_line"] = gl2 / sa
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    series, sa_line = data["series"], data["sa_line"]
+    rows = [[str(r["machines"]), f"{r['PGX']:.2f}", f"{r['GL']:.2f}",
+             f"{r['GX']:.3f}"] for r in series]
+    with capsys.disabled():
+        print(format_table(
+            "Figure 3 — relative performance of PR-push on TWT' "
+            "(1.0 = GraphLab @ 2 machines)",
+            ["machines", "PGX", "GL", "GX"], rows,
+            note=f"SA (dotted line in the paper) = {sa_line:.2f}"))
+
+    # Shape assertions from the figure:
+    for r in series:
+        assert r["PGX"] > r["GL"] > r["GX"], "system ordering must hold"
+    # PGX overtakes the standalone line within the swept machine counts.
+    assert any(r["PGX"] > sa_line for r in series)
+    # GL and GX never reach the standalone line (the paper's core point).
+    assert all(r["GX"] < sa_line for r in series)
+    # PGX scales: more machines, more speedup.
+    pgx = [r["PGX"] for r in series]
+    assert pgx == sorted(pgx)

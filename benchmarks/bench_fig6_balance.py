@@ -1,0 +1,152 @@
+"""Figure 6: traffic reduction and workload balance.
+
+(a) ghost-node threshold sweep: communication traffic and runtime relative
+    to the no-ghost configuration (PR-pull on TWT', 4 machines);
+(b) edge partitioning vs naive vertex partitioning across machine counts;
+(c) execution-time breakdown (fully parallel / inter-machine imbalance /
+    intra-machine imbalance) for the three load-balancing configurations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PgxdCluster
+from repro.algorithms import pagerank
+from repro.bench import bench_machines, bench_scale, format_table, scaled_cluster_config
+from conftest import cached_graph
+
+ITERS = 3
+
+
+def _pr_pull(graph, machines, scale, partitioning="edge", chunking="edge",
+             ghost_threshold=1000):
+    cfg = scaled_cluster_config(machines, scale, partitioning=partitioning,
+                                chunking=chunking,
+                                ghost_threshold=ghost_threshold)
+    cluster = PgxdCluster(cfg)
+    dg = cluster.load_graph(graph)
+    r = pagerank(cluster, dg, "pull", max_iterations=ITERS)
+    # Per-job stats of the main edge-map job (for the Figure 6(c) breakdown).
+    edge_jobs = [st for name, st in cluster.job_log if name == "pr_pull"]
+    return r, dg.num_ghosts, edge_jobs[-1]
+
+
+def test_fig6a_ghost_nodes(benchmark, capsys):
+    """Sweep the ghost threshold; report traffic and runtime vs no ghosts."""
+    scale = bench_scale()
+    g = cached_graph("TWT")
+    thresholds = [None, 4000, 2000, 1000, 500, 200, 100, 50]
+    data = {}
+
+    def run():
+        rows = []
+        base = None
+        for thr in thresholds:
+            r, n_ghosts, _ = _pr_pull(g, 4, scale, ghost_threshold=thr)
+            traffic = r.stats.total_bytes
+            runtime = r.time_per_iteration
+            if base is None:
+                base = (traffic, runtime)
+            rows.append({
+                "threshold": thr, "ghosts": n_ghosts,
+                "rel_traffic": traffic / base[0],
+                "rel_runtime": runtime / base[1],
+            })
+        data["rows"] = rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = data["rows"]
+    with capsys.disabled():
+        print(format_table(
+            "Figure 6(a) — ghost node effect (PR-pull, TWT', 4 machines; "
+            "1.0 = no ghosts)",
+            ["threshold", "# ghosts", "rel traffic", "rel runtime"],
+            [[str(r["threshold"]), str(r["ghosts"]),
+              f"{r['rel_traffic']:.3f}", f"{r['rel_runtime']:.3f}"]
+             for r in rows]))
+
+    # More ghosts -> monotonically non-increasing traffic; substantial cut.
+    traffics = [r["rel_traffic"] for r in rows]
+    assert all(b <= a + 0.02 for a, b in zip(traffics, traffics[1:]))
+    assert traffics[-1] < 0.75
+    # Runtime improves, then flattens once the network stops being the
+    # bottleneck (the paper's "up to a point" observation).
+    runtimes = [r["rel_runtime"] for r in rows]
+    assert min(runtimes) < 0.95
+    assert runtimes[-1] < 1.05
+
+
+def test_fig6b_edge_partitioning(benchmark, capsys):
+    scale = bench_scale()
+    g = cached_graph("TWT")
+    data = {}
+
+    def run():
+        rows = []
+        for m in bench_machines():
+            if m == 1:
+                continue
+            r_edge, _, _ = _pr_pull(g, m, scale, partitioning="edge")
+            r_vertex, _, _ = _pr_pull(g, m, scale, partitioning="vertex")
+            rows.append({"machines": m,
+                         "edge": r_edge.time_per_iteration,
+                         "vertex": r_vertex.time_per_iteration})
+        data["rows"] = rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = data["rows"]
+    with capsys.disabled():
+        print(format_table(
+            "Figure 6(b) — edge vs vertex partitioning (PR-pull, TWT'); "
+            "speedup = vertex time / edge time",
+            ["machines", "edge (s sim)", "vertex (s sim)", "speedup"],
+            [[str(r["machines"]), f"{r['edge']:.3e}", f"{r['vertex']:.3e}",
+              f"{r['vertex'] / r['edge']:.2f}"] for r in rows]))
+
+    # Edge partitioning wins everywhere, and the margin grows with machines.
+    margins = [r["vertex"] / r["edge"] for r in rows]
+    assert all(m > 1.0 for m in margins)
+    assert margins[-1] > margins[0]
+
+
+def test_fig6c_breakdown(benchmark, capsys):
+    """Three configurations, cumulative: ghosts only (vertex partitioning +
+    node chunking) -> + edge partitioning -> + edge chunking."""
+    scale = bench_scale()
+    g = cached_graph("TWT")
+    configs = [
+        ("ghost only", dict(partitioning="vertex", chunking="node")),
+        ("+ edge partitioning", dict(partitioning="edge", chunking="node")),
+        ("+ edge chunking", dict(partitioning="edge", chunking="edge")),
+    ]
+    data = {}
+
+    def run():
+        rows = []
+        for label, kw in configs:
+            r, _, edge_job = _pr_pull(g, 8, scale, **kw)
+            rows.append((label, r.time_per_iteration,
+                         edge_job.breakdown(16).as_fractions()))
+        data["rows"] = rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = data["rows"]
+    printable = []
+    for label, t, fr in rows:
+        if fr is None:
+            fr = {"fully_parallel": 0, "intra_machine": 0, "inter_machine": 0}
+        printable.append([label, f"{t:.3e}",
+                          f"{fr['fully_parallel']:.2f}",
+                          f"{fr['intra_machine']:.2f}",
+                          f"{fr['inter_machine']:.2f}"])
+    with capsys.disabled():
+        print(format_table(
+            "Figure 6(c) — execution-time breakdown (PR-pull, TWT', 8 machines)",
+            ["config", "time/iter (s sim)", "fully parallel",
+             "intra-machine", "inter-machine"], printable))
+
+    times = [t for _, t, _ in rows]
+    # Each added technique speeds up the end-to-end time.
+    assert times[2] < times[0]
+    assert times[1] <= times[0] * 1.02

@@ -1,0 +1,60 @@
+"""Figure 7: worker/copier thread-count exploration.
+
+PR-pull on TWT' with 16 machines, sweeping worker x copier populations.
+The paper's color map shows: best performance around 16-20 workers with
+8-16 copiers, sharp degradation when either population is starved, and only
+mild loss from small over-subscription of the 32 hardware threads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PgxdCluster
+from repro.algorithms import pagerank
+from repro.bench import bench_scale, format_table, scaled_cluster_config
+from conftest import cached_graph
+
+WORKERS = [2, 4, 8, 16, 24]
+COPIERS = [1, 2, 4, 8, 16]
+MACHINES = 16
+
+
+def test_fig7_worker_copier_grid(benchmark, capsys):
+    scale = bench_scale()
+    g = cached_graph("TWT")
+    data = {}
+
+    def run():
+        grid = {}
+        for w in WORKERS:
+            for c in COPIERS:
+                cfg = scaled_cluster_config(MACHINES, scale, num_workers=w,
+                                            num_copiers=c)
+                cluster = PgxdCluster(cfg)
+                dg = cluster.load_graph(g)
+                r = pagerank(cluster, dg, "pull", max_iterations=2)
+                grid[(w, c)] = r.time_per_iteration
+        data["grid"] = grid
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    grid = data["grid"]
+    best = min(grid.values())
+    rows = []
+    for w in WORKERS:
+        rows.append([f"{w} workers"]
+                    + [f"{best / grid[(w, c)]:.2f}" for c in COPIERS])
+    with capsys.disabled():
+        print(format_table(
+            f"Figure 7 — relative performance (1.0 = best) for worker x "
+            f"copier populations (PR-pull, TWT', {MACHINES} machines)",
+            ["", *(f"{c} copiers" for c in COPIERS)], rows))
+
+    best_w, best_c = min(grid, key=grid.get)
+    # The sweet spot has plenty of both thread kinds (paper: 16-20 x 8-16).
+    assert best_w >= 8 and best_c >= 4
+    # Starving either population hurts badly (the Figure's dark corners).
+    assert grid[(2, 8)] > 1.5 * best
+    assert grid[(16, 1)] > 1.2 * best
+    # More workers always helps when copiers are plentiful.
+    assert grid[(16, 8)] < grid[(4, 8)]

@@ -1,0 +1,105 @@
+"""Scaling efficiency and straggler sensitivity.
+
+Companion analyses to Figure 3: parallel efficiency per system (how much of
+the ideal P-fold speedup each design retains — the quantitative version of
+"PGX.D shows better scalability"), and the cost of one degraded machine
+(heterogeneous clusters violate edge partitioning's equal-speed assumption;
+the engine has no work stealing across machines, so a straggler caps the
+whole cluster — measurable with the simulator's fault injection).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import PgxdCluster
+from repro.algorithms import pagerank
+from repro.bench import (bench_scale, format_table, run_gl, run_gx, run_pgx,
+                         scaled_cluster_config)
+from conftest import cached_graph
+
+MACHINES = [2, 8, 32]
+
+
+def test_scaling_efficiency(benchmark, capsys):
+    scale = bench_scale()
+    g = cached_graph("TWT")
+    data = {}
+
+    def run():
+        rows = {}
+        for system, runner in (("PGX", run_pgx), ("GL", run_gl), ("GX", run_gx)):
+            times = {}
+            for m in MACHINES:
+                r = runner(g, "TWT", "pr_push", m, scale)
+                times[m] = r.seconds
+            rows[system] = times
+        data["rows"] = rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = data["rows"]
+
+    def efficiency(times, m):
+        ideal = times[MACHINES[0]] * MACHINES[0] / m
+        return ideal / times[m]
+
+    printable = []
+    for system in ("PGX", "GL", "GX"):
+        printable.append(
+            [system] + [f"{rows[system][MACHINES[0]] / rows[system][m]:.2f}x "
+                        f"(eff {efficiency(rows[system], m):.0%})"
+                        for m in MACHINES])
+    with capsys.disabled():
+        print(format_table(
+            "Scaling — speedup over own 2-machine time (PR-push, TWT')",
+            ["system"] + [f"{m} machines" for m in MACHINES], printable))
+
+    # PGX retains the most of the ideal speedup at 32 machines; GX the least.
+    eff32 = {s: efficiency(rows[s], 32) for s in rows}
+    assert eff32["PGX"] > eff32["GL"] > 0
+    assert eff32["PGX"] > eff32["GX"]
+    # PGX keeps a reasonable fraction of ideal scaling 2 -> 32.
+    assert eff32["PGX"] > 0.35
+
+
+def test_straggler_sensitivity(benchmark, capsys):
+    """One machine running k-times slower on an 8-machine cluster."""
+    scale = bench_scale()
+    g = cached_graph("TWT")
+    data = {}
+
+    def run():
+        rows = []
+        for slowdown in (1.0, 2.0, 4.0, 8.0):
+            cfg = scaled_cluster_config(8, scale)
+            if slowdown > 1:
+                cfg = cfg.with_straggler(0, slowdown)
+            cluster = PgxdCluster(cfg)
+            dg = cluster.load_graph(g)
+            r = pagerank(cluster, dg, "pull", max_iterations=2)
+            st = [s for n, s in cluster.job_log if n == "pr_pull"][-1]
+            bd = st.breakdown(16)
+            rows.append((slowdown, r.time_per_iteration,
+                         bd.inter_machine / max(bd.total, 1e-12)))
+        data["rows"] = rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = data["rows"]
+    base = rows[0][1]
+    with capsys.disabled():
+        print(format_table(
+            "Straggler sensitivity — machine 0 slowed k-fold "
+            "(PR-pull, TWT', 8 machines)",
+            ["slowdown", "time/iter (s sim)", "vs healthy",
+             "inter-machine imbalance"],
+            [[f"{k:g}x", f"{t:.3e}", f"{t / base:.2f}x", f"{im:.0%}"]
+             for k, t, im in rows]))
+
+    times = [t for _, t, _ in rows]
+    imbalances = [im for _, _, im in rows]
+    assert times == sorted(times)
+    # The straggler's slowness surfaces as inter-machine imbalance.
+    assert imbalances[-1] > imbalances[0]
+    # No work stealing across machines: an 8x straggler costs far more than
+    # its 1/8 share would suggest.
+    assert times[-1] > 1.5 * times[0]

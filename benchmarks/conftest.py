@@ -1,0 +1,56 @@
+"""Shared benchmark fixtures: cached scaled graphs.
+
+The suite regenerates every table and figure of the paper's evaluation.
+Graphs are the scaled stand-ins (``REPRO_SCALE``, default 1/2000); reported
+times are paper-scale equivalents (see repro.bench.calibration).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import bench_scale, load_bench_graph
+
+_CACHE: dict = {}
+
+
+def cached_graph(name: str, weighted: bool = False):
+    key = (name, bench_scale(), weighted)
+    if key not in _CACHE:
+        _CACHE[key] = load_bench_graph(name, bench_scale(), weighted)
+    return _CACHE[key]
+
+
+@pytest.fixture(scope="session")
+def twt():
+    return cached_graph("TWT")
+
+
+@pytest.fixture(scope="session")
+def twt_weighted():
+    return cached_graph("TWT", weighted=True)
+
+
+@pytest.fixture(scope="session")
+def web():
+    return cached_graph("WEB")
+
+
+@pytest.fixture(scope="session")
+def web_weighted():
+    return cached_graph("WEB", weighted=True)
+
+
+@pytest.fixture(scope="session")
+def lj():
+    return cached_graph("LJ")
+
+
+@pytest.fixture(scope="session")
+def wik():
+    return cached_graph("WIK")
+
+
+@pytest.fixture(scope="session")
+def uni():
+    return cached_graph("UNI")

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""The Green-Marl-like declarative layer (the paper's Section 4.3).
+
+All algorithm listings in the paper are written in Green-Marl, e.g.::
+
+    foreach(n: G.nodes)
+      foreach(t: n.inNbrs)
+        n.PR_nxt += t.PR / t.degree();
+
+This example writes PageRank and SSSP in the `repro.dsl` equivalent and shows
+the compiler's lowering: a neighbor-side expression over several properties
+becomes a node kernel that materializes a temporary plus an edge-map job that
+ships it — one value per edge, exactly what the hand-written engine code does.
+
+Run:  python examples/green_marl_dsl.py
+"""
+
+import numpy as np
+
+from repro import ClusterConfig, PgxdCluster, ReduceOp, rmat, with_uniform_weights
+from repro.dsl import NBR, N, W, Procedure
+
+
+def dsl_pagerank(cluster, dg, damping=0.85, iterations=15):
+    n = dg.num_nodes
+    dg.add_property("pr", init=1.0 / n)
+
+    # foreach(n) n.contrib = n.pr / n.degree;  n.acc = 0
+    # foreach(n) foreach(t: n.inNbrs) n.acc += t.contrib
+    step = Procedure("pr_step")
+    step.foreach_nodes(contrib=N("pr") / N("out_degree"), acc=0.0)
+    step.foreach_in_nbrs("acc", ReduceOp.SUM, NBR("contrib"))
+    jobs = step.compile(dg)
+    print(f"  compiled to {len(jobs)} jobs: "
+          f"{[f'{j.name}/{j.kind}' for j in jobs]}")
+
+    for _ in range(iterations):
+        dangling = cluster.map_reduce(
+            dg, lambda v: float(v["pr"][v.out_degrees() == 0].sum()))
+        for job in jobs:
+            cluster.run_job(dg, job)
+        base = (1 - damping) / n + damping * dangling / n
+        Procedure("pr_fin").foreach_nodes(pr=N("acc") * damping + base) \
+            .run(cluster, dg)
+    return dg.gather("pr")
+
+
+def dsl_sssp_round(cluster, dg):
+    # foreach(n) foreach(t: n.outNbrs) t.dist_nxt min= n.dist + e.weight
+    relax = Procedure("relax")
+    relax.foreach_out_nbrs("dist_nxt", ReduceOp.MIN, NBR("dist") + W)
+    return relax.run(cluster, dg)
+
+
+def main() -> None:
+    graph = rmat(5_000, 40_000, seed=11)
+    with_uniform_weights(graph, 0.5, 2.0, seed=12)
+    cluster = PgxdCluster(ClusterConfig(num_machines=4).with_engine(
+        ghost_threshold=300))
+    dg = cluster.load_graph(graph)
+    print(f"graph: {graph.num_nodes:,} nodes, {graph.num_edges:,} edges\n")
+
+    print("PageRank in the DSL:")
+    pr = dsl_pagerank(cluster, dg)
+    print(f"  top nodes: {np.argsort(pr)[::-1][:5].tolist()}")
+
+    # Validate against the hand-written implementation.
+    from repro.algorithms import pagerank
+
+    cluster2 = PgxdCluster(ClusterConfig(num_machines=4).with_engine(
+        ghost_threshold=300))
+    dg2 = cluster2.load_graph(graph)
+    ref = pagerank(cluster2, dg2, "pull", max_iterations=15)
+    err = np.abs(pr - ref.values["pr"]).max()
+    print(f"  max difference vs built-in implementation: {err:.2e}\n")
+
+    print("one SSSP relaxation round in the DSL:")
+    n = graph.num_nodes
+    dist0 = np.full(n, np.inf)
+    dist0[0] = 0.0
+    dg.add_property("dist", from_global=dist0)
+    dg.add_property("dist_nxt", from_global=dist0)
+    stats = dsl_sssp_round(cluster, dg)
+    relaxed = int(np.isfinite(dg.gather("dist_nxt")).sum())
+    print(f"  {relaxed} nodes reachable after one round; "
+          f"{stats.messages} messages, "
+          f"{stats.total_bytes / 1e3:.1f} KB on the wire")
+
+
+if __name__ == "__main__":
+    main()

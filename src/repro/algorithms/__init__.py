@@ -1,0 +1,17 @@
+"""The paper's algorithm suite (Table 2) implemented on the PGX.D engine."""
+
+from .betweenness import betweenness
+from .common import AlgorithmResult, IterationTimer
+from .eigenvector import eigenvector
+from .hopdist import hop_dist
+from .kcore import kcore_max
+from .pagerank import pagerank, pagerank_approx, personalized_pagerank
+from .sssp import sssp
+from .wcc import wcc
+
+__all__ = [
+    "AlgorithmResult", "IterationTimer",
+    "pagerank", "pagerank_approx", "personalized_pagerank",
+    "wcc", "sssp", "hop_dist",
+    "eigenvector", "kcore_max", "betweenness",
+]

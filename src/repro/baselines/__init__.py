@@ -1,0 +1,19 @@
+"""Comparator systems built from scratch on the shared hardware model:
+single-machine standalone (SA), a GraphLab-like sync GAS engine, and a
+GraphX-like dataflow engine."""
+
+from .dataflow_engine import DataflowConfig, DataflowEngine
+from .gas_engine import BaselineResult, GasConfig, GasEngine
+from .single_machine import SAResult, SingleMachine
+from .vertex_program import (Eigenvector, HopDist, KCoreMax, PageRankApprox,
+                             PageRankPush, Sssp, VertexProgram, Wcc,
+                             run_functional_superstep)
+
+__all__ = [
+    "SingleMachine", "SAResult",
+    "GasEngine", "GasConfig", "BaselineResult",
+    "DataflowEngine", "DataflowConfig",
+    "VertexProgram", "run_functional_superstep",
+    "PageRankPush", "PageRankApprox", "Wcc", "Sssp", "HopDist",
+    "Eigenvector", "KCoreMax",
+]

@@ -1,0 +1,359 @@
+"""Vertex-centric programs for the competitor baselines.
+
+GraphLab's synchronous GAS engine and GraphX's Pregel layer both execute the
+same logical pattern per superstep: active vertices emit values along edges,
+a commutative combiner reduces messages per destination, and an apply step
+updates vertex state.  This module defines that abstraction once, plus the
+Table 2 algorithms as programs; the two engines differ only in *how much
+each superstep costs* (vertex-cut mirrors vs. dataflow joins/shuffles).
+
+The functional execution is exact — results are validated against the PGX.D
+engine and the SA oracles.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.properties import ReduceOp
+from ..graph.csr import Graph
+
+
+class VertexProgram:
+    """One algorithm in superstep form.  Subclasses override the hooks."""
+
+    name = "program"
+    #: edge direction(s) messages travel: "out", "in", or "both"
+    direction = "out"
+    combine = ReduceOp.SUM
+
+    def init(self, graph: Graph) -> None:
+        raise NotImplementedError
+
+    def pre_step(self, graph: Graph) -> Optional[np.ndarray]:
+        """Return the active-source mask for this superstep, or None to halt."""
+        raise NotImplementedError
+
+    def message(self, src: np.ndarray, weights: Optional[np.ndarray]) -> np.ndarray:
+        """Values emitted along edges whose sources are ``src`` (vertex ids)."""
+        raise NotImplementedError
+
+    def apply(self, msgs: np.ndarray, received: np.ndarray, graph: Graph) -> None:
+        """Consume combined messages (``received`` marks vertices that got any)."""
+        raise NotImplementedError
+
+    def result(self) -> dict[str, np.ndarray]:
+        raise NotImplementedError
+
+
+def run_functional_superstep(prog: VertexProgram, graph: Graph,
+                             active: np.ndarray,
+                             edge_src: np.ndarray) -> dict:
+    """Execute one superstep exactly; returns work counts for the cost models."""
+    n = graph.num_nodes
+    bottom = prog.combine.bottom(np.float64)
+    msgs = np.full(n, bottom, dtype=np.float64)
+    received = np.zeros(n, dtype=bool)
+    live_edges_total = 0
+
+    directions = ("out", "in") if prog.direction == "both" else (prog.direction,)
+    for d in directions:
+        if d == "out":
+            # Edge (u, v): u sends to v.
+            src, dst, w = edge_src, graph.out_nbrs, graph.edge_weights
+        else:
+            # Edge (u, v): v sends to u (against the edge direction).
+            src, dst, w = graph.out_nbrs, edge_src, graph.edge_weights
+        live = active[src]
+        live_edges_total += int(live.sum())
+        if live.any():
+            vals = prog.message(src[live], w[live] if w is not None else None)
+            prog.combine.apply_at(msgs, dst[live], vals)
+            received[dst[live]] = True
+
+    prog.apply(msgs, received, graph)
+    return {
+        "live_edges": live_edges_total,
+        "active_vertices": int(active.sum()),
+        "received_vertices": int(received.sum()),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Table 2 algorithms as vertex programs
+# ---------------------------------------------------------------------------
+
+
+class PageRankPush(VertexProgram):
+    """Exact PageRank, the push formulation forced on GraphLab/GraphX."""
+
+    name = "pagerank_push"
+    direction = "out"
+    combine = ReduceOp.SUM
+
+    def __init__(self, damping: float = 0.85, max_iterations: int = 10,
+                 tolerance: float = 0.0):
+        self.damping = damping
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+
+    def init(self, graph: Graph) -> None:
+        n = graph.num_nodes
+        self.pr = np.full(n, 1.0 / n)
+        self.outdeg = graph.out_degrees().astype(np.float64)
+        self.steps = 0
+        self.delta = np.inf
+
+    def pre_step(self, graph: Graph) -> Optional[np.ndarray]:
+        if self.steps >= self.max_iterations:
+            return None
+        if self.tolerance > 0 and self.delta < self.tolerance:
+            return None
+        self._dangling = self.pr[self.outdeg == 0].sum()
+        self._contrib = np.where(self.outdeg > 0,
+                                 self.pr / np.maximum(self.outdeg, 1.0), 0.0)
+        return np.ones(graph.num_nodes, dtype=bool)
+
+    def message(self, src, weights):
+        return self._contrib[src]
+
+    def apply(self, msgs, received, graph) -> None:
+        n = graph.num_nodes
+        pr_nxt = ((1.0 - self.damping) / n
+                  + self.damping * (msgs + self._dangling / n))
+        self.delta = np.abs(pr_nxt - self.pr).sum()
+        self.pr = pr_nxt
+        self.steps += 1
+
+    def result(self):
+        return {"pr": self.pr}
+
+
+class PageRankApprox(VertexProgram):
+    """Delta-propagating approximate PageRank with deactivation."""
+
+    name = "pagerank_approx"
+    direction = "out"
+    combine = ReduceOp.SUM
+
+    def __init__(self, damping: float = 0.85, threshold: float = 1e-4,
+                 max_iterations: int = 50):
+        self.damping = damping
+        self.threshold = threshold
+        self.max_iterations = max_iterations
+
+    def init(self, graph: Graph) -> None:
+        n = graph.num_nodes
+        init = (1.0 - self.damping) / n
+        self.pr = np.full(n, init)
+        self.delta = np.full(n, init)
+        self.active = np.ones(n, dtype=bool)
+        self.outdeg = graph.out_degrees().astype(np.float64)
+        self.steps = 0
+
+    def pre_step(self, graph: Graph) -> Optional[np.ndarray]:
+        if self.steps >= self.max_iterations or not self.active.any():
+            return None
+        self._dangling = self.delta[self.active & (self.outdeg == 0)].sum()
+        self._contrib = np.where(
+            self.active & (self.outdeg > 0),
+            self.damping * self.delta / np.maximum(self.outdeg, 1.0), 0.0)
+        return self.active
+
+    def message(self, src, weights):
+        return self._contrib[src]
+
+    def apply(self, msgs, received, graph) -> None:
+        n = graph.num_nodes
+        dn = msgs + self.damping * self._dangling / n
+        self.pr += dn
+        self.delta = dn
+        self.active = dn >= self.threshold
+        self.steps += 1
+
+    def result(self):
+        return {"pr": self.pr}
+
+
+class Wcc(VertexProgram):
+    name = "wcc"
+    direction = "both"
+    combine = ReduceOp.MIN
+
+    def init(self, graph: Graph) -> None:
+        n = graph.num_nodes
+        self.comp = np.arange(n, dtype=np.float64)
+        self.active = np.ones(n, dtype=bool)
+
+    def pre_step(self, graph: Graph) -> Optional[np.ndarray]:
+        if not self.active.any():
+            return None
+        return self.active
+
+    def message(self, src, weights):
+        return self.comp[src]
+
+    def apply(self, msgs, received, graph) -> None:
+        improved = msgs < self.comp
+        self.comp = np.minimum(self.comp, msgs)
+        self.active = improved
+
+    def result(self):
+        return {"component": self.comp.astype(np.int64)}
+
+
+class Sssp(VertexProgram):
+    name = "sssp"
+    direction = "out"
+    combine = ReduceOp.MIN
+
+    def __init__(self, root: int = 0):
+        self.root = root
+
+    def init(self, graph: Graph) -> None:
+        if graph.edge_weights is None:
+            raise ValueError("sssp requires edge weights")
+        n = graph.num_nodes
+        self.dist = np.full(n, np.inf)
+        self.dist[self.root] = 0.0
+        self.active = np.zeros(n, dtype=bool)
+        self.active[self.root] = True
+
+    def pre_step(self, graph: Graph) -> Optional[np.ndarray]:
+        if not self.active.any():
+            return None
+        return self.active
+
+    def message(self, src, weights):
+        return self.dist[src] + weights
+
+    def apply(self, msgs, received, graph) -> None:
+        improved = msgs < self.dist
+        self.dist = np.minimum(self.dist, msgs)
+        self.active = improved
+
+    def result(self):
+        return {"dist": self.dist}
+
+
+class HopDist(VertexProgram):
+    name = "hop_dist"
+    direction = "out"
+    combine = ReduceOp.MIN
+
+    def __init__(self, root: int = 0):
+        self.root = root
+
+    def init(self, graph: Graph) -> None:
+        n = graph.num_nodes
+        self.hops = np.full(n, np.inf)
+        self.hops[self.root] = 0.0
+        self.active = np.zeros(n, dtype=bool)
+        self.active[self.root] = True
+
+    def pre_step(self, graph: Graph) -> Optional[np.ndarray]:
+        if not self.active.any():
+            return None
+        return self.active
+
+    def message(self, src, weights):
+        return self.hops[src] + 1.0
+
+    def apply(self, msgs, received, graph) -> None:
+        improved = msgs < self.hops
+        self.hops = np.minimum(self.hops, msgs)
+        self.active = improved
+
+    def result(self):
+        return {"hops": self.hops}
+
+
+class Eigenvector(VertexProgram):
+    """Power iteration; each step ends with a global L2 normalization (an
+    extra all-reduce the engines charge for)."""
+
+    name = "eigenvector"
+    direction = "out"
+    combine = ReduceOp.SUM
+    has_global_reduce = True
+
+    def __init__(self, max_iterations: int = 10, tolerance: float = 0.0):
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+
+    def init(self, graph: Graph) -> None:
+        n = graph.num_nodes
+        self.ev = np.full(n, 1.0 / n)
+        self.steps = 0
+        self.change = np.inf
+
+    def pre_step(self, graph: Graph) -> Optional[np.ndarray]:
+        if self.steps >= self.max_iterations:
+            return None
+        if self.tolerance > 0 and self.change < self.tolerance:
+            return None
+        return np.ones(graph.num_nodes, dtype=bool)
+
+    def message(self, src, weights):
+        return self.ev[src]
+
+    def apply(self, msgs, received, graph) -> None:
+        norm = np.sqrt(np.square(msgs).sum())
+        nxt = msgs / norm if norm > 0 else msgs
+        self.change = np.abs(nxt - self.ev).sum()
+        self.ev = nxt
+        self.steps += 1
+
+    def result(self):
+        return {"ev": self.ev}
+
+
+class KCoreMax(VertexProgram):
+    """Biggest k-core number by peeling — the many-tiny-supersteps stress
+    test.  Matches the engine/SA degree convention (in+out, multigraph)."""
+
+    name = "kcore"
+    direction = "both"
+    combine = ReduceOp.SUM
+
+    def __init__(self, max_k: int = 100000):
+        self.max_k = max_k
+
+    def init(self, graph: Graph) -> None:
+        n = graph.num_nodes
+        self.deg = (graph.out_degrees() + graph.in_degrees()).astype(np.float64)
+        self.alive = np.ones(n, dtype=bool)
+        self.k = 1
+        self.best_k = 0
+        self.halted = False
+
+    def pre_step(self, graph: Graph) -> Optional[np.ndarray]:
+        if self.halted:
+            return None
+        while True:
+            dying = self.alive & (self.deg < self.k)
+            if dying.any():
+                self._dying = dying
+                self.alive &= ~dying
+                return dying
+            # Stable at this k: record and advance (or finish).
+            if not self.alive.any():
+                self.best_k = self.k - 1
+                self.halted = True
+                return None
+            self.best_k = self.k
+            if self.k >= self.max_k:
+                self.halted = True
+                return None
+            self.k += 1
+
+    def message(self, src, weights):
+        return np.full(len(src), -1.0)
+
+    def apply(self, msgs, received, graph) -> None:
+        self.deg[received] += msgs[received]
+
+    def result(self):
+        return {}

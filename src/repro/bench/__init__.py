@@ -1,0 +1,19 @@
+"""Benchmark harness: calibration, per-system runners, table printers."""
+
+from .calibration import (BENCH_SCALE, PAPER_TABLE3, PAPER_TABLE4,
+                          model_loading_time, scaled_cluster_config,
+                          scaled_dataflow_config, scaled_gas_config,
+                          scaled_machine_config, scaled_network_config,
+                          to_paper_scale)
+from .harness import (Row, bench_machines, bench_scale, fmt_secs,
+                      format_table, load_bench_graph, run_gl, run_gx,
+                      run_pgx, run_sa)
+
+__all__ = [
+    "BENCH_SCALE", "PAPER_TABLE3", "PAPER_TABLE4",
+    "model_loading_time", "scaled_cluster_config", "scaled_gas_config",
+    "scaled_dataflow_config", "scaled_machine_config",
+    "scaled_network_config", "to_paper_scale",
+    "Row", "bench_machines", "bench_scale", "fmt_secs", "format_table",
+    "load_bench_graph", "run_gl", "run_gx", "run_pgx", "run_sa",
+]

@@ -1,0 +1,157 @@
+"""Command-line interface: run algorithms and experiments from the shell.
+
+Examples::
+
+    python -m repro info --graph TWT --scale 0.001
+    python -m repro run --algorithm pr_pull --graph TWT --machines 8
+    python -m repro run --algorithm sssp --graph WEB --machines 4 --scale 5e-4
+    python -m repro compare --algorithm pr_push --graph TWT --machines 2,8,32
+    python -m repro generate --graph LJ --scale 1e-3 --format binary --out lj.bin
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .bench.calibration import scaled_cluster_config, to_paper_scale
+from .bench.harness import run_gl, run_gx, run_pgx, run_sa
+from .core.engine import PgxdCluster
+from .graph.generators import PAPER_GRAPHS, paper_graph
+from .graph.io import save_binary, save_edge_list
+
+ALGORITHMS = ["pr_pull", "pr_push", "pr_approx", "wcc", "sssp", "hop_dist",
+              "ev", "kcore"]
+
+
+def _add_graph_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--graph", default="TWT", choices=sorted(PAPER_GRAPHS),
+                   help="paper dataset stand-in to generate")
+    p.add_argument("--scale", type=float, default=1e-3,
+                   help="scale factor vs. the paper's dataset size")
+
+
+def _load(args) -> tuple:
+    weighted = getattr(args, "algorithm", "") == "sssp"
+    g = paper_graph(args.graph, scale=args.scale, weighted=weighted)
+    return g
+
+
+def cmd_info(args) -> int:
+    from .graph.partition import edge_partition
+    from .graph.stats import degree_stats, partition_stats
+
+    g = _load(args)
+    spec = PAPER_GRAPHS[args.graph]
+    st = degree_stats(g.total_degrees())
+    print(f"{args.graph} at scale {args.scale:g} "
+          f"(paper: {spec.paper_nodes:,} nodes / {spec.paper_edges:,} edges)")
+    print(f"  nodes: {g.num_nodes:,}")
+    print(f"  edges: {g.num_edges:,}")
+    print(f"  degree: mean {st.mean:.1f}, median {st.median:.0f}, "
+          f"p99 {st.p99:.0f}, max {st.maximum}")
+    print(f"  skew: gini {st.gini:.2f}; top 1% of nodes hold "
+          f"{st.top1pct_share:.0%} of edges")
+    ps = partition_stats(g, edge_partition(g, 8))
+    print(f"  8-way edge partitioning: imbalance {ps.imbalance:.2f}x, "
+          f"{ps.crossing_fraction:.0%} crossing edges")
+    return 0
+
+
+def cmd_run(args) -> int:
+    g = _load(args)
+    row = run_pgx(g, args.graph, args.algorithm, args.machines, args.scale,
+                  **({"ghost_threshold": args.ghost_threshold}
+                     if args.ghost_threshold is not None else {}))
+    unit = "per iteration" if row.per_iteration else "total"
+    print(f"PGX.D | {args.algorithm} on {args.graph} "
+          f"(scale {args.scale:g}, {args.machines} machines)")
+    print(f"  simulated time ({unit}): {row.seconds:.6f} s")
+    print(f"  paper-scale equivalent:  {to_paper_scale(row.seconds, args.scale):.3f} s")
+    print(f"  iterations: {row.iterations}")
+    stats = row.extra.get("stats")
+    if stats is not None:
+        print(f"  traffic: {stats.total_bytes / 1e6:.2f} MB in "
+              f"{stats.messages} messages")
+        print(f"  remote reads: {stats.remote_reads:,}  "
+              f"remote writes: {stats.remote_writes:,}  "
+              f"atomics: {stats.atomic_ops:,}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    g = _load(args)
+    machines = [int(x) for x in args.machines.split(",")]
+    print(f"{args.algorithm} on {args.graph} (scale {args.scale:g}); "
+          f"paper-scale-equivalent seconds")
+    sa = run_sa(g, args.graph, args.algorithm, args.scale)
+    print(f"  {'SA':4s} m=1   {to_paper_scale(sa.seconds, args.scale):10.3f}")
+    for m in machines:
+        parts = [f"  {'PGX':4s} m={m:<4d}"]
+        pgx = run_pgx(g, args.graph, args.algorithm, m, args.scale)
+        parts.append(f"{to_paper_scale(pgx.seconds, args.scale):10.3f}")
+        gl = run_gl(g, args.graph, args.algorithm, m, args.scale)
+        gx = run_gx(g, args.graph, args.algorithm, m, args.scale)
+        if gl:
+            parts.append(f"  GL {to_paper_scale(gl.seconds, args.scale):10.3f}")
+        if gx:
+            parts.append(f"  GX {to_paper_scale(gx.seconds, args.scale):10.3f}")
+        print("".join(parts))
+    return 0
+
+
+def cmd_generate(args) -> int:
+    g = paper_graph(args.graph, scale=args.scale, weighted=args.weighted)
+    if args.format == "binary":
+        save_binary(g, args.out)
+    else:
+        save_edge_list(g, args.out)
+    print(f"wrote {args.graph} (scale {args.scale:g}): "
+          f"{g.num_nodes:,} nodes, {g.num_edges:,} edges -> {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PGX.D reproduction: run graph algorithms on the "
+                    "simulated cluster")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="describe a generated dataset")
+    _add_graph_args(p_info)
+    p_info.set_defaults(fn=cmd_info)
+
+    p_run = sub.add_parser("run", help="run one algorithm on PGX.D")
+    _add_graph_args(p_run)
+    p_run.add_argument("--algorithm", required=True, choices=ALGORITHMS)
+    p_run.add_argument("--machines", type=int, default=8)
+    p_run.add_argument("--ghost-threshold", type=int, default=None)
+    p_run.set_defaults(fn=cmd_run)
+
+    p_cmp = sub.add_parser("compare",
+                           help="compare PGX.D / GraphLab-like / GraphX-like / SA")
+    _add_graph_args(p_cmp)
+    p_cmp.add_argument("--algorithm", required=True, choices=ALGORITHMS)
+    p_cmp.add_argument("--machines", default="2,8,32",
+                       help="comma-separated machine counts")
+    p_cmp.set_defaults(fn=cmd_compare)
+
+    p_gen = sub.add_parser("generate", help="write a dataset stand-in to disk")
+    _add_graph_args(p_gen)
+    p_gen.add_argument("--format", choices=["binary", "text"], default="binary")
+    p_gen.add_argument("--weighted", action="store_true")
+    p_gen.add_argument("--out", required=True)
+    p_gen.set_defaults(fn=cmd_generate)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,136 @@
+"""The Communication Manager (Section 3.4): copier threads and delivery.
+
+Incoming request messages land in a per-machine queue; idle *copier* threads
+drain it.  A copier applies write (reduction) requests directly with atomic
+instructions, answers read requests with a response message, executes RMI
+requests against the registered method table, and applies ghost-sync payloads
+to the ghost columns (pre-sync) or the owner's property arrays (post-sync).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from .messages import Message, MsgKind
+from .properties import ReduceOp
+from ..runtime.memory import cache_adjusted_locality
+from .vector_kernels import (COPIER_READ_LOCALITY, COPIER_WRITE_LOCALITY,
+                             VALUE_BYTES, WorkTally)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .jobrunner import JobExecution
+    from .machine import Machine
+
+
+class CopierState:
+    """One copier thread of one machine."""
+
+    __slots__ = ("machine", "cindex", "busy")
+
+    def __init__(self, machine: "Machine", cindex: int):
+        self.machine = machine
+        self.cindex = cindex
+        self.busy = False
+
+
+def deliver_request(exc: "JobExecution", msg: Message) -> None:
+    """Network delivery callback for request-side messages."""
+    machine = exc.machines[msg.dst]
+    machine.request_queue.append(msg)
+    for cs in exc.copiers[msg.dst]:
+        if not cs.busy:
+            cs.busy = True
+            exc.sim.schedule(0.0, copier_loop, exc, cs)
+            break
+
+
+def deliver_response(exc: "JobExecution", msg: Message) -> None:
+    """Network delivery callback for read responses: route to the worker that
+    issued the requests (Section 3.2 step (4))."""
+    ws = exc.worker_state(msg.dst, msg.worker)
+    ws.response_arrived(msg)
+
+
+def copier_loop(exc: "JobExecution", cs: CopierState) -> None:
+    machine = cs.machine
+    if not machine.request_queue:
+        cs.busy = False
+        return
+    cs.busy = True
+    msg = machine.request_queue.popleft()
+    machine.cpu.thread_started()
+    tally = _process_message(exc, machine, msg)
+    dur = machine.cpu.mixed_duration(tally.cpu_ops, tally.atomic_ops,
+                                     tally.random_bytes, tally.seq_bytes)
+    exc.sim.schedule(dur, _copier_done, exc, cs, msg, dur)
+
+
+def _copier_done(exc: "JobExecution", cs: CopierState, msg: Message,
+                 dur: float) -> None:
+    cs.machine.cpu.thread_finished(dur)
+    # Side effects that become visible when the copier finishes:
+    if msg.kind is MsgKind.READ_REQ:
+        resp = msg._response  # built in _process_message
+        exc.send_response(resp)
+    elif msg.kind in (MsgKind.WRITE_REQ,):
+        exc.write_outstanding -= 1
+        exc.check_main_done()
+    elif msg.kind is MsgKind.GHOST_SYNC:
+        exc.sync_outstanding -= 1
+        exc.check_sync_done()
+    elif msg.kind is MsgKind.RMI_REQ:
+        exc.rmi_outstanding -= 1
+        exc.check_main_done()
+    copier_loop(exc, cs)
+
+
+def _process_message(exc: "JobExecution", machine: "Machine",
+                     msg: Message) -> WorkTally:
+    """Functionally apply a request and price the copier's work."""
+    cfg = exc.cluster.config.engine
+    per_item_ops = cfg.copier_per_item / exc.cpu_op_time
+    if msg.kind is MsgKind.READ_REQ:
+        values = machine.props[msg.prop][msg.offsets]
+        n = len(values)
+        msg._response = Message(MsgKind.READ_RESP, src=machine.index,
+                                dst=msg.src, prop=msg.prop, values=values,
+                                request_id=msg.request_id, worker=msg.worker)
+        tally = WorkTally(cpu_ops=n * per_item_ops, seq_bytes=n * 2 * VALUE_BYTES)
+        loc = cache_adjusted_locality(COPIER_READ_LOCALITY,
+                                      machine.n_local * VALUE_BYTES,
+                                      machine.machine_config)
+        tally.add_bytes(n * VALUE_BYTES, loc)
+        return tally
+    if msg.kind is MsgKind.WRITE_REQ:
+        n = msg.item_count
+        msg.op.apply_at(machine.props[msg.prop], msg.offsets, msg.values)
+        exc.stats.atomic_ops += n
+        tally = WorkTally(cpu_ops=n * per_item_ops, atomic_ops=n,
+                          seq_bytes=n * 2 * VALUE_BYTES)
+        loc = cache_adjusted_locality(COPIER_WRITE_LOCALITY,
+                                      machine.n_local * VALUE_BYTES,
+                                      machine.machine_config)
+        tally.add_bytes(n * 2 * VALUE_BYTES, loc)
+        return tally
+    if msg.kind is MsgKind.GHOST_SYNC:
+        n = msg.item_count
+        if msg.ghost_pre:
+            # Pre-sync: owner broadcast into this machine's ghost columns.
+            col = machine.ghosts.ensure_column(msg.prop, msg.values.dtype)
+            col[msg.offsets] = msg.values
+            atomic = 0
+        else:
+            # Post-sync: reduce partials into the owner's property column.
+            msg.op.apply_at(machine.props[msg.prop], msg.offsets, msg.values)
+            atomic = n
+        tally = WorkTally(cpu_ops=n * per_item_ops, atomic_ops=atomic,
+                          seq_bytes=n * 2 * VALUE_BYTES)
+        tally.add_bytes(n * 2 * VALUE_BYTES, COPIER_WRITE_LOCALITY)
+        return tally
+    if msg.kind is MsgKind.RMI_REQ:
+        fn = exc.cluster.rmi.lookup(msg.rmi_fn)
+        fn(exc.local_view(machine.index), *msg.rmi_args)
+        return WorkTally(cpu_ops=200.0)
+    raise AssertionError(f"copier got unexpected message kind {msg.kind}")

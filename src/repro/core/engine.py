@@ -1,0 +1,244 @@
+"""Public engine API: :class:`PgxdCluster` and :class:`DistributedGraph`.
+
+Typical use (the Figure 2 application shape)::
+
+    from repro import PgxdCluster, ClusterConfig
+    from repro.core.job import EdgeMapJob
+    from repro.core.tasks import EdgeMapSpec
+    from repro.core.properties import ReduceOp
+
+    cluster = PgxdCluster(ClusterConfig(num_machines=8))
+    dg = cluster.load_graph(graph)
+    dg.add_property("x", init=1.0)
+    dg.add_property("acc", init=0.0)
+    job = EdgeMapJob(name="gather", spec=EdgeMapSpec(
+        direction="pull", source="x", target="acc", op=ReduceOp.SUM))
+    stats = cluster.run_job(dg, job)        # simulated seconds in stats.elapsed
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Union
+
+import numpy as np
+
+from ..graph.csr import Graph
+from ..graph.partition import Partitioning, make_partitioning
+from ..runtime.config import ClusterConfig
+from ..runtime.network import Network
+from ..runtime.simulator import Simulator
+from ..runtime.stats import JobStats
+from . import barrier as barrier_mod
+from .data_manager import DataManager
+from .ghost import select_ghosts
+from .job import Job
+from .jobrunner import JobExecution
+from .machine import Machine
+from .messages import RmiRegistry
+from .properties import ReduceOp
+
+
+class LocalView:
+    """A machine-local window handed to node kernels and RMI methods."""
+
+    def __init__(self, machine: Machine):
+        self._m = machine
+
+    @property
+    def machine_index(self) -> int:
+        return self._m.index
+
+    @property
+    def lo(self) -> int:
+        return self._m.lo
+
+    @property
+    def hi(self) -> int:
+        return self._m.hi
+
+    @property
+    def n_local(self) -> int:
+        return self._m.n_local
+
+    def __getitem__(self, prop: str) -> np.ndarray:
+        """The machine's local column of ``prop`` (mutable view)."""
+        return self._m.props[prop]
+
+    def out_degrees(self) -> np.ndarray:
+        return self._m.props["out_degree"]
+
+    def in_degrees(self) -> np.ndarray:
+        return self._m.props["in_degree"]
+
+
+class DistributedGraph:
+    """A graph loaded into the cluster: partitioned CSR + property columns."""
+
+    def __init__(self, cluster: "PgxdCluster", graph: Graph,
+                 partitioning: Partitioning, ghost_gids: np.ndarray):
+        self.cluster = cluster
+        self.graph = graph
+        self.partitioning = partitioning
+        self.ghost_gids = ghost_gids
+        self.machines = [
+            Machine(i, graph, partitioning, ghost_gids, cluster.config)
+            for i in range(cluster.config.num_machines)
+        ]
+        for m in self.machines:
+            m.dm = DataManager(m)
+
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.num_edges
+
+    @property
+    def num_ghosts(self) -> int:
+        return int(len(self.ghost_gids))
+
+    # -- property management ------------------------------------------------
+
+    def add_property(self, name: str, dtype=np.float64, init=0,
+                     from_global: Optional[np.ndarray] = None) -> None:
+        """Create a node property on every machine (column-oriented)."""
+        for m in self.machines:
+            arr = m.props.add(name, dtype=dtype, init=init)
+            if from_global is not None:
+                arr[:] = from_global[m.lo:m.hi]
+
+    def drop_property(self, name: str) -> None:
+        for m in self.machines:
+            m.props.drop(name)
+
+    def has_property(self, name: str) -> bool:
+        return name in self.machines[0].props
+
+    def gather(self, name: str) -> np.ndarray:
+        """Collect a property into one global array (driver-side helper)."""
+        return np.concatenate([m.props[name] for m in self.machines])
+
+    def set_from_global(self, name: str, values: np.ndarray) -> None:
+        for m in self.machines:
+            m.props[name][:] = values[m.lo:m.hi]
+
+    def local_views(self) -> list[LocalView]:
+        return [LocalView(m) for m in self.machines]
+
+
+class PgxdCluster:
+    """The simulated PGX.D cluster: one engine instance per machine."""
+
+    def __init__(self, config: Optional[ClusterConfig] = None):
+        self.config = config or ClusterConfig()
+        self.sim = Simulator()
+        self.network = Network(self.sim, self.config.num_machines,
+                               self.config.network)
+        self.rmi = RmiRegistry()
+        self.job_log: list[tuple[str, JobStats]] = []
+
+    # -- graph loading --------------------------------------------------------
+
+    def load_graph(self, graph: Graph,
+                   partitioning: Optional[str] = None,
+                   ghost_threshold: Union[int, None, str] = "config",
+                   timed: bool = False) -> DistributedGraph:
+        """Partition and distribute ``graph`` (paper Section 3.3 load path).
+
+        ``partitioning`` overrides the configured strategy ("edge"/"vertex");
+        ``ghost_threshold`` overrides the configured degree threshold
+        (``None`` disables ghost nodes).  With ``timed=True`` the simulated
+        clock advances by the modeled loading time (degree pass + pivot
+        selection + CSR construction + ghost setup — the Table 4 PGX path),
+        recorded on ``dgraph.load_time``.
+        """
+        t0 = self.sim.now
+        strategy = partitioning or self.config.engine.partitioning
+        part = make_partitioning(graph, self.config.num_machines, strategy)
+        thr = (self.config.engine.ghost_threshold
+               if ghost_threshold == "config" else ghost_threshold)
+        ghosts = select_ghosts(graph, thr)
+        dg = DistributedGraph(self, graph, part, ghosts)
+        if timed:
+            # Ingest + build both CSR directions + per-edge endpoint
+            # resolution, cluster-parallel; plus a degree pass and the ghost
+            # broadcast setup.  Constants per repro.bench.calibration.
+            mcfg = self.config.machine
+            per_machine_edges = graph.num_edges / max(1, self.config.num_machines)
+            build = per_machine_edges * 40e-9
+            degrees = graph.num_nodes * 8e-9
+            ghost_setup = (len(ghosts) * 8.0 * self.config.num_machines
+                           / self.config.network.link_bw)
+            self.advance(build + degrees + ghost_setup)
+        dg.load_time = self.sim.now - t0
+        return dg
+
+    # -- execution -------------------------------------------------------------
+
+    def run_job(self, dgraph: DistributedGraph, job: Job,
+                force_scalar: bool = False) -> JobStats:
+        """Execute one parallel region to completion; returns its stats.
+
+        ``force_scalar`` runs EdgeMapJobs on the general per-edge RTC path
+        instead of the vectorized scheduler fast path (results identical).
+        """
+        exc = JobExecution(self, dgraph, job, force_scalar=force_scalar)
+        exc.start()
+        while not exc.done:
+            if not self.sim.step():
+                raise RuntimeError(
+                    f"simulation deadlock in job {job.name!r} "
+                    f"(phase={exc.phase}, workers={exc.workers_remaining}, "
+                    f"writes={exc.write_outstanding}, sync={exc.sync_outstanding})")
+        self.job_log.append((job.name, exc.stats))
+        return exc.stats
+
+    def run_jobs(self, dgraph: DistributedGraph, jobs: Sequence[Job]) -> JobStats:
+        """Run jobs back-to-back; returns merged stats spanning all of them."""
+        merged = JobStats(start_time=self.sim.now)
+        for job in jobs:
+            stats = self.run_job(dgraph, job)
+            merged.merge_from(stats)
+        merged.end_time = self.sim.now
+        return merged
+
+    # -- sequential-region primitives -------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self.sim.now
+
+    def advance(self, seconds: float) -> None:
+        """Model sequential (driver) computation between parallel regions."""
+        self.sim.run(until=self.sim.now + seconds)
+
+    def barrier(self) -> float:
+        """Cluster-wide barrier; returns its latency (Figure 5(b))."""
+        latency = barrier_mod.barrier_latency(self.config.num_machines,
+                                              self.config.network)
+        self.advance(latency)
+        return latency
+
+    def all_reduce(self, per_machine_values: Sequence, op: ReduceOp = ReduceOp.SUM):
+        """Combine one value per machine; costs a tree all-reduce latency."""
+        latency = barrier_mod.all_reduce_latency(self.config.num_machines,
+                                                 self.config.network)
+        self.advance(latency)
+        result = per_machine_values[0]
+        for v in per_machine_values[1:]:
+            result = op.scalar(result, v)
+        return result
+
+    def map_reduce(self, dgraph: DistributedGraph,
+                   fn: Callable[[LocalView], object],
+                   op: ReduceOp = ReduceOp.SUM):
+        """Evaluate ``fn`` on every machine's local view and all-reduce."""
+        values = [fn(LocalView(m)) for m in dgraph.machines]
+        return self.all_reduce(values, op)
+
+    def register_rmi(self, fn: Callable, name: Optional[str] = None) -> int:
+        """Register a remote method; returns its wire identifier (Section 3.4)."""
+        return self.rmi.register(fn, name)

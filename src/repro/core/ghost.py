@@ -1,0 +1,111 @@
+"""Selective ghost nodes and ghost privatization (Section 3.3).
+
+At load time the engine computes every vertex's in- and out-degree and
+creates *ghost copies* on every machine for vertices whose either degree
+exceeds the configured threshold.  During a parallel region:
+
+* properties **read** in the region are copied owner -> ghost before the
+  region starts (so reads of hub vertices become machine-local);
+* properties **written (reduced)** start from the reduction's *bottom* value
+  on every ghost copy, absorb writes locally during the region, and are
+  reduced back to the owner afterwards.
+
+*Ghost privatization* additionally gives each worker thread its own copy of
+the written ghost columns so in-machine reductions need no atomics; the sync
+then runs in two stages — cores -> machine, then machine -> owner.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..graph.csr import Graph
+from ..graph.partition import Partitioning
+from .properties import ReduceOp
+
+
+def select_ghosts(graph: Graph, threshold: Optional[int]) -> np.ndarray:
+    """Vertex ids (sorted) whose in- OR out-degree exceeds ``threshold``."""
+    if threshold is None:
+        return np.empty(0, dtype=np.int64)
+    ind = graph.in_degrees()
+    outd = graph.out_degrees()
+    return np.flatnonzero((ind > threshold) | (outd > threshold)).astype(np.int64)
+
+
+class MachineGhosts:
+    """One machine's ghost table: a slot per ghost vertex, per property."""
+
+    def __init__(self, machine_index: int, ghost_gids: np.ndarray,
+                 partitioning: Partitioning, num_workers: int):
+        self.machine_index = machine_index
+        self.gids = ghost_gids                       # sorted global ids
+        self.num_ghosts = int(len(ghost_gids))
+        self.num_workers = num_workers
+        owners = partitioning.owners(ghost_gids) if self.num_ghosts else np.empty(0, dtype=np.int64)
+        self.owners = owners
+        self.owned_mask = owners == machine_index
+        #: local offsets of each ghost on its *owner* machine
+        self.owner_offsets = (partitioning.local_offsets(ghost_gids, owners)
+                              if self.num_ghosts else np.empty(0, dtype=np.int64))
+        #: machine-level ghost columns: prop -> float/int array [num_ghosts]
+        self.arrays: dict[str, np.ndarray] = {}
+        #: worker-private columns (privatization): prop -> [num_workers, num_ghosts]
+        self.private: dict[str, np.ndarray] = {}
+
+    def slot_of(self, vertices: np.ndarray) -> np.ndarray:
+        """Ghost slot per vertex, or -1 when the vertex is not ghosted."""
+        if self.num_ghosts == 0:
+            return np.full(len(vertices), -1, dtype=np.int64)
+        pos = np.searchsorted(self.gids, vertices)
+        pos_clipped = np.minimum(pos, self.num_ghosts - 1)
+        hit = self.gids[pos_clipped] == vertices
+        return np.where(hit, pos_clipped, -1)
+
+    def ensure_column(self, prop: str, dtype) -> np.ndarray:
+        if prop not in self.arrays:
+            self.arrays[prop] = np.zeros(self.num_ghosts, dtype=dtype)
+        return self.arrays[prop]
+
+    # -- write-side lifecycle -------------------------------------------------
+
+    def begin_writes(self, prop: str, op: ReduceOp, dtype, privatize: bool) -> None:
+        """Reset the machine (and private) ghost columns to the bottom value."""
+        bottom = op.bottom(np.dtype(dtype))
+        col = self.ensure_column(prop, dtype)
+        col[:] = bottom
+        if privatize and self.num_workers > 0:
+            if prop not in self.private or self.private[prop].shape[0] != self.num_workers:
+                self.private[prop] = np.zeros((self.num_workers, self.num_ghosts),
+                                              dtype=dtype)
+            self.private[prop][:] = bottom
+
+    def reduce_private(self, prop: str, op: ReduceOp) -> int:
+        """Stage 1 of the two-stage sync: worker-private -> machine column.
+        Returns the number of elements combined (for cost accounting)."""
+        priv = self.private.get(prop)
+        if priv is None or self.num_ghosts == 0:
+            return 0
+        col = self.arrays[prop]
+        for w in range(priv.shape[0]):
+            col[:] = op.combine(col, priv[w])
+        return int(priv.shape[0] * self.num_ghosts)
+
+    def partials_for_owner(self, prop: str, owner: int) -> tuple[np.ndarray, np.ndarray]:
+        """Stage 2: (owner-local offsets, partial values) this machine must
+        ship to ``owner`` for reduction into the original vertices."""
+        mask = self.owners == owner
+        return self.owner_offsets[mask], self.arrays[prop][mask]
+
+    def ghosts_owned_here(self) -> tuple[np.ndarray, np.ndarray]:
+        """(slots, owner-local offsets) of ghosts this machine owns — the
+        values it broadcasts during read pre-sync."""
+        slots = np.flatnonzero(self.owned_mask)
+        return slots, self.owner_offsets[slots]
+
+    def slots_owned_by(self, owner: int) -> tuple[np.ndarray, np.ndarray]:
+        """(slots here, owner-local offsets) for ghosts owned by ``owner``."""
+        mask = self.owners == owner
+        return np.flatnonzero(mask), self.owner_offsets[mask]

@@ -1,0 +1,117 @@
+"""Jobs: the unit of parallel execution (Section 4.2, Figure 2).
+
+A PGX.D application alternates sequential regions with parallel *jobs*.  A
+job names its task (or kernel), and declares which properties it reads and
+which it writes together with their reduction operators — the information
+the engine needs to synchronize ghost nodes semi-automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from .properties import ReduceOp
+from .tasks import EdgeMapSpec, Task, spec_task
+
+
+@dataclass
+class Job:
+    """Base parallel region descriptor."""
+
+    name: str = "job"
+    #: properties read from possibly-remote vertices (ghost pre-sync set)
+    reads: tuple[str, ...] = ()
+    #: (property, reduction) pairs written, possibly remotely (ghost post-sync)
+    writes: tuple[tuple[str, ReduceOp], ...] = ()
+
+    @property
+    def kind(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass
+class EdgeMapJob(Job):
+    """Vectorizable neighborhood iteration described by an :class:`EdgeMapSpec`.
+
+    ``reads``/``writes`` are derived from the spec automatically; additional
+    entries may be supplied for custom transforms touching more properties.
+    """
+
+    spec: Optional[EdgeMapSpec] = None
+
+    def __post_init__(self):
+        if self.spec is None:
+            raise ValueError("EdgeMapJob requires a spec")
+        reads = set(self.reads)
+        writes = dict(self.writes)
+        reads.add(self.spec.source)
+        writes.setdefault(self.spec.target, self.spec.op)
+        # Note: the filter property (spec.active) is always evaluated on the
+        # *current* node, which is local, so it needs no ghost pre-sync and is
+        # deliberately not added to ``reads``.
+        self.reads = tuple(sorted(reads))
+        self.writes = tuple(sorted(writes.items()))
+
+    @property
+    def kind(self) -> str:
+        return "edge_map"
+
+    def task_class(self) -> type:
+        """Equivalent scalar task (used when forcing the general path)."""
+        return spec_task(self.spec, name=f"{self.name}_task")
+
+
+@dataclass
+class TaskJob(Job):
+    """General parallel region running a user :class:`Task` on the scalar
+    RTC path (the paper's fully general mechanism)."""
+
+    task_cls: Optional[type] = None
+
+    def __post_init__(self):
+        if self.task_cls is None or not issubclass(self.task_cls, Task):
+            raise ValueError("TaskJob requires a Task subclass")
+
+    @property
+    def kind(self) -> str:
+        return "task"
+
+    @property
+    def iter_kind(self) -> str:
+        return self.task_cls.ITER
+
+
+@dataclass
+class NodeKernelJob(Job):
+    """Purely local per-node computation, vectorized over each machine's
+    vertex range (the sequential-looking node loops between edge jobs,
+    e.g. applying the damping factor in PageRank).
+
+    ``kernel(view)`` receives a :class:`LocalView` per machine and mutates
+    local property arrays in place.  ``ops_per_node``/``bytes_per_node``
+    parameterize the cost model for the kernel's work.
+    """
+
+    kernel: Optional[Callable] = None
+    ops_per_node: float = 4.0
+    bytes_per_node: float = 16.0
+
+    def __post_init__(self):
+        if self.kernel is None:
+            raise ValueError("NodeKernelJob requires a kernel")
+
+    @property
+    def kind(self) -> str:
+        return "node_kernel"
+
+
+@dataclass
+class JobSequence:
+    """Convenience container for the Figure 2 pattern: a list of jobs executed
+    back-to-back inside one iteration of the main sequential loop."""
+
+    jobs: Sequence[Job] = field(default_factory=list)
+
+    def __iter__(self):
+        return iter(self.jobs)

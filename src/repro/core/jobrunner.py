@@ -1,0 +1,274 @@
+"""Job orchestration: ghost sync, main phase, termination, barrier.
+
+One :class:`JobExecution` drives a parallel region (Figure 2) through four
+phases on the simulator:
+
+1. **pre-sync** — ghost columns of properties *read* in the region receive
+   the owners' current values; ghost columns of properties *written* are set
+   to the reduction's bottom value (Section 3.3);
+2. **main** — the Task Manager fills every machine's chunk queue and workers
+   run until the task lists are empty and no remote requests remain
+   unfinished (the paper's completion rule, Section 3.2);
+3. **post-sync** — ghost partials reduce back to the owners, in two stages
+   when privatization is on (cores -> machine -> owner);
+4. **barrier** — the end-of-step synchronization of Figure 5(b).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..graph.chunking import make_chunks, node_chunks
+from ..runtime.stats import JobStats
+from .comm_manager import CopierState, deliver_request, deliver_response
+from .job import EdgeMapJob, Job, NodeKernelJob, TaskJob
+from .messages import Message, MsgKind
+from .properties import ReduceOp
+from .task_manager import WorkerState, wake_worker
+from . import barrier as barrier_mod
+
+
+class JobExecution:
+    """Execution state of one parallel region across the cluster."""
+
+    def __init__(self, cluster, dgraph, job: Job, force_scalar: bool = False):
+        self.cluster = cluster
+        self.dgraph = dgraph
+        self.job = job
+        self.sim = cluster.sim
+        self.network = cluster.network
+        self.machines = dgraph.machines
+        self.num_machines = len(self.machines)
+
+        ecfg = cluster.config.engine
+        mcfg = cluster.config.machine
+        self.buffer_size = ecfg.buffer_size
+        self.max_inflight_per_dest = ecfg.max_inflight_per_dest
+        self.marshal_per_item = ecfg.marshal_per_item
+        self.task_dispatch_time = ecfg.task_dispatch_time
+        self.chunk_dispatch_time = ecfg.chunk_dispatch_time
+        self.cpu_op_time = mcfg.cpu_op_time
+
+        self.stats = JobStats(start_time=self.sim.now)
+        self.ghosts_active = dgraph.num_ghosts > 0
+        # Ghost synchronization applies to regions that may touch remote
+        # vertices (edge-map and general task jobs).  Node kernels operate on
+        # each machine's own rows only, so they need no ghost lifecycle.
+        # OVERWRITE is not a reduction — such properties cannot be combined
+        # from ghost partials and stay out of the ghost write set.
+        self.syncs_ghosts = self.ghosts_active and not isinstance(job, NodeKernelJob)
+        self.ghost_write_props = tuple(
+            (p, op) for p, op in job.writes if op is not ReduceOp.OVERWRITE
+        ) if self.syncs_ghosts else ()
+        self.ghost_write_set = frozenset(p for p, _ in self.ghost_write_props)
+        self.ghost_read_set = (frozenset(job.reads) if self.syncs_ghosts
+                               else frozenset())
+        self.privatize = (ecfg.ghost_privatization
+                          and bool(self.ghost_write_props))
+
+        # Resolve the execution mode.
+        self.spec = None
+        self.task_cls: Optional[type] = None
+        if isinstance(job, EdgeMapJob):
+            if force_scalar:
+                self.task_cls = job.task_class()
+            else:
+                self.spec = job.spec
+            iter_kind = job.spec.iter_kind
+        elif isinstance(job, TaskJob):
+            self.task_cls = job.task_cls
+            iter_kind = job.iter_kind
+        elif isinstance(job, NodeKernelJob):
+            iter_kind = "node"
+        else:
+            raise TypeError(f"unsupported job type {type(job).__name__}")
+        self.iter_kind = iter_kind
+        #: pushes and free-form writes can collide on a target -> atomics;
+        #: pull targets are owned by a single worker (Section 5.2).
+        self.job_uses_atomics = iter_kind != "in"
+
+        self.workers: list[list[WorkerState]] = []
+        self.copiers: list[list[CopierState]] = [
+            [CopierState(m, c) for c in range(ecfg.num_copiers)]
+            for m in self.machines
+        ]
+
+        self.phase = "init"
+        self.done = False
+        self.chunks_remaining = 0
+        self.workers_remaining = 0
+        self.write_outstanding = 0
+        self.rmi_outstanding = 0
+        self.sync_outstanding = 0
+        self._postsync_pending = 0
+
+    # ------------------------------------------------------------------
+    # lookup helpers used by workers/copiers
+    # ------------------------------------------------------------------
+
+    def worker_state(self, machine: int, worker: int) -> WorkerState:
+        return self.workers[machine][worker]
+
+    def local_view(self, machine: int):
+        from .engine import LocalView
+
+        return LocalView(self.machines[machine])
+
+    # ------------------------------------------------------------------
+    # message plumbing
+    # ------------------------------------------------------------------
+
+    def send_request(self, msg: Message, kind: str) -> None:
+        nbytes = msg.wire_bytes()
+        self.stats.bytes_by_kind[kind] += nbytes if msg.src != msg.dst else 0.0
+        self.stats.messages += 1
+        self.network.send(msg.src, msg.dst, nbytes, deliver_request, self, msg,
+                          kind=kind)
+
+    def send_response(self, msg: Message) -> None:
+        nbytes = msg.wire_bytes()
+        self.stats.bytes_by_kind["read_resp"] += nbytes if msg.src != msg.dst else 0.0
+        self.stats.messages += 1
+        self.network.send(msg.src, msg.dst, nbytes, deliver_response, self, msg,
+                          kind="read_resp")
+
+    def send_rmi(self, src: int, dst: int, fn_id: int, args: tuple) -> None:
+        msg = Message(MsgKind.RMI_REQ, src=src, dst=dst, rmi_fn=fn_id,
+                      rmi_args=args)
+        self.rmi_outstanding += 1
+        self.send_request(msg, kind="rmi")
+
+    # ------------------------------------------------------------------
+    # phase machine
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        for m in self.machines:
+            m.dm.exec = self
+        self.phase = "presync"
+        self._begin_ghost_writes()
+        self._send_presync()
+        if self.sync_outstanding == 0:
+            self._phase_main()
+
+    def _begin_ghost_writes(self) -> None:
+        """Bottom-initialize ghost columns (and private copies) for writes."""
+        for prop, op in self.ghost_write_props:
+            for m in self.machines:
+                dtype = m.props.dtype(prop)
+                m.ghosts.begin_writes(prop, op, dtype, self.privatize)
+
+    def _send_presync(self) -> None:
+        """Broadcast owner values of ghosted vertices for every read prop."""
+        if not self.syncs_ghosts or not self.job.reads:
+            return
+        for prop in self.job.reads:
+            for owner in self.machines:
+                slots, offsets = owner.ghosts.ghosts_owned_here()
+                if len(slots) == 0:
+                    continue
+                values = owner.props[prop][offsets]
+                for dst in self.machines:
+                    if dst.index == owner.index:
+                        # The owner's own ghost column mirrors its originals
+                        # so local tasks can read either representation.
+                        dst.ghosts.ensure_column(prop, values.dtype)[slots] = values
+                        continue
+                    msg = Message(MsgKind.GHOST_SYNC, src=owner.index,
+                                  dst=dst.index, prop=prop,
+                                  offsets=slots, values=values, ghost_pre=True)
+                    self.sync_outstanding += 1
+                    self.send_request(msg, kind="ghost_sync")
+
+    def check_sync_done(self) -> None:
+        if self.sync_outstanding > 0:
+            return
+        if self.phase == "presync":
+            self._phase_main()
+        elif self.phase == "postsync" and self._postsync_pending == 0:
+            self._phase_barrier()
+
+    def _phase_main(self) -> None:
+        self.phase = "main"
+        ecfg = self.cluster.config.engine
+        total_chunks = 0
+        for m in self.machines:
+            if self.iter_kind == "node":
+                chunks = node_chunks(m.n_local, max(1, ecfg.chunk_size))
+            else:
+                chunks = make_chunks(m.csr(self.iter_kind).starts,
+                                     ecfg.chunking, ecfg.chunk_size)
+            m.chunk_queue.clear()
+            m.chunk_queue.extend(chunks)
+            total_chunks += len(chunks)
+        self.chunks_remaining = total_chunks
+
+        self.workers = [
+            [WorkerState(self, m, w) for w in range(ecfg.num_workers)]
+            for m in self.machines
+        ]
+        self.workers_remaining = self.num_machines * ecfg.num_workers
+        for mw in self.workers:
+            for ws in mw:
+                wake_worker(self, ws)
+
+    def on_worker_done(self, ws: WorkerState) -> None:
+        self.workers_remaining -= 1
+        self.check_main_done()
+
+    def check_main_done(self) -> None:
+        if (self.phase == "main" and self.workers_remaining == 0
+                and self.write_outstanding == 0 and self.rmi_outstanding == 0):
+            self._phase_postsync()
+
+    def _phase_postsync(self) -> None:
+        self.phase = "postsync"
+        if not self.ghost_write_props:
+            self._phase_barrier()
+            return
+        self._postsync_pending = self.num_machines
+        for m in self.machines:
+            # Stage 1: reduce worker-private ghost copies into the machine
+            # column (costed per machine, overlapping across machines).
+            elements = 0
+            if self.privatize:
+                for prop, op in self.ghost_write_props:
+                    elements += m.ghosts.reduce_private(prop, op)
+            dur = m.cpu.mixed_duration(cpu_ops=elements * 1.0, atomic_ops=0,
+                                       random_bytes=0.0,
+                                       seq_bytes=elements * 8.0)
+            self.sim.schedule(dur, self._postsync_machine_done, m)
+
+    def _postsync_machine_done(self, m) -> None:
+        """Stage 2: ship ghost partials to the owners."""
+        for prop, op in self.ghost_write_props:
+            if prop not in m.ghosts.arrays:
+                continue
+            for owner in self.machines:
+                offsets, values = m.ghosts.partials_for_owner(prop, owner.index)
+                if len(offsets) == 0:
+                    continue
+                if owner.index == m.index:
+                    op.apply_at(m.props[prop], offsets, values)
+                    continue
+                msg = Message(MsgKind.GHOST_SYNC, src=m.index, dst=owner.index,
+                              prop=prop, offsets=offsets, values=values, op=op,
+                              ghost_pre=False)
+                self.sync_outstanding += 1
+                self.send_request(msg, kind="ghost_sync")
+        self._postsync_pending -= 1
+        if self._postsync_pending == 0:
+            self.check_sync_done()
+
+    def _phase_barrier(self) -> None:
+        self.phase = "barrier"
+        latency = barrier_mod.barrier_latency(self.num_machines,
+                                              self.cluster.config.network)
+        self.sim.schedule(latency, self._finalize)
+
+    def _finalize(self) -> None:
+        self.phase = "done"
+        self.stats.end_time = self.sim.now
+        self.done = True

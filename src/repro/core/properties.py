@@ -1,0 +1,127 @@
+"""Column-oriented node properties and reduction operators (Section 4.2).
+
+Each property is an O(N) array partitioned over machines; creating or
+dropping a temporary property is trivial, exactly as the paper emphasizes.
+Reductions are the write-side operators of ``write_remote<OP>`` — applied by
+copiers for remote writes and during ghost-node synchronization.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Union
+
+import numpy as np
+
+
+class ReduceOp(enum.Enum):
+    """Write reduction operators supported by ``write_remote`` and ghost sync."""
+
+    SUM = "sum"
+    MIN = "min"
+    MAX = "max"
+    AND = "and"
+    OR = "or"
+    #: Last-writer-wins plain store (no reduction).  Not commutative: results
+    #: are only deterministic when a single writer targets each element.
+    OVERWRITE = "overwrite"
+
+    def bottom(self, dtype: np.dtype) -> Union[int, float, bool]:
+        """Identity ("bottom") value ghost copies start from (Section 3.3)."""
+        dtype = np.dtype(dtype)
+        if self is ReduceOp.SUM:
+            return dtype.type(0)
+        if self is ReduceOp.MIN:
+            if np.issubdtype(dtype, np.floating):
+                return dtype.type(np.inf)
+            return np.iinfo(dtype).max
+        if self is ReduceOp.MAX:
+            if np.issubdtype(dtype, np.floating):
+                return dtype.type(-np.inf)
+            return np.iinfo(dtype).min
+        if self is ReduceOp.AND:
+            return True
+        if self is ReduceOp.OR:
+            return False
+        if self is ReduceOp.OVERWRITE:
+            return dtype.type(0)
+        raise AssertionError(self)
+
+    def apply_at(self, target: np.ndarray, idx: np.ndarray, values) -> None:
+        """Reduce ``values`` into ``target[idx]`` (unbuffered, duplicate-safe)."""
+        if self is ReduceOp.SUM:
+            np.add.at(target, idx, values)
+        elif self is ReduceOp.MIN:
+            np.minimum.at(target, idx, values)
+        elif self is ReduceOp.MAX:
+            np.maximum.at(target, idx, values)
+        elif self is ReduceOp.AND:
+            np.logical_and.at(target, idx, values)
+        elif self is ReduceOp.OR:
+            np.logical_or.at(target, idx, values)
+        elif self is ReduceOp.OVERWRITE:
+            target[idx] = values
+        else:  # pragma: no cover
+            raise AssertionError(self)
+
+    def combine(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise combine of two partial-result arrays (ghost sync)."""
+        if self is ReduceOp.SUM:
+            return a + b
+        if self is ReduceOp.MIN:
+            return np.minimum(a, b)
+        if self is ReduceOp.MAX:
+            return np.maximum(a, b)
+        if self is ReduceOp.AND:
+            return np.logical_and(a, b)
+        if self is ReduceOp.OR:
+            return np.logical_or(a, b)
+        if self is ReduceOp.OVERWRITE:
+            return b
+        raise AssertionError(self)
+
+    def scalar(self, a, b):
+        """Scalar combine (scalar RTC task path)."""
+        if self is ReduceOp.SUM:
+            return a + b
+        if self is ReduceOp.MIN:
+            return min(a, b)
+        if self is ReduceOp.MAX:
+            return max(a, b)
+        if self is ReduceOp.AND:
+            return bool(a) and bool(b)
+        if self is ReduceOp.OR:
+            return bool(a) or bool(b)
+        if self is ReduceOp.OVERWRITE:
+            return b
+        raise AssertionError(self)
+
+
+class PropertyStore:
+    """The column store of one machine: name -> local array of n_local values."""
+
+    def __init__(self, n_local: int):
+        self.n_local = n_local
+        self._arrays: dict[str, np.ndarray] = {}
+
+    def add(self, name: str, dtype=np.float64, init=0) -> np.ndarray:
+        if name in self._arrays:
+            raise KeyError(f"property {name!r} already exists")
+        arr = np.full(self.n_local, init, dtype=dtype)
+        self._arrays[name] = arr
+        return arr
+
+    def drop(self, name: str) -> None:
+        del self._arrays[name]
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self._arrays[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._arrays
+
+    def names(self) -> list[str]:
+        return sorted(self._arrays)
+
+    def dtype(self, name: str) -> np.dtype:
+        return self._arrays[name].dtype

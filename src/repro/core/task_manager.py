@@ -1,0 +1,375 @@
+"""The Task Manager (Section 3.2): worker threads, chunks, continuations.
+
+Workers are cooperative state machines on the simulator.  Each worker
+repeatedly: (1) processes pending read responses (continuations), (2) grabs
+the next chunk from its machine's chunk queue and runs it to completion,
+(3) when out of chunks, flushes its partial request buffers, and (4) declares
+itself done once no remote reads remain in flight.  A task is *always*
+continued by the worker that issued its reads, so task objects need no locks
+— precisely the paper's RTC contract.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional, TYPE_CHECKING
+
+import numpy as np
+
+from .messages import Message, MsgKind, ReadBuffer, SideStructure, WriteBuffer
+from .data_manager import ScalarReadBuffer, ScalarWriteBuffer
+from .properties import ReduceOp
+from .tasks import TaskContext
+from .vector_kernels import (GATHER_LOCALITY, RESPONSE_APPLY_LOCALITY,
+                             VALUE_BYTES, WorkTally, execute_edge_map_chunk,
+                             execute_node_kernel_chunk)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .jobrunner import JobExecution
+    from .machine import Machine
+
+
+class WorkerState:
+    """Per-job state of one worker thread."""
+
+    def __init__(self, exc: "JobExecution", machine: "Machine", windex: int):
+        self.exc = exc
+        self.machine = machine
+        self.windex = windex
+        self.ctx = TaskContext(machine.dm, windex)
+        self.pending_resp: deque = deque()
+        #: vectorized buffers keyed by (dst machine, property)
+        self.read_bufs: dict[tuple[int, str], ReadBuffer] = {}
+        self.write_bufs: dict[tuple[int, str], tuple[WriteBuffer, ReduceOp]] = {}
+        #: scalar buffers keyed the same way
+        self.sc_read_bufs: dict[tuple[int, str], ScalarReadBuffer] = {}
+        self.sc_write_bufs: dict[tuple[int, str], tuple[ScalarWriteBuffer, ReduceOp]] = {}
+        self.side_structs: dict[int, SideStructure] = {}
+        self.inflight_by_dst: dict[int, int] = {}
+        #: read messages awaiting a response (sent or parked by back-pressure)
+        self.outstanding_reads = 0
+        #: back-pressured messages waiting for an in-flight slot
+        self.parked: deque = deque()
+        self.scheduled = False
+        self.done = False
+        #: atomic ops recorded by the scalar Data Manager since last chunk
+        self.pending_atomics = 0
+
+    # -- buffer accessors ----------------------------------------------------
+
+    def read_buf(self, dst: int, prop: str) -> ReadBuffer:
+        buf = self.read_bufs.get((dst, prop))
+        if buf is None:
+            buf = self.read_bufs[(dst, prop)] = ReadBuffer()
+        return buf
+
+    def write_buf(self, dst: int, prop: str, op: ReduceOp) -> WriteBuffer:
+        entry = self.write_bufs.get((dst, prop))
+        if entry is None:
+            entry = self.write_bufs[(dst, prop)] = (WriteBuffer(), op)
+        return entry[0]
+
+    def scalar_read_buf(self, dst: int, prop: str) -> ScalarReadBuffer:
+        buf = self.sc_read_bufs.get((dst, prop))
+        if buf is None:
+            buf = self.sc_read_bufs[(dst, prop)] = ScalarReadBuffer()
+        return buf
+
+    def scalar_write_buf(self, dst: int, prop: str, op: ReduceOp) -> ScalarWriteBuffer:
+        entry = self.sc_write_bufs.get((dst, prop))
+        if entry is None:
+            entry = self.sc_write_bufs[(dst, prop)] = (ScalarWriteBuffer(), op)
+        return entry[0]
+
+    def has_buffered(self) -> bool:
+        return (any(not b.empty for b in self.read_bufs.values())
+                or any(not b.empty for b, _ in self.write_bufs.values())
+                or any(not b.empty for b in self.sc_read_bufs.values())
+                or any(not b.empty for b, _ in self.sc_write_bufs.values()))
+
+    # -- flushing --------------------------------------------------------------
+
+    def maybe_flush_reads(self, dst: int, prop: str) -> None:
+        cap = self.exc.buffer_size
+        buf = self.read_bufs.get((dst, prop))
+        if buf is not None and buf.nbytes >= cap:
+            self._flush_read(dst, prop, buf)
+        sbuf = self.sc_read_bufs.get((dst, prop))
+        if sbuf is not None and sbuf.nbytes >= cap:
+            self._flush_scalar_read(dst, prop, sbuf)
+
+    def maybe_flush_writes(self, dst: int, prop: str) -> None:
+        cap = self.exc.buffer_size
+        entry = self.write_bufs.get((dst, prop))
+        if entry is not None and entry[0].nbytes >= cap:
+            self._flush_write(dst, prop, *entry)
+        sentry = self.sc_write_bufs.get((dst, prop))
+        if sentry is not None and sentry[0].nbytes >= cap:
+            self._flush_scalar_write(dst, prop, *sentry)
+
+    def flush_all(self) -> WorkTally:
+        """Ship every partial buffer (worker ran out of tasks, Section 3.2 (3))."""
+        n_items = 0
+        for (dst, prop), buf in list(self.read_bufs.items()):
+            if not buf.empty:
+                n_items += len(buf.offsets)
+                self._flush_read(dst, prop, buf)
+        for (dst, prop), (buf, op) in list(self.write_bufs.items()):
+            if not buf.empty:
+                n_items += len(buf.offsets)
+                self._flush_write(dst, prop, buf, op)
+        for (dst, prop), buf in list(self.sc_read_bufs.items()):
+            if not buf.empty:
+                n_items += len(buf.offsets)
+                self._flush_scalar_read(dst, prop, buf)
+        for (dst, prop), (buf, op) in list(self.sc_write_bufs.items()):
+            if not buf.empty:
+                n_items += len(buf.offsets)
+                self._flush_scalar_write(dst, prop, buf, op)
+        return WorkTally(cpu_ops=8.0 + 0.5 * n_items)
+
+    def _max_items(self, item_bytes: int) -> int:
+        return max(1, int(self.exc.buffer_size // item_bytes))
+
+    def _flush_read(self, dst: int, prop: str, buf: ReadBuffer) -> None:
+        offsets, rows, weights = buf.drain()
+        # Chunks append whole batches at once, so a buffer can exceed the
+        # maximum message size; ship it as a train of full buffers.
+        step = self._max_items(8)
+        for i in range(0, len(offsets), step):
+            msg = Message(MsgKind.READ_REQ, src=self.machine.index, dst=dst,
+                          prop=prop, offsets=offsets[i:i + step],
+                          worker=self.windex)
+            side = SideStructure(request_id=msg.request_id, prop=prop,
+                                 rows=rows[i:i + step],
+                                 weights=None if weights is None
+                                 else weights[i:i + step])
+            self._dispatch_read(msg, side)
+
+    def _flush_scalar_read(self, dst: int, prop: str, buf: ScalarReadBuffer) -> None:
+        offsets = np.asarray(buf.offsets, dtype=np.int64)
+        sides = list(buf.sides)
+        buf.offsets.clear()
+        buf.sides.clear()
+        step = self._max_items(8)
+        for i in range(0, len(offsets), step):
+            msg = Message(MsgKind.READ_REQ, src=self.machine.index, dst=dst,
+                          prop=prop, offsets=offsets[i:i + step],
+                          worker=self.windex)
+            side = SideStructure(request_id=msg.request_id, prop=prop,
+                                 tasks=sides[i:i + step])
+            self._dispatch_read(msg, side)
+
+    def _dispatch_read(self, msg: Message, side: SideStructure) -> None:
+        """Send now, or park under back-pressure (Section 3.4)."""
+        self.outstanding_reads += 1
+        dst = msg.dst
+        if self.inflight_by_dst.get(dst, 0) >= self.exc.max_inflight_per_dest:
+            self.parked.append((msg, side))
+            return
+        self._send_read(msg, side)
+
+    def _send_read(self, msg: Message, side: SideStructure) -> None:
+        self.side_structs[msg.request_id] = side
+        self.inflight_by_dst[msg.dst] = self.inflight_by_dst.get(msg.dst, 0) + 1
+        self.exc.send_request(msg, kind="read_req")
+
+    def _flush_write(self, dst: int, prop: str, buf: WriteBuffer,
+                     op: ReduceOp) -> None:
+        offsets, values = buf.drain()
+        step = self._max_items(16)
+        for i in range(0, len(offsets), step):
+            msg = Message(MsgKind.WRITE_REQ, src=self.machine.index, dst=dst,
+                          prop=prop, offsets=offsets[i:i + step],
+                          values=values[i:i + step], op=op, worker=self.windex)
+            self.exc.write_outstanding += 1
+            self.exc.send_request(msg, kind="write_req")
+
+    def _flush_scalar_write(self, dst: int, prop: str, buf: ScalarWriteBuffer,
+                            op: ReduceOp) -> None:
+        offsets = np.asarray(buf.offsets, dtype=np.int64)
+        values = np.asarray(buf.values)
+        buf.offsets.clear()
+        buf.values.clear()
+        step = self._max_items(16)
+        for i in range(0, len(offsets), step):
+            msg = Message(MsgKind.WRITE_REQ, src=self.machine.index, dst=dst,
+                          prop=prop, offsets=offsets[i:i + step],
+                          values=values[i:i + step], op=op, worker=self.windex)
+            self.exc.write_outstanding += 1
+            self.exc.send_request(msg, kind="write_req")
+
+    # -- response intake --------------------------------------------------------
+
+    def response_arrived(self, msg: Message) -> None:
+        side = self.side_structs.pop(msg.request_id)
+        self.outstanding_reads -= 1
+        self.inflight_by_dst[msg.src] -= 1
+        # A freed in-flight slot lets a parked message go out.
+        if self.parked:
+            for _ in range(len(self.parked)):
+                pmsg, pside = self.parked.popleft()
+                if self.inflight_by_dst.get(pmsg.dst, 0) < self.exc.max_inflight_per_dest:
+                    self._send_read(pmsg, pside)
+                    break
+                self.parked.append((pmsg, pside))
+        self.pending_resp.append((side, msg.values))
+        wake_worker(self.exc, self)
+
+
+# ---------------------------------------------------------------------------
+# Worker event loop
+# ---------------------------------------------------------------------------
+
+
+def wake_worker(exc: "JobExecution", ws: WorkerState) -> None:
+    if ws.done or ws.scheduled:
+        return
+    ws.scheduled = True
+    exc.sim.schedule(0.0, worker_loop, exc, ws)
+
+
+def worker_loop(exc: "JobExecution", ws: WorkerState) -> None:
+    ws.scheduled = False
+    if ws.done:
+        return
+    m = ws.machine
+    if ws.pending_resp:
+        side, values = ws.pending_resp.popleft()
+        _start_work(exc, ws, lambda: _process_response(exc, ws, side, values))
+        return
+    if m.chunk_queue:
+        lo, hi = m.chunk_queue.popleft()
+        _start_work(exc, ws, lambda: _execute_chunk(exc, ws, lo, hi),
+                    chunk_overhead=True)
+        return
+    if ws.has_buffered():
+        _start_work(exc, ws, ws.flush_all)
+        return
+    if ws.outstanding_reads == 0:
+        ws.done = True
+        exc.on_worker_done(ws)
+    # otherwise: idle until a response wakes us.
+
+
+def _start_work(exc: "JobExecution", ws: WorkerState, fn,
+                chunk_overhead: bool = False) -> None:
+    m = ws.machine
+    m.cpu.thread_started()
+    tally = fn()
+    if chunk_overhead:
+        tally.cpu_ops += exc.chunk_dispatch_time / exc.cpu_op_time
+    dur = m.cpu.mixed_duration(tally.cpu_ops, tally.atomic_ops,
+                               tally.random_bytes, tally.seq_bytes)
+    t0 = exc.sim.now
+    exc.stats.record_busy(m.index, ws.windex, t0, t0 + dur)
+    ws.scheduled = True
+    exc.sim.schedule(dur, _end_work, exc, ws, dur)
+
+
+def _end_work(exc: "JobExecution", ws: WorkerState, dur: float) -> None:
+    ws.machine.cpu.thread_finished(dur)
+    ws.scheduled = False
+    worker_loop(exc, ws)
+
+
+def _execute_chunk(exc: "JobExecution", ws: WorkerState, lo: int, hi: int) -> WorkTally:
+    job = exc.job
+    kind = job.kind
+    if kind == "edge_map" and exc.spec is not None:
+        tally = execute_edge_map_chunk(exc, ws.machine, ws, exc.spec, lo, hi)
+    elif kind == "node_kernel":
+        tally = execute_node_kernel_chunk(exc, ws.machine, job.kernel,
+                                          job.ops_per_node, job.bytes_per_node,
+                                          lo, hi)
+    else:
+        tally = _execute_scalar_chunk(exc, ws, lo, hi)
+    exc.stats.tasks_executed += tally.tasks
+    exc.chunks_remaining -= 1
+    return tally
+
+
+def _process_response(exc: "JobExecution", ws: WorkerState,
+                      side: SideStructure, values: np.ndarray) -> WorkTally:
+    """Walk a response message and run continuations (Section 3.2 (4))."""
+    m = ws.machine
+    n = len(values)
+    tally = WorkTally(cpu_ops=n * 2.0, seq_bytes=n * VALUE_BYTES)
+    tally.add_bytes(n * 2 * VALUE_BYTES, RESPONSE_APPLY_LOCALITY)
+    if side.rows is not None:
+        # Vectorized continuation: reduce fetched values into the targets.
+        spec = exc.spec
+        vals = spec.apply_transform(values, side.weights if spec.use_weights else None)
+        spec.op.apply_at(m.props[spec.target], side.rows, vals)
+    else:
+        ctx = ws.ctx
+        for (task, node_g, nbr_g, w, tag), value in zip(side.tasks, values):
+            ctx._task = task
+            ctx._node_global = node_g
+            ctx._node_local = node_g - m.lo
+            ctx._nbr_global = nbr_g
+            ctx._edge_weight = w
+            task.read_done(ctx, value, tag)
+        tally.atomic_ops += ws.pending_atomics
+        ws.pending_atomics = 0
+    return tally
+
+
+# ---------------------------------------------------------------------------
+# Scalar (general RTC) chunk executor
+# ---------------------------------------------------------------------------
+
+
+def _execute_scalar_chunk(exc: "JobExecution", ws: WorkerState,
+                          lo: int, hi: int) -> WorkTally:
+    m = ws.machine
+    job = exc.job
+    task_cls = exc.task_cls
+    iter_kind = task_cls.ITER
+    csr = m.csr(iter_kind) if iter_kind != "node" else None
+    ctx = ws.ctx
+    stats = exc.stats
+    before = (stats.local_reads, stats.remote_reads,
+              stats.local_writes, stats.remote_writes)
+
+    tally = WorkTally()
+    tally.cpu_ops += (hi - lo) * (exc.task_dispatch_time / exc.cpu_op_time)
+    weights = csr.weights if csr is not None else None
+    edge_props = csr.props if csr is not None else None
+    for vl in range(lo, hi):
+        vg = m.lo + vl
+        task = task_cls()
+        ctx._task = task
+        ctx._node_global = vg
+        ctx._node_local = vl
+        ctx._nbr_global = -1
+        ctx._edge_weight = 0.0
+        if not task.filter(ctx):
+            continue
+        tally.tasks += 1
+        if iter_kind == "node":
+            task.run(ctx)
+        else:
+            s, e = int(csr.starts[vl]), int(csr.starts[vl + 1])
+            for ei in range(s, e):
+                ctx._task = task
+                ctx._node_global = vg
+                ctx._node_local = vl
+                ctx._nbr_global = int(csr.nbrs[ei])
+                ctx._edge_weight = float(weights[ei]) if weights is not None else 0.0
+                ctx._edge_idx = ei
+                ctx._edge_props = edge_props
+                task.run(ctx)
+            tally.edges += e - s
+            exc.stats.edges_processed += e - s
+
+    d_lr = stats.local_reads - before[0]
+    d_rr = stats.remote_reads - before[1]
+    d_lw = stats.local_writes - before[2]
+    d_rw = stats.remote_writes - before[3]
+    tally.cpu_ops += tally.edges * 2.0 + (d_rr + d_rw) * (exc.marshal_per_item / exc.cpu_op_time)
+    tally.add_bytes((d_lr + d_lw) * 2 * VALUE_BYTES, GATHER_LOCALITY)
+    tally.seq_bytes += tally.edges * 24.0 + (d_rr + d_rw) * 2 * VALUE_BYTES
+    tally.atomic_ops += ws.pending_atomics
+    ws.pending_atomics = 0
+    return tally

@@ -1,0 +1,247 @@
+"""The PGX.D programming model: run-to-completion tasks (Section 4.1).
+
+A task encodes one neighborhood-iteration kernel.  Its ``run()`` method is
+invoked for every (in- or out-) edge of every active node and *always returns*
+— there is no stack capture.  A remote read issued inside ``run()`` buffers a
+request and the engine later calls ``read_done()`` with the fetched value on
+the same object, executed by the same worker thread.  State that must survive
+the continuation lives in the task object's fields or in temporary node
+properties, exactly as Section 3.2 prescribes.
+
+Two execution paths exist, mirroring Section 4.1.2's note that the built-in
+iterators let the scheduler specialize:
+
+* the **scalar path** runs ``filter()/run()/read_done()`` per edge — fully
+  general (any Python in the callbacks);
+* the **vectorized path** is taken when the task class provides an
+  :class:`EdgeMapSpec`, letting the scheduler process whole chunks with numpy
+  while performing the *same* reads, writes, buffering and ghost traffic.
+
+Tests assert the two paths produce identical results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from .properties import ReduceOp
+
+
+class TaskContext:
+    """Execution context handed to scalar task callbacks.
+
+    One context per worker thread, re-pointed at each (node, neighbor) pair.
+    All accessor names follow the paper's C++ API.
+    """
+
+    __slots__ = ("_dm", "_worker", "_node_global", "_node_local", "_nbr_global",
+                 "_edge_weight", "_task", "_edge_idx", "_edge_props")
+
+    def __init__(self, data_manager, worker: int):
+        self._dm = data_manager
+        self._worker = worker
+        self._node_global = -1
+        self._node_local = -1
+        self._nbr_global = -1
+        self._edge_weight = 0.0
+        self._task = None
+        self._edge_idx = -1
+        self._edge_props = None
+
+    # -- identity -----------------------------------------------------------
+
+    def node_id(self) -> int:
+        """Global id of the current node (the paper's ``get_node_id()``)."""
+        return self._node_global
+
+    def nbr_id(self) -> int:
+        """Global id of the neighbor on the current edge (``get_nbr_id()``)."""
+        return self._nbr_global
+
+    def edge_weight(self) -> float:
+        """Weight of the current edge (0.0 on unweighted graphs)."""
+        return self._edge_weight
+
+    def edge_prop(self, name: str) -> float:
+        """A named edge property of the current edge (edge iterators only)."""
+        if self._edge_props is None or name not in self._edge_props:
+            raise KeyError(f"no edge property {name!r} on the current edge")
+        return float(self._edge_props[name][self._edge_idx])
+
+    def machine(self) -> int:
+        return self._dm.machine.index
+
+    def worker(self) -> int:
+        return self._worker
+
+    # -- data access ----------------------------------------------------------
+
+    def get_local(self, vertex: int, prop: str):
+        """Read a property of a vertex resident on this machine (or a ghost)."""
+        return self._dm.get_local(vertex, prop)
+
+    def set_local(self, vertex: int, value, prop: str) -> None:
+        """Write a property of a vertex owned by this machine."""
+        self._dm.set_local(vertex, value, prop)
+
+    def read_remote(self, vertex: int, prop: str, tag=None) -> None:
+        """Request ``vertex.prop``; ``read_done`` fires when it is available.
+
+        Local (and ghosted) vertices resolve immediately — ``read_done`` is
+        invoked synchronously with a pointer to the local data (Section 4.1).
+        """
+        self._dm.read_remote(self._worker, self, vertex, prop, tag)
+
+    def write_remote(self, vertex: int, prop: str, value, op: ReduceOp) -> None:
+        """Reduce ``value`` into ``vertex.prop`` wherever it lives."""
+        self._dm.write_remote(self._worker, vertex, prop, value, op)
+
+    def call_remote(self, machine: int, fn_id: int, *args) -> None:
+        """Fire-and-forget remote method invocation (Section 3.4)."""
+        self._dm.call_remote(self._worker, machine, fn_id, args)
+
+
+class Task:
+    """Base class of all user contexts.  Subclass and override the hooks."""
+
+    #: Iteration kind; set by the iterator subclasses below.
+    ITER: str = "node"
+
+    def filter(self, ctx: TaskContext) -> bool:
+        """Vertex-deactivation hook: return False to skip the current vertex."""
+        return True
+
+    def run(self, ctx: TaskContext) -> None:
+        """Entry point, called once per node (node iterator) or per edge
+        (edge iterators).  Must return; yield via buffered remote reads."""
+        raise NotImplementedError
+
+    def read_done(self, ctx: TaskContext, value, tag=None) -> None:
+        """Continuation invoked when a ``read_remote`` value arrives."""
+        raise NotImplementedError(
+            f"{type(self).__name__} issued read_remote but defines no read_done")
+
+    @classmethod
+    def edge_map_spec(cls) -> Optional["EdgeMapSpec"]:
+        """Return an :class:`EdgeMapSpec` to opt into the vectorized path."""
+        return None
+
+
+class NodeIterTask(Task):
+    """``run()`` is invoked once per active node."""
+
+    ITER = "node"
+
+
+class OutNbrIterTask(Task):
+    """``run()`` is invoked once per out-edge of each active node (pushing)."""
+
+    ITER = "out"
+
+
+class InNbrIterTask(Task):
+    """``run()`` is invoked once per in-edge of each active node (pulling)."""
+
+    ITER = "in"
+
+
+@dataclass(frozen=True)
+class EdgeMapSpec:
+    """Declarative form of the two canonical neighborhood-iteration kernels.
+
+    ``pull``  : ``foreach(n) foreach(t: n.inNbrs)  n.target op= f(t.source, w)``
+    ``push``  : ``foreach(n) foreach(t: n.outNbrs) t.target op= f(n.source, w)``
+
+    ``transform`` maps (source values, edge weights or None) to the reduced
+    values; ``None`` means identity.  ``active`` names a boolean property
+    filtering the *current* node n.  ``reverse`` iterates the opposite edge
+    direction (pull from out-neighbors / push to in-neighbors), which
+    algorithms with undirected semantics (WCC, KCore) use to cover both
+    incident edge sets.
+    """
+
+    direction: str                       # "pull" | "push"
+    source: str
+    target: str
+    op: ReduceOp
+    transform: Optional[Callable[[np.ndarray, Optional[np.ndarray]], np.ndarray]] = None
+    use_weights: bool = False
+    active: Optional[str] = None
+    reverse: bool = False
+    #: feed the transform a named O(E) edge property instead of the weight
+    edge_prop: Optional[str] = None
+
+    def __post_init__(self):
+        if self.direction not in ("pull", "push"):
+            raise ValueError(f"direction must be 'pull' or 'push', got {self.direction!r}")
+        if self.edge_prop is not None and not self.use_weights:
+            raise ValueError("edge_prop requires use_weights=True "
+                             "(the transform consumes the per-edge data)")
+
+    def apply_transform(self, values: np.ndarray,
+                        weights: Optional[np.ndarray]) -> np.ndarray:
+        if self.transform is None:
+            return values
+        return self.transform(values, weights)
+
+    @property
+    def iter_kind(self) -> str:
+        base = "in" if self.direction == "pull" else "out"
+        if self.reverse:
+            return "out" if base == "in" else "in"
+        return base
+
+
+def spec_task(spec: EdgeMapSpec, name: str = "SpecTask") -> type:
+    """Build a Task class (with matching scalar callbacks) from a spec.
+
+    The generated class runs vectorized under the built-in iterators and
+    scalar when the engine is forced onto the general path — with identical
+    semantics, which the test suite exercises.
+    """
+
+    base = InNbrIterTask if spec.iter_kind == "in" else OutNbrIterTask
+
+    class _Generated(base):
+        SPEC = spec
+
+        def filter(self, ctx: TaskContext) -> bool:
+            if spec.active is None:
+                return True
+            return bool(ctx.get_local(ctx.node_id(), spec.active))
+
+        if spec.direction == "pull":
+
+            def run(self, ctx: TaskContext) -> None:
+                if spec.use_weights:
+                    # Stash the (local) edge weight for the continuation.
+                    ctx.read_remote(ctx.nbr_id(), spec.source, tag=ctx.edge_weight())
+                else:
+                    ctx.read_remote(ctx.nbr_id(), spec.source)
+
+            def read_done(self, ctx: TaskContext, value, tag=None) -> None:
+                w = np.asarray([tag if tag is not None else 0.0])
+                val = spec.apply_transform(np.asarray([value]),
+                                           w if spec.use_weights else None)[0]
+                cur = ctx.get_local(ctx.node_id(), spec.target)
+                ctx.set_local(ctx.node_id(), spec.op.scalar(cur, val), spec.target)
+
+        else:
+
+            def run(self, ctx: TaskContext) -> None:
+                raw = ctx.get_local(ctx.node_id(), spec.source)
+                w = np.asarray([ctx.edge_weight()])
+                val = spec.apply_transform(np.asarray([raw]),
+                                           w if spec.use_weights else None)[0]
+                ctx.write_remote(ctx.nbr_id(), spec.target, val, spec.op)
+
+        @classmethod
+        def edge_map_spec(cls) -> EdgeMapSpec:
+            return spec
+
+    _Generated.__name__ = name
+    _Generated.__qualname__ = name
+    return _Generated

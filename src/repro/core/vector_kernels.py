@@ -1,0 +1,266 @@
+"""Vectorized chunk executors — the scheduler's fast path for the built-in
+node/edge iterators (Section 4.1.2).
+
+Each function processes one chunk (a contiguous local-node range) with numpy,
+performing the *same* logical reads, writes, buffering and ghost routing as
+the scalar RTC path, and returns a :class:`WorkTally` describing the work so
+the CPU/DRAM model can price it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, TYPE_CHECKING
+
+import numpy as np
+
+from ..runtime.memory import cache_adjusted_locality
+from .tasks import EdgeMapSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .jobrunner import JobExecution
+    from .machine import Machine
+    from .task_manager import WorkerState
+
+#: Bytes of CSR metadata the worker streams per edge (neighbor id + resolved
+#: owner/offset/ghost-slot words).
+CSR_BYTES_PER_EDGE = 24.0
+#: Bytes per random property gather / scatter element.
+VALUE_BYTES = 8.0
+
+
+@dataclass
+class WorkTally:
+    """Counted work for one chunk, to be converted into simulated seconds."""
+
+    cpu_ops: float = 0.0
+    atomic_ops: float = 0.0
+    random_bytes: float = 0.0
+    seq_bytes: float = 0.0
+    tasks: int = 0
+    edges: int = 0
+
+    def add(self, other: "WorkTally") -> None:
+        self.cpu_ops += other.cpu_ops
+        self.atomic_ops += other.atomic_ops
+        self.random_bytes += other.random_bytes
+        self.seq_bytes += other.seq_bytes
+        self.tasks += other.tasks
+        self.edges += other.edges
+
+    def add_bytes(self, nbytes: float, locality: float) -> None:
+        """Account ``nbytes`` at an intermediate access locality by splitting
+        between the pure-random and streaming cost buckets."""
+        self.random_bytes += nbytes * (1.0 - locality)
+        self.seq_bytes += nbytes * locality
+
+
+#: Access localities of the engine's hot paths.  CSR neighbor lists are
+#: sorted, so property gathers along them prefetch well; scatters into a
+#: chunk's own rows stay cache-resident; copier-side request addresses are
+#: the least local (they interleave many remote requesters) — that is the
+#: Figure 8(a) random-read story.
+GATHER_LOCALITY = 0.6
+SCATTER_LOCALITY = 0.8
+PUSH_SRC_LOCALITY = 0.9
+PUSH_DST_LOCALITY = 0.35
+RESPONSE_APPLY_LOCALITY = 0.7
+COPIER_READ_LOCALITY = 0.3
+COPIER_WRITE_LOCALITY = 0.35
+
+
+def execute_edge_map_chunk(exc: "JobExecution", machine: "Machine",
+                           ws: "WorkerState", spec: EdgeMapSpec,
+                           lo: int, hi: int) -> WorkTally:
+    """Run the declarative edge-map kernel over local nodes [lo, hi)."""
+    cfg = machine.config.engine
+    csr = machine.csr(spec.iter_kind)
+    tally = WorkTally()
+
+    starts = csr.starts
+    es, ee = int(starts[lo]), int(starts[hi])
+    degrees = np.diff(starts[lo:hi + 1])
+    n_nodes = hi - lo
+    tally.cpu_ops += n_nodes * (cfg.task_dispatch_time / machine.machine_config.cpu_op_time)
+
+    # Vertex filter (deactivation): drop the edges of inactive rows but still
+    # pay the per-node filter check — this is exactly why framework overhead
+    # dominates many-iteration algorithms like KCore (Section 5.3.1).
+    if spec.active is not None:
+        act = machine.props[spec.active][lo:hi].astype(bool)
+        tally.tasks = int(act.sum())
+        if not act.all():
+            edge_mask = np.repeat(act, degrees)
+        else:
+            edge_mask = None
+    else:
+        act = None
+        tally.tasks = n_nodes
+        edge_mask = None
+
+    rows = np.repeat(np.arange(lo, hi, dtype=np.int64), degrees)
+    owners = csr.nbr_owner[es:ee]
+    offsets = csr.nbr_offset[es:ee]
+    gslots = csr.nbr_ghost_slot[es:ee]
+    edge_data = csr.edge_data(spec.edge_prop) if spec.use_weights else None
+    weights = edge_data[es:ee] if edge_data is not None else None
+    if edge_mask is not None:
+        rows = rows[edge_mask]
+        owners = owners[edge_mask]
+        offsets = offsets[edge_mask]
+        gslots = gslots[edge_mask]
+        if weights is not None:
+            weights = weights[edge_mask]
+
+    n_edges = len(rows)
+    tally.edges = n_edges
+    exc.stats.edges_processed += n_edges
+    tally.seq_bytes += n_edges * CSR_BYTES_PER_EDGE
+    tally.cpu_ops += n_edges * 2.0  # loop + transform arithmetic
+
+    is_local = owners == machine.index
+    if spec.direction == "pull":
+        ghost_ok = spec.source in exc.ghost_read_set
+    else:
+        ghost_ok = spec.target in exc.ghost_write_set
+    is_ghost = (~is_local) & (gslots >= 0) if ghost_ok else np.zeros(n_edges, dtype=bool)
+    is_remote = ~(is_local | is_ghost)
+
+    if spec.direction == "pull":
+        _pull(exc, machine, ws, spec, tally, rows, offsets, gslots, owners,
+              weights, is_local, is_ghost, is_remote)
+    else:
+        _push(exc, machine, ws, spec, tally, rows, offsets, gslots, owners,
+              weights, is_local, is_ghost, is_remote)
+    return tally
+
+
+def _pull(exc, machine, ws, spec, tally, rows, offsets, gslots, owners,
+          weights, is_local, is_ghost, is_remote) -> None:
+    """n.target op= f(t.source) over in-neighbors t.
+
+    The target node is always local and owned by this worker (all in-edges of
+    a node run on one worker), so the reduce uses plain stores — the very
+    reason pull-based PageRank beats push-based in Table 3.
+    """
+    target = machine.props[spec.target]
+
+    for mask, from_ghost in ((is_local, False), (is_ghost, True)):
+        if not mask.any():
+            continue
+        sel_rows = rows[mask]
+        if from_ghost:
+            vals = machine.ghosts.arrays[spec.source][gslots[mask]]
+            ws_bytes = machine.ghosts.num_ghosts * VALUE_BYTES
+        else:
+            vals = machine.props[spec.source][offsets[mask]]
+            ws_bytes = machine.n_local * VALUE_BYTES
+        w = weights[mask] if weights is not None else None
+        vals = spec.apply_transform(vals, w)
+        spec.op.apply_at(target, sel_rows, vals)
+        n = len(sel_rows)
+        exc.stats.local_reads += n
+        loc = cache_adjusted_locality(GATHER_LOCALITY, ws_bytes,
+                                      machine.machine_config)
+        tally.add_bytes(n * VALUE_BYTES, loc)
+        tally.add_bytes(n * VALUE_BYTES, SCATTER_LOCALITY)
+
+    if is_remote.any():
+        _pull_remote(exc, machine, ws, spec, tally,
+                     rows[is_remote], offsets[is_remote], owners[is_remote],
+                     weights[is_remote] if weights is not None else None)
+
+
+def _pull_remote(exc, machine, ws, spec, tally, rem_rows, rem_offsets,
+                 rem_owners, rem_weights) -> None:
+    order = np.argsort(rem_owners, kind="stable")
+    rem_owners = rem_owners[order]
+    rem_rows = rem_rows[order]
+    rem_offsets = rem_offsets[order]
+    if rem_weights is not None:
+        rem_weights = rem_weights[order]
+    bounds = np.searchsorted(rem_owners, np.arange(exc.num_machines + 1))
+    n = len(rem_rows)
+    exc.stats.remote_reads += n
+    tally.cpu_ops += n * (exc.marshal_per_item / exc.cpu_op_time)
+    tally.seq_bytes += n * 2 * VALUE_BYTES  # marshal into the buffer
+    for dst in range(exc.num_machines):
+        b0, b1 = bounds[dst], bounds[dst + 1]
+        if b1 <= b0:
+            continue
+        buf = ws.read_buf(dst, spec.source)
+        buf.append(rem_offsets[b0:b1], rem_rows[b0:b1],
+                   rem_weights[b0:b1] if rem_weights is not None else None)
+        ws.maybe_flush_reads(dst, spec.source)
+
+
+def _push(exc, machine, ws, spec, tally, rows, offsets, gslots, owners,
+          weights, is_local, is_ghost, is_remote) -> None:
+    """t.target op= f(n.source) over out-neighbors t."""
+    src_vals = machine.props[spec.source][rows]
+    src_vals = spec.apply_transform(src_vals, weights)
+    tally.add_bytes(len(rows) * VALUE_BYTES, PUSH_SRC_LOCALITY)
+
+    if is_local.any():
+        sel = is_local
+        n = int(sel.sum())
+        spec.op.apply_at(machine.props[spec.target], offsets[sel], src_vals[sel])
+        exc.stats.local_writes += n
+        # Multiple workers may hit the same local target: atomics (Section 5.2,
+        # the push-vs-pull performance gap).
+        tally.atomic_ops += n
+        exc.stats.atomic_ops += n
+        loc = cache_adjusted_locality(PUSH_DST_LOCALITY,
+                                      machine.n_local * VALUE_BYTES,
+                                      machine.machine_config)
+        tally.add_bytes(n * VALUE_BYTES, loc)
+
+    if is_ghost.any():
+        sel = is_ghost
+        n = int(sel.sum())
+        exc.stats.local_writes += n
+        if exc.privatize and spec.target in machine.ghosts.private:
+            col = machine.ghosts.private[spec.target][ws.windex]
+            spec.op.apply_at(col, gslots[sel], src_vals[sel])
+        else:
+            spec.op.apply_at(machine.ghosts.arrays[spec.target], gslots[sel],
+                             src_vals[sel])
+            tally.atomic_ops += n
+            exc.stats.atomic_ops += n
+        tally.add_bytes(n * VALUE_BYTES, PUSH_DST_LOCALITY)
+
+    if is_remote.any():
+        sel = is_remote
+        rem_owners = owners[sel]
+        rem_offsets = offsets[sel]
+        rem_vals = src_vals[sel]
+        order = np.argsort(rem_owners, kind="stable")
+        rem_owners = rem_owners[order]
+        rem_offsets = rem_offsets[order]
+        rem_vals = rem_vals[order]
+        bounds = np.searchsorted(rem_owners, np.arange(exc.num_machines + 1))
+        n = len(rem_offsets)
+        exc.stats.remote_writes += n
+        tally.cpu_ops += n * (exc.marshal_per_item / exc.cpu_op_time)
+        tally.seq_bytes += n * 2 * VALUE_BYTES
+        for dst in range(exc.num_machines):
+            b0, b1 = bounds[dst], bounds[dst + 1]
+            if b1 <= b0:
+                continue
+            buf = ws.write_buf(dst, spec.target, spec.op)
+            buf.append(rem_offsets[b0:b1], rem_vals[b0:b1])
+            ws.maybe_flush_writes(dst, spec.target)
+
+
+def execute_node_kernel_chunk(exc: "JobExecution", machine: "Machine",
+                              kernel, ops_per_node: float,
+                              bytes_per_node: float, lo: int, hi: int) -> WorkTally:
+    """Run a local node kernel over [lo, hi) of this machine's range."""
+    from .engine import LocalView  # local import to avoid a cycle
+
+    view = LocalView(machine)
+    kernel(view, lo, hi)
+    n = hi - lo
+    exc.stats.tasks_executed += n
+    return WorkTally(cpu_ops=n * ops_per_node, random_bytes=0.0,
+                     seq_bytes=n * bytes_per_node, tasks=n, edges=0)

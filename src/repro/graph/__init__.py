@@ -1,0 +1,22 @@
+"""Graph substrate: CSR structures, partitioning, generators, chunking, I/O."""
+
+from .chunking import chunk_edge_counts, edge_chunks, make_chunks, node_chunks
+from .csr import Graph, from_edges, from_networkx
+from .generators import (DEFAULT_SCALE, PAPER_GRAPHS, GraphSpec, grid_graph,
+                         paper_graph, rmat, uniform_random,
+                         with_uniform_weights)
+from .io import (binary_size_bytes, load_binary, load_edge_list, save_binary,
+                 save_edge_list, text_size_bytes)
+from .partition import (Partitioning, decode_global_id, edge_partition,
+                        encode_global_id, make_partitioning, vertex_partition)
+
+__all__ = [
+    "Graph", "from_edges", "from_networkx",
+    "Partitioning", "edge_partition", "vertex_partition", "make_partitioning",
+    "encode_global_id", "decode_global_id",
+    "rmat", "uniform_random", "grid_graph", "paper_graph",
+    "with_uniform_weights", "GraphSpec", "PAPER_GRAPHS", "DEFAULT_SCALE",
+    "node_chunks", "edge_chunks", "make_chunks", "chunk_edge_counts",
+    "load_edge_list", "save_edge_list", "load_binary", "save_binary",
+    "binary_size_bytes", "text_size_bytes",
+]

@@ -1,0 +1,185 @@
+"""Compressed Sparse Row graph representation (paper Section 3.3).
+
+The whole-graph :class:`Graph` holds the CSR (out-edges) and reverse CSR
+(in-edges) in numpy arrays, exactly the layout PGX.D and the standalone
+baseline share.  Vertices are assumed to be renumbered 0..N-1 by a
+preprocessing step, as the paper does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+import numpy as np
+
+
+@dataclass
+class Graph:
+    """Directed graph in CSR + reverse-CSR form.
+
+    Attributes:
+        num_nodes: vertex count N (vertices are 0..N-1).
+        out_starts: int64[N+1] row pointers for out-edges.
+        out_nbrs:   int64[M] destination of each out-edge, sorted per row.
+        in_starts:  int64[N+1] row pointers for in-edges.
+        in_nbrs:    int64[M] source of each in-edge, sorted per row.
+        in_edge_index: int64[M] mapping each in-edge back to the out-edge
+            array position, so edge properties stored in out-edge order can
+            be read during in-neighbor iteration.
+        edge_weights: optional float64[M] in out-edge order.
+    """
+
+    num_nodes: int
+    out_starts: np.ndarray
+    out_nbrs: np.ndarray
+    in_starts: np.ndarray
+    in_nbrs: np.ndarray
+    in_edge_index: np.ndarray
+    edge_weights: Optional[np.ndarray] = None
+    #: named O(E) edge properties in out-edge order (paper Section 3.3:
+    #: "each node/edge property is represented as an O(N)/O(E)-sized array")
+    edge_props: Optional[dict] = None
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.out_nbrs.shape[0])
+
+    # -- edge properties ------------------------------------------------------
+
+    def add_edge_property(self, name: str, values) -> np.ndarray:
+        """Attach a named O(E) edge property (values in out-edge order)."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != (self.num_edges,):
+            raise ValueError(f"edge property {name!r} needs {self.num_edges} "
+                             f"values, got {values.shape}")
+        if self.edge_props is None:
+            self.edge_props = {}
+        if name in self.edge_props:
+            raise KeyError(f"edge property {name!r} already exists")
+        self.edge_props[name] = values
+        return values
+
+    def edge_property(self, name: str) -> np.ndarray:
+        if not self.edge_props or name not in self.edge_props:
+            raise KeyError(f"no edge property {name!r}")
+        return self.edge_props[name]
+
+    # -- degree queries ------------------------------------------------------
+
+    def out_degrees(self) -> np.ndarray:
+        return np.diff(self.out_starts)
+
+    def in_degrees(self) -> np.ndarray:
+        return np.diff(self.in_starts)
+
+    def total_degrees(self) -> np.ndarray:
+        """in-degree + out-degree per node (edge partitioning's balance key)."""
+        return self.out_degrees() + self.in_degrees()
+
+    def out_neighbors(self, v: int) -> np.ndarray:
+        return self.out_nbrs[self.out_starts[v]:self.out_starts[v + 1]]
+
+    def in_neighbors(self, v: int) -> np.ndarray:
+        return self.in_nbrs[self.in_starts[v]:self.in_starts[v + 1]]
+
+    # -- conversions ---------------------------------------------------------
+
+    def edge_list(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return (src, dst) arrays in out-edge order."""
+        src = np.repeat(np.arange(self.num_nodes, dtype=np.int64), self.out_degrees())
+        return src, self.out_nbrs.copy()
+
+    def to_networkx(self):
+        """Export to a networkx.DiGraph (validation only; small graphs)."""
+        import networkx as nx
+
+        g = nx.DiGraph()
+        g.add_nodes_from(range(self.num_nodes))
+        src, dst = self.edge_list()
+        if self.edge_weights is not None:
+            g.add_weighted_edges_from(zip(src.tolist(), dst.tolist(),
+                                          self.edge_weights.tolist()))
+        else:
+            g.add_edges_from(zip(src.tolist(), dst.tolist()))
+        return g
+
+
+def from_edges(src: Iterable[int], dst: Iterable[int], num_nodes: Optional[int] = None,
+               weights: Optional[Iterable[float]] = None,
+               dedup: bool = False) -> Graph:
+    """Build a :class:`Graph` from parallel (src, dst) sequences.
+
+    ``dedup`` drops duplicate (src, dst) pairs (keeping the first weight).
+    Self-loops are kept; vertex ids must be non-negative.
+    """
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    if src.shape != dst.shape:
+        raise ValueError("src and dst must have the same length")
+    w = None if weights is None else np.asarray(weights, dtype=np.float64)
+    if w is not None and w.shape != src.shape:
+        raise ValueError("weights must match edge count")
+    if src.size and (src.min() < 0 or dst.min() < 0):
+        raise ValueError("vertex ids must be non-negative")
+
+    if num_nodes is None:
+        num_nodes = int(max(src.max(initial=-1), dst.max(initial=-1)) + 1)
+    elif src.size and int(max(src.max(), dst.max())) >= num_nodes:
+        raise ValueError("edge endpoint exceeds num_nodes")
+
+    if dedup and src.size:
+        keys = src * np.int64(num_nodes) + dst
+        _, keep = np.unique(keys, return_index=True)
+        keep.sort()
+        src, dst = src[keep], dst[keep]
+        if w is not None:
+            w = w[keep]
+
+    # Sort by (src, dst) -> CSR out-edge order.
+    order = np.lexsort((dst, src))
+    src_s, dst_s = src[order], dst[order]
+    w_s = None if w is None else w[order]
+
+    out_starts = np.zeros(num_nodes + 1, dtype=np.int64)
+    np.add.at(out_starts, src_s + 1, 1)
+    np.cumsum(out_starts, out=out_starts)
+
+    # Reverse CSR: sort edge positions by (dst, src).
+    rorder = np.lexsort((src_s, dst_s))
+    in_starts = np.zeros(num_nodes + 1, dtype=np.int64)
+    np.add.at(in_starts, dst_s + 1, 1)
+    np.cumsum(in_starts, out=in_starts)
+
+    return Graph(
+        num_nodes=num_nodes,
+        out_starts=out_starts,
+        out_nbrs=dst_s,
+        in_starts=in_starts,
+        in_nbrs=src_s[rorder],
+        in_edge_index=rorder.astype(np.int64),
+        edge_weights=w_s,
+    )
+
+
+def from_networkx(g) -> Graph:
+    """Import a networkx.DiGraph/Graph (undirected edges are doubled)."""
+    import networkx as nx
+
+    if not g.is_directed():
+        g = g.to_directed()
+    nodes = sorted(g.nodes())
+    if nodes != list(range(len(nodes))):
+        mapping = {v: i for i, v in enumerate(nodes)}
+        g = nx.relabel_nodes(g, mapping)
+    src, dst, wts = [], [], []
+    weighted = True
+    for u, v, data in g.edges(data=True):
+        src.append(u)
+        dst.append(v)
+        if "weight" in data:
+            wts.append(float(data["weight"]))
+        else:
+            weighted = False
+    return from_edges(src, dst, num_nodes=g.number_of_nodes(),
+                      weights=wts if weighted and wts else None)

@@ -1,0 +1,155 @@
+"""Synthetic graph generators standing in for the paper's datasets.
+
+The paper evaluates on Twitter (TWT: 41.6M nodes / 1.47B edges), Web-UK
+(WEB: 77.7M / 2.97B), LiveJournal (LJ: 4.8M / 69M) and Wikipedia (WIK:
+15.2M / 130M).  Those exact datasets are large downloads we cannot fetch, so
+``paper_graph()`` produces seeded RMAT instances with the same average degree
+and comparable degree skew at a configurable scale factor (default 1/1000).
+Figure 4's uniform-random instance is an exact Erdős–Rényi match by
+construction (40M nodes / 1.4B edges at scale).
+
+All generators are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .csr import Graph, from_edges
+
+#: Default scale factor applied to the paper's graph sizes.
+DEFAULT_SCALE = 1.0 / 1000.0
+
+
+def rmat(num_nodes: int, num_edges: int, a: float = 0.57, b: float = 0.19,
+         c: float = 0.19, seed: int = 0, dedup: bool = False) -> Graph:
+    """Recursive-matrix (R-MAT) power-law graph.
+
+    Quadrant probabilities (a, b, c, d=1-a-b-c) control skew; the defaults
+    give a Twitter-like heavy-tailed degree distribution.  Endpoints are
+    drawn in a 2^ceil(log2 n) space and rejected when out of range, so the
+    skew survives for non-power-of-two ``num_nodes``.
+    """
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) < 0:
+        raise ValueError("quadrant probabilities must be non-negative")
+    if num_nodes <= 0:
+        raise ValueError("num_nodes must be positive")
+    levels = max(1, int(np.ceil(np.log2(max(2, num_nodes)))))
+    rng = np.random.default_rng(seed)
+
+    srcs: list[np.ndarray] = []
+    dsts: list[np.ndarray] = []
+    need = num_edges
+    while need > 0:
+        batch = int(need * 1.3) + 16
+        src = np.zeros(batch, dtype=np.int64)
+        dst = np.zeros(batch, dtype=np.int64)
+        for _ in range(levels):
+            r = rng.random(batch)
+            right = (r >= a) & (r < a + b) | (r >= a + b + c)  # quadrants b, d
+            down = r >= a + b  # quadrants c, d
+            src = (src << 1) | down
+            dst = (dst << 1) | right
+        ok = (src < num_nodes) & (dst < num_nodes)
+        src, dst = src[ok], dst[ok]
+        take = min(need, src.size)
+        srcs.append(src[:take])
+        dsts.append(dst[:take])
+        need -= take
+    return from_edges(np.concatenate(srcs), np.concatenate(dsts),
+                      num_nodes=num_nodes, dedup=dedup)
+
+
+def uniform_random(num_nodes: int, num_edges: int, seed: int = 0) -> Graph:
+    """Erdős–Rényi-style graph with a fixed edge count (Figure 4's workload).
+
+    Every endpoint is uniform, so for P machines (P-1)/P of all edges cross
+    machine boundaries no matter how the graph is partitioned — the paper's
+    worst-case communication stress test.
+    """
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, num_nodes, size=num_edges, dtype=np.int64)
+    dst = rng.integers(0, num_nodes, size=num_edges, dtype=np.int64)
+    return from_edges(src, dst, num_nodes=num_nodes)
+
+
+def grid_graph(rows: int, cols: int, bidirectional: bool = True) -> Graph:
+    """Rectangular grid (road-network-like workload for the examples)."""
+    ids = np.arange(rows * cols, dtype=np.int64).reshape(rows, cols)
+    src_parts, dst_parts = [], []
+    # horizontal edges
+    src_parts.append(ids[:, :-1].ravel())
+    dst_parts.append(ids[:, 1:].ravel())
+    # vertical edges
+    src_parts.append(ids[:-1, :].ravel())
+    dst_parts.append(ids[1:, :].ravel())
+    src = np.concatenate(src_parts)
+    dst = np.concatenate(dst_parts)
+    if bidirectional:
+        src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
+    return from_edges(src, dst, num_nodes=rows * cols)
+
+
+def with_uniform_weights(graph: Graph, low: float = 0.0, high: float = 1.0,
+                         seed: int = 0) -> Graph:
+    """Attach uniformly random edge weights (the paper's SSSP setup)."""
+    rng = np.random.default_rng(seed)
+    graph.edge_weights = rng.uniform(low, high, size=graph.num_edges)
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# Paper dataset stand-ins
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GraphSpec:
+    """Size and character of one of the paper's datasets (Table 4)."""
+
+    name: str
+    paper_nodes: int
+    paper_edges: int
+    #: RMAT 'a' quadrant probability: higher = more skew.
+    skew_a: float
+    seed: int
+
+
+PAPER_GRAPHS: dict[str, GraphSpec] = {
+    # Twitter follower graph: extreme skew (celebrities).
+    "TWT": GraphSpec("TWT", 41_652_230, 1_468_365_182, skew_a=0.57, seed=41),
+    # Web-UK link graph: skewed but with more locality than Twitter.
+    "WEB": GraphSpec("WEB", 77_741_046, 2_965_197_340, skew_a=0.52, seed=42),
+    # LiveJournal social network.
+    "LJ": GraphSpec("LJ", 4_847_571, 68_993_773, skew_a=0.55, seed=43),
+    # Wikipedia hyperlinks.
+    "WIK": GraphSpec("WIK", 15_172_740, 130_166_252, skew_a=0.54, seed=44),
+    # Figure 4's uniform-random instance ("similar in size with TWT").
+    "UNI": GraphSpec("UNI", 40_000_000, 1_400_000_000, skew_a=-1.0, seed=45),
+}
+
+
+def paper_graph(name: str, scale: float = DEFAULT_SCALE,
+                weighted: bool = False) -> Graph:
+    """Generate the scaled stand-in for one of the paper's datasets.
+
+    ``scale`` multiplies both the node and edge counts, preserving the
+    average degree.  ``weighted`` attaches the uniform edge weights used for
+    SSSP.
+    """
+    spec = PAPER_GRAPHS.get(name)
+    if spec is None:
+        raise KeyError(f"unknown paper graph {name!r}; choose from {sorted(PAPER_GRAPHS)}")
+    n = max(16, int(round(spec.paper_nodes * scale)))
+    m = max(32, int(round(spec.paper_edges * scale)))
+    if spec.skew_a < 0:
+        g = uniform_random(n, m, seed=spec.seed)
+    else:
+        b = c = (1.0 - spec.skew_a) / 2.0 * 0.85
+        g = rmat(n, m, a=spec.skew_a, b=b, c=c, seed=spec.seed)
+    if weighted:
+        with_uniform_weights(g, seed=spec.seed + 1000)
+    return g

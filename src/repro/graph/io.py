@@ -1,0 +1,115 @@
+"""Graph file formats and loaders.
+
+Two formats mirror the Table 4 setup:
+
+* **text edge list** — one ``src dst [weight]`` pair per line, the format
+  GraphLab and GraphX load from;
+* **binary** — a small header plus raw little-endian int64/float64 arrays,
+  the fast format PGX.D loads from.
+
+The functional loaders really parse files (used by tests and examples); the
+*loading-time model* that reproduces Table 4's seconds lives in
+``repro.bench.calibration`` because it is a measurement artifact, not a
+mechanism.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from .csr import Graph, from_edges
+
+_MAGIC = b"PGXDREPR"
+_VERSION = 1
+
+
+def save_edge_list(graph: Graph, path: Union[str, Path]) -> None:
+    """Write the text edge-list format (with weights when present)."""
+    src, dst = graph.edge_list()
+    path = Path(path)
+    with path.open("w") as fh:
+        fh.write(f"# nodes {graph.num_nodes}\n")
+        if graph.edge_weights is not None:
+            for s, d, w in zip(src.tolist(), dst.tolist(), graph.edge_weights.tolist()):
+                fh.write(f"{s} {d} {w:.9g}\n")
+        else:
+            for s, d in zip(src.tolist(), dst.tolist()):
+                fh.write(f"{s} {d}\n")
+
+
+def load_edge_list(path: Union[str, Path], num_nodes: Optional[int] = None) -> Graph:
+    """Parse the text edge-list format.  Lines starting with ``#`` are
+    comments; a ``# nodes N`` header pins the vertex count."""
+    src: list[int] = []
+    dst: list[int] = []
+    wts: list[float] = []
+    header_nodes: Optional[int] = None
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                parts = line[1:].split()
+                if len(parts) == 2 and parts[0] == "nodes":
+                    header_nodes = int(parts[1])
+                continue
+            parts = line.split()
+            src.append(int(parts[0]))
+            dst.append(int(parts[1]))
+            if len(parts) >= 3:
+                wts.append(float(parts[2]))
+    n = num_nodes if num_nodes is not None else header_nodes
+    weights = wts if len(wts) == len(src) and wts else None
+    return from_edges(src, dst, num_nodes=n, weights=weights)
+
+
+def save_binary(graph: Graph, path: Union[str, Path]) -> None:
+    """Write the binary format: magic, version, N, M, weighted flag, then the
+    raw out-CSR arrays (row pointers + neighbor ids + optional weights)."""
+    path = Path(path)
+    with path.open("wb") as fh:
+        weighted = graph.edge_weights is not None
+        fh.write(_MAGIC)
+        fh.write(struct.pack("<IIqq", _VERSION, int(weighted),
+                             graph.num_nodes, graph.num_edges))
+        fh.write(graph.out_starts.astype("<i8").tobytes())
+        fh.write(graph.out_nbrs.astype("<i8").tobytes())
+        if weighted:
+            fh.write(graph.edge_weights.astype("<f8").tobytes())
+
+
+def load_binary(path: Union[str, Path]) -> Graph:
+    """Read the binary format back into a :class:`Graph` (reverse CSR is
+    rebuilt, matching the paper's load-time construction of both directions)."""
+    path = Path(path)
+    with path.open("rb") as fh:
+        magic = fh.read(len(_MAGIC))
+        if magic != _MAGIC:
+            raise ValueError(f"{path} is not a PGX.D-repro binary graph")
+        version, weighted, n, m = struct.unpack("<IIqq", fh.read(24))
+        if version != _VERSION:
+            raise ValueError(f"unsupported binary version {version}")
+        out_starts = np.frombuffer(fh.read(8 * (n + 1)), dtype="<i8").astype(np.int64)
+        out_nbrs = np.frombuffer(fh.read(8 * m), dtype="<i8").astype(np.int64)
+        weights = None
+        if weighted:
+            weights = np.frombuffer(fh.read(8 * m), dtype="<f8").astype(np.float64)
+    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(out_starts))
+    return from_edges(src, out_nbrs, num_nodes=n, weights=weights)
+
+
+def binary_size_bytes(num_nodes: int, num_edges: int, weighted: bool = False) -> int:
+    """On-disk size of the binary format (used by the loading-time model)."""
+    return (len(_MAGIC) + 24 + 8 * (num_nodes + 1)
+            + 8 * num_edges + (8 * num_edges if weighted else 0))
+
+
+def text_size_bytes(num_edges: int, weighted: bool = False) -> int:
+    """Approximate on-disk size of the text format: ~16 bytes per unweighted
+    edge line, ~28 with a weight column (used by the loading-time model)."""
+    return num_edges * (28 if weighted else 16)

@@ -1,0 +1,128 @@
+"""Graph statistics: degree distributions, skew, partition diagnostics.
+
+The quantities the paper's analysis leans on — degree skew (drives ghost
+selection and edge partitioning), crossing-edge fractions (drives traffic),
+and partition balance (drives Figure 6(b)) — computed once here and reused
+by the CLI, the benchmarks and the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .csr import Graph
+from .partition import Partitioning
+
+
+@dataclass(frozen=True)
+class DegreeStats:
+    """Summary of one degree distribution."""
+
+    mean: float
+    median: float
+    p99: float
+    maximum: int
+    #: Gini coefficient in [0, 1): 0 = perfectly uniform, ->1 = all edges
+    #: on one vertex.  A robust scalar for "how skewed is this graph".
+    gini: float
+    #: fraction of all edges held by the top 1% of vertices
+    top1pct_share: float
+
+
+def degree_stats(degrees: np.ndarray) -> DegreeStats:
+    degrees = np.asarray(degrees, dtype=np.float64)
+    if degrees.size == 0:
+        return DegreeStats(0.0, 0.0, 0.0, 0, 0.0, 0.0)
+    total = degrees.sum()
+    srt = np.sort(degrees)
+    n = len(srt)
+    if total > 0:
+        cum = np.cumsum(srt)
+        gini = float(1.0 - 2.0 * (cum.sum() / (n * total)) + 1.0 / n)
+        k = max(1, n // 100)
+        top_share = float(srt[-k:].sum() / total)
+    else:
+        gini, top_share = 0.0, 0.0
+    return DegreeStats(
+        mean=float(degrees.mean()),
+        median=float(np.median(degrees)),
+        p99=float(np.percentile(degrees, 99)),
+        maximum=int(degrees.max()),
+        gini=gini,
+        top1pct_share=top_share,
+    )
+
+
+def degree_histogram(degrees: np.ndarray, bins: int = 20) -> list[tuple[int, int, int]]:
+    """Log-spaced (lo, hi, count) histogram of a degree distribution."""
+    degrees = np.asarray(degrees)
+    if degrees.size == 0 or degrees.max() == 0:
+        return [(0, 0, int(degrees.size))]
+    edges = np.unique(np.logspace(0, np.log10(degrees.max() + 1),
+                                  bins).astype(np.int64))
+    edges = np.concatenate(([0], edges))
+    counts, _ = np.histogram(degrees, bins=np.append(edges, edges[-1] + 1))
+    return [(int(edges[i]), int(edges[i + 1]) if i + 1 < len(edges)
+             else int(edges[-1]) + 1, int(c))
+            for i, c in enumerate(counts) if c > 0]
+
+
+@dataclass(frozen=True)
+class PartitionStats:
+    """How well a partitioning treats a particular graph."""
+
+    #: per-machine (in+out degree) loads
+    loads: tuple
+    #: max load / mean load (1.0 = perfect balance)
+    imbalance: float
+    #: fraction of edges whose endpoints live on different machines
+    crossing_fraction: float
+
+
+def partition_stats(graph: Graph, partitioning: Partitioning) -> PartitionStats:
+    td = graph.total_degrees()
+    loads = tuple(float(td[partitioning.starts[m]:partitioning.starts[m + 1]].sum())
+                  for m in range(partitioning.num_machines))
+    mean = np.mean(loads) if loads else 0.0
+    imbalance = float(max(loads) / mean) if mean > 0 else 1.0
+    src, dst = graph.edge_list()
+    if len(src):
+        crossing = float((partitioning.owners(src)
+                          != partitioning.owners(dst)).mean())
+    else:
+        crossing = 0.0
+    return PartitionStats(loads=loads, imbalance=imbalance,
+                          crossing_fraction=crossing)
+
+
+def effective_diameter_estimate(graph: Graph, samples: int = 16,
+                                seed: int = 0) -> float:
+    """90th-percentile BFS eccentricity over sampled sources (ignoring
+    unreachable vertices) — the paper-adjacent 'small world or not' scalar
+    separating social graphs from road networks."""
+    rng = np.random.default_rng(seed)
+    n = graph.num_nodes
+    if n == 0:
+        return 0.0
+    sources = rng.choice(n, size=min(samples, n), replace=False)
+    eccs = []
+    for s in sources:
+        dist = np.full(n, -1, dtype=np.int64)
+        dist[s] = 0
+        frontier = np.array([s], dtype=np.int64)
+        level = 0
+        while len(frontier):
+            level += 1
+            nxt = []
+            for v in frontier:
+                nbrs = graph.out_neighbors(int(v))
+                fresh = nbrs[dist[nbrs] < 0]
+                dist[fresh] = level
+                nxt.append(fresh)
+            frontier = np.unique(np.concatenate(nxt)) if nxt else np.empty(0, dtype=np.int64)
+        reached = dist[dist >= 0]
+        if len(reached) > 1:
+            eccs.append(int(reached.max()))
+    return float(np.percentile(eccs, 90)) if eccs else 0.0

@@ -1,0 +1,185 @@
+"""Simple SQL-like operators over node properties (paper Section 6.1).
+
+The paper argues that "simple SQL operators can be implemented directly on
+top of PGX.D for the convenience of post processing — e.g., find the top-100
+Pagerank nodes that have less than 1000 neighbors."  This module provides
+exactly that layer: filter / order-by / limit / aggregate over the
+distributed property columns, executed machine-local with a merge step on
+the driver (and costed as such on the simulated clock).
+
+Example::
+
+    q = (PropertyQuery(cluster, dg)
+         .where("out_degree", "<", 1000)
+         .order_by("pr", descending=True)
+         .limit(100))
+    for node_id, row in q.execute():
+        ...
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+import numpy as np
+
+from .core.engine import DistributedGraph, PgxdCluster
+from .core.properties import ReduceOp
+
+_OPS = {
+    "<": operator.lt, "<=": operator.le, ">": operator.gt,
+    ">=": operator.ge, "==": operator.eq, "!=": operator.ne,
+}
+
+
+@dataclass
+class _Filter:
+    prop: str
+    op: str
+    value: float
+
+
+class PropertyQuery:
+    """A small scan-filter-sort-limit pipeline over node properties.
+
+    Executes as the paper's server would: each machine scans and filters its
+    local columns (and pre-selects its own top-k when a limit is present),
+    then the driver merges the per-machine candidates — so the merged data
+    volume is O(P * k), not O(N).
+    """
+
+    def __init__(self, cluster: PgxdCluster, dgraph: DistributedGraph):
+        self.cluster = cluster
+        self.dgraph = dgraph
+        self._filters: list[_Filter] = []
+        self._order_prop: Optional[str] = None
+        self._descending = True
+        self._limit: Optional[int] = None
+        self._select: Optional[list[str]] = None
+
+    # -- builders -------------------------------------------------------------
+
+    def select(self, *props: str) -> "PropertyQuery":
+        """Choose the properties returned per node (default: all used ones)."""
+        self._select = list(props)
+        return self
+
+    def where(self, prop: str, op: str, value: float) -> "PropertyQuery":
+        if op not in _OPS:
+            raise ValueError(f"unsupported operator {op!r}; "
+                             f"choose from {sorted(_OPS)}")
+        self._filters.append(_Filter(prop, op, value))
+        return self
+
+    def order_by(self, prop: str, descending: bool = True) -> "PropertyQuery":
+        self._order_prop = prop
+        self._descending = descending
+        return self
+
+    def limit(self, k: int) -> "PropertyQuery":
+        if k <= 0:
+            raise ValueError("limit must be positive")
+        self._limit = k
+        return self
+
+    # -- execution ---------------------------------------------------------------
+
+    def _used_props(self) -> list[str]:
+        used = [f.prop for f in self._filters]
+        if self._order_prop:
+            used.append(self._order_prop)
+        if self._select:
+            used.extend(self._select)
+        seen: list[str] = []
+        for p in used:
+            if p not in seen:
+                seen.append(p)
+        return seen
+
+    def execute(self) -> list[tuple[int, dict[str, float]]]:
+        """Run the query; returns (global node id, {prop: value}) rows."""
+        props = self._used_props()
+        if not props:
+            raise ValueError("query references no properties")
+        out_props = self._select or props
+
+        candidates: list[tuple[np.ndarray, dict[str, np.ndarray]]] = []
+        scanned_bytes = 0.0
+        for m in self.dgraph.machines:
+            mask = np.ones(m.n_local, dtype=bool)
+            for f in self._filters:
+                mask &= _OPS[f.op](m.props[f.prop], f.value)
+            idx = np.flatnonzero(mask)
+            scanned_bytes += m.n_local * 8.0 * max(1, len(self._filters))
+            if self._order_prop is not None and self._limit is not None \
+                    and len(idx) > self._limit:
+                # Machine-local top-k before shipping to the driver.
+                keys = m.props[self._order_prop][idx]
+                top = np.argsort(keys)
+                top = top[::-1][:self._limit] if self._descending \
+                    else top[:self._limit]
+                idx = idx[top]
+            rows = {p: m.props[p][idx].copy() for p in out_props}
+            if self._order_prop is not None and self._order_prop not in rows:
+                rows[self._order_prop] = m.props[self._order_prop][idx].copy()
+            candidates.append((idx + m.lo, rows))
+
+        # Driver-side merge: scan cost + a gather of O(P * k) candidates.
+        merge_rows = sum(len(ids) for ids, _ in candidates)
+        self.cluster.advance(scanned_bytes / 30e9
+                             + merge_rows * 50e-9 + 2e-6)
+
+        ids = np.concatenate([ids for ids, _ in candidates]) \
+            if candidates else np.empty(0, dtype=np.int64)
+        merged = {p: np.concatenate([rows[p] for _, rows in candidates])
+                  for p in (candidates[0][1] if candidates else {})}
+        if self._order_prop is not None:
+            order = np.argsort(merged[self._order_prop], kind="stable")
+            if self._descending:
+                order = order[::-1]
+            ids = ids[order]
+            merged = {p: v[order] for p, v in merged.items()}
+        if self._limit is not None:
+            ids = ids[:self._limit]
+            merged = {p: v[:self._limit] for p, v in merged.items()}
+        return [(int(v), {p: merged[p][i] for p in out_props})
+                for i, v in enumerate(ids)]
+
+    # -- aggregates --------------------------------------------------------------
+
+    def count(self) -> int:
+        """Number of nodes passing the filters (distributed count + reduce)."""
+        def local_count(m) -> int:
+            mask = np.ones(m.n_local, dtype=bool)
+            for f in self._filters:
+                mask &= _OPS[f.op](m.props[f.prop], f.value)
+            return int(mask.sum())
+
+        counts = [local_count(m) for m in self.dgraph.machines]
+        return int(self.cluster.all_reduce(counts, ReduceOp.SUM))
+
+    def aggregate(self, prop: str, how: str = "sum") -> float:
+        """SUM/MIN/MAX/AVG of ``prop`` over the filtered nodes."""
+        ops = {"sum": ReduceOp.SUM, "min": ReduceOp.MIN, "max": ReduceOp.MAX}
+        if how == "avg":
+            total = self.aggregate(prop, "sum")
+            n = self.count()
+            return total / n if n else float("nan")
+        if how not in ops:
+            raise ValueError(f"unsupported aggregate {how!r}")
+
+        def local(m):
+            mask = np.ones(m.n_local, dtype=bool)
+            for f in self._filters:
+                mask &= _OPS[f.op](m.props[f.prop], f.value)
+            vals = m.props[prop][mask]
+            if len(vals) == 0:
+                return ops[how].bottom(np.float64)
+            if how == "sum":
+                return float(vals.sum())
+            return float(vals.min() if how == "min" else vals.max())
+
+        parts = [local(m) for m in self.dgraph.machines]
+        return float(self.cluster.all_reduce(parts, ops[how]))

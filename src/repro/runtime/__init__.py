@@ -1,0 +1,33 @@
+"""Discrete-event simulation substrate for the PGX.D reproduction.
+
+Provides the deterministic event loop (:mod:`.simulator`), the interconnect
+model (:mod:`.network`), the DRAM/CPU cost models (:mod:`.memory`,
+:mod:`.cpu`), execution statistics (:mod:`.stats`) and the calibrated
+hardware constants (:mod:`.config`).
+"""
+
+from .config import ClusterConfig, EngineConfig, MachineConfig, NetworkConfig
+from .cpu import MachineCpu
+from .memory import DramModel
+from .network import Network, NetworkStats
+from .simulator import Event, Get, Process, Simulator, Store, Timeout
+from .stats import Breakdown, JobStats
+
+__all__ = [
+    "ClusterConfig",
+    "EngineConfig",
+    "MachineConfig",
+    "NetworkConfig",
+    "MachineCpu",
+    "DramModel",
+    "Network",
+    "NetworkStats",
+    "Event",
+    "Get",
+    "Process",
+    "Simulator",
+    "Store",
+    "Timeout",
+    "Breakdown",
+    "JobStats",
+]

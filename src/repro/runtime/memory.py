@@ -1,0 +1,74 @@
+"""DRAM bandwidth model.
+
+The paper's central hardware argument (Section 5.3.4, Figure 8(a)) is that
+*random* 8-byte DRAM accesses extract only a fraction of peak bandwidth, and
+that fraction grows with the number of concurrently issuing threads — hence
+"beefy" many-core machines.  We model aggregate random-access bandwidth with
+a saturating curve
+
+    B(t) = B_max * t / (t + t_half)
+
+so one thread obtains ``B_max / (1 + t_half)`` and many threads approach
+``B_max``.  A thread among ``t`` active issuers achieves ``B(t) / t``.
+
+Kernels with partial locality (CSR scans of sorted neighbor lists) declare an
+access-pattern ``locality`` in [0, 1] interpolating between pure random
+(0.0) and streaming (1.0) cost per byte.
+"""
+
+from __future__ import annotations
+
+from .config import MachineConfig
+
+
+class DramModel:
+    """Per-machine DRAM cost model."""
+
+    def __init__(self, config: MachineConfig):
+        self._cfg = config
+
+    def aggregate_random_bw(self, threads: int) -> float:
+        """Total random-access bandwidth (bytes/s) with ``threads`` issuers."""
+        if threads <= 0:
+            return 0.0
+        t = float(threads)
+        return self._cfg.dram_random_bw * t / (t + self._cfg.dram_half_threads)
+
+    def per_thread_random_bw(self, active_threads: int) -> float:
+        """Bandwidth one thread achieves when ``active_threads`` are issuing."""
+        n = max(1, active_threads)
+        return self.aggregate_random_bw(n) / n
+
+    def access_time(self, nbytes: float, active_threads: int, locality: float = 0.0) -> float:
+        """Seconds one thread spends moving ``nbytes``.
+
+        ``locality`` interpolates the per-byte cost between the thread's
+        random-access share (0.0) and its share of streaming bandwidth (1.0).
+        """
+        if nbytes <= 0:
+            return 0.0
+        if not 0.0 <= locality <= 1.0:
+            raise ValueError(f"locality must be in [0,1], got {locality}")
+        n = max(1, active_threads)
+        random_bw = self.aggregate_random_bw(n) / n
+        seq_bw = self._cfg.dram_seq_bw / n
+        # Interpolate *cost* (inverse bandwidth) so locality=0.5 lands between
+        # the two regimes on a harmonic, not arithmetic, scale.
+        cost_per_byte = (1.0 - locality) / random_bw + locality / seq_bw
+        return nbytes * cost_per_byte
+
+
+def cache_adjusted_locality(base_locality: float, working_set_bytes: float,
+                            config: MachineConfig) -> float:
+    """Raise an access pattern's effective locality when its working set fits
+    (partially) in the last-level cache.
+
+    ``working_set_bytes`` is the size of the randomly-indexed target array.
+    The fraction that exceeds LLC capacity pays DRAM-random cost; the rest is
+    served at cache speed (modeled as streaming-rate accesses).
+    """
+    if working_set_bytes <= 0:
+        return base_locality
+    miss = max(working_set_bytes - config.llc_bytes, 0.0) / working_set_bytes
+    miss = max(miss, config.llc_miss_floor)
+    return 1.0 - (1.0 - base_locality) * miss

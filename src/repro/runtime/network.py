@@ -1,0 +1,126 @@
+"""Interconnect model: per-machine NICs, a poller server, and a switch.
+
+Matches the communication architecture of Section 3.4: every message leaves
+through its machine's single *poller* thread (a serial server), serializes
+onto the NIC transmit port at link bandwidth plus a fixed per-message
+overhead, crosses the switch with a small latency, serializes into the
+destination's receive port, and is handed off by the destination poller.
+
+The per-message overhead is what makes small buffers waste bandwidth — the
+exact effect the paper sweeps in Figure 8(b) before settling on 256 KB
+buffers.  Receive-port sharing is what creates incast pressure in N:N
+patterns.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable
+
+from .config import NetworkConfig
+from .simulator import Simulator
+
+
+class _Port:
+    """A serial resource timeline (one NIC direction, or the poller)."""
+
+    __slots__ = ("next_free", "busy_time")
+
+    def __init__(self) -> None:
+        self.next_free: float = 0.0
+        self.busy_time: float = 0.0
+
+    def occupy(self, now: float, duration: float) -> float:
+        """Reserve the port for ``duration`` starting no earlier than ``now``.
+        Returns the completion time."""
+        start = max(now, self.next_free)
+        end = start + duration
+        self.next_free = end
+        self.busy_time += duration
+        return end
+
+
+class NetworkStats:
+    """Traffic counters, reset per measurement window."""
+
+    def __init__(self) -> None:
+        self.bytes_sent: dict[int, float] = defaultdict(float)
+        self.bytes_by_kind: dict[str, float] = defaultdict(float)
+        self.messages: int = 0
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(self.bytes_sent.values())
+
+
+class Network:
+    """The cluster fabric connecting ``num_machines`` simulated machines."""
+
+    def __init__(self, sim: Simulator, num_machines: int, config: NetworkConfig):
+        self.sim = sim
+        self.num_machines = num_machines
+        self.config = config
+        self._tx = [_Port() for _ in range(num_machines)]
+        self._rx = [_Port() for _ in range(num_machines)]
+        # The poller is one thread, but its outbound service happens at send
+        # time while inbound service happens at (future) arrival time; using
+        # one reservation timeline would let future arrivals block present
+        # sends.  Track the two directions on separate timelines and account
+        # the poller's total utilization as their sum.
+        self._poller_out = [_Port() for _ in range(num_machines)]
+        self._poller_in = [_Port() for _ in range(num_machines)]
+        self.stats = NetworkStats()
+
+    def reset_stats(self) -> None:
+        self.stats = NetworkStats()
+
+    def send(self, src: int, dst: int, nbytes: float,
+             callback: Callable, *args: Any, kind: str = "data") -> float:
+        """Transmit a message; ``callback(*args)`` fires at delivery.
+
+        Returns the simulated delivery time.  ``kind`` tags the bytes for the
+        traffic breakdowns used by Figure 6(a).
+        """
+        if not (0 <= src < self.num_machines and 0 <= dst < self.num_machines):
+            raise ValueError(f"bad endpoints {src}->{dst}")
+        now = self.sim.now
+        if src == dst:
+            # Same-machine messages never touch the fabric (Section 3.3:
+            # local requests are resolved immediately); a nominal handoff
+            # keeps event ordering sane.
+            deliver = now + 1e-9
+            self.sim.schedule_at(deliver, callback, *args)
+            return deliver
+
+        cfg = self.config
+        self.stats.bytes_sent[src] += nbytes
+        self.stats.bytes_by_kind[kind] += nbytes
+        self.stats.messages += 1
+
+        depart = self._poller_out[src].occupy(now, cfg.poller_per_message)
+        tx_done = self._tx[src].occupy(
+            depart, nbytes / cfg.link_bw + cfg.per_message_overhead)
+        arrive = tx_done + cfg.link_latency
+        rx_done = self._rx[dst].occupy(arrive, nbytes / cfg.link_bw)
+        deliver = self._poller_in[dst].occupy(rx_done, cfg.poller_per_message)
+        self.sim.schedule_at(deliver, callback, *args)
+        return deliver
+
+    # -- analytic helpers (used by calibration and Figure 8(b)) -------------
+
+    def point_to_point_throughput(self, buffer_size: int) -> float:
+        """Steady-state 1:1 throughput (bytes/s) for back-to-back messages of
+        ``buffer_size`` bytes — the closed form behind Figure 8(b)."""
+        cfg = self.config
+        per_msg = buffer_size / cfg.link_bw + cfg.per_message_overhead
+        per_msg = max(per_msg, cfg.poller_per_message)
+        return buffer_size / per_msg
+
+    def busy_fractions(self) -> dict[str, list[float]]:
+        """Port busy time per machine (diagnostics)."""
+        return {
+            "tx": [p.busy_time for p in self._tx],
+            "rx": [p.busy_time for p in self._rx],
+            "poller": [o.busy_time + i.busy_time
+                       for o, i in zip(self._poller_out, self._poller_in)],
+        }

@@ -1,0 +1,208 @@
+"""Deterministic discrete-event simulator.
+
+The engine's workers, copiers, pollers and network links are modeled as
+events on a single global clock.  Events are coarse — one per task *chunk*,
+message, or copier batch — so simulating multi-million-edge graphs costs
+O(chunks + messages) events, not O(edges).
+
+Determinism: ties in event time are broken by insertion sequence number, so
+two runs with the same inputs produce bit-identical schedules and clocks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable, Generator, Optional
+
+
+class Event:
+    """A scheduled callback.  Cancelable; compares by (time, seq)."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable, args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Event(t={self.time:.9f}, seq={self.seq}, fn={getattr(self.fn, '__name__', self.fn)})"
+
+
+class Simulator:
+    """Event loop with a simulated clock.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(1e-6, callback, arg1, arg2)
+        sim.run()          # drains the event queue
+        print(sim.now)     # simulated seconds elapsed
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[Event] = []
+        self._seq: int = 0
+        self._events_executed: int = 0
+
+    # -- scheduling --------------------------------------------------------
+
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> Event:
+        """Schedule ``fn(*args)`` to run ``delay`` simulated seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        ev = Event(self.now + delay, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def schedule_at(self, time: float, fn: Callable, *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at an absolute simulated time."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
+        ev = Event(time, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    @staticmethod
+    def cancel(event: Event) -> None:
+        """Cancel a pending event (no-op if it already ran)."""
+        event.cancelled = True
+
+    # -- execution ---------------------------------------------------------
+
+    def step(self) -> bool:
+        """Run the single next event.  Returns False when the queue is empty."""
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            if ev.time < self.now:  # pragma: no cover - defensive
+                raise RuntimeError("event queue went backwards in time")
+            self.now = ev.time
+            self._events_executed += 1
+            ev.fn(*ev.args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Drain the queue, optionally stopping at ``until`` or after
+        ``max_events`` additional events."""
+        executed = 0
+        while self._heap:
+            nxt = self._heap[0]
+            if nxt.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and nxt.time > until:
+                self.now = until
+                return
+            if max_events is not None and executed >= max_events:
+                return
+            self.step()
+            executed += 1
+        if until is not None and until > self.now:
+            self.now = until
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events in the queue."""
+        return sum(1 for ev in self._heap if not ev.cancelled)
+
+    @property
+    def events_executed(self) -> int:
+        return self._events_executed
+
+
+# ---------------------------------------------------------------------------
+# Generator-coroutine processes (used by microbenchmarks and tests; the
+# engine's hot paths use direct callbacks for speed).
+# ---------------------------------------------------------------------------
+
+
+class Timeout:
+    """Yield from a process to sleep for ``delay`` simulated seconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float):
+        self.delay = delay
+
+
+class Get:
+    """Yield from a process to wait for an item from a :class:`Store`."""
+
+    __slots__ = ("store",)
+
+    def __init__(self, store: "Store"):
+        self.store = store
+
+
+class Store:
+    """Unbounded FIFO connecting simulated processes."""
+
+    def __init__(self, sim: Simulator):
+        self._sim = sim
+        self._items: deque = deque()
+        self._waiters: deque = deque()
+
+    def put(self, item: Any) -> None:
+        if self._waiters:
+            proc = self._waiters.popleft()
+            self._sim.schedule(0.0, proc._resume, item)
+        else:
+            self._items.append(item)
+
+    def try_get(self) -> Any:
+        """Non-blocking get; returns None when empty."""
+        return self._items.popleft() if self._items else None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+
+class Process:
+    """Drives a generator that yields :class:`Timeout` / :class:`Get` requests.
+
+    Example::
+
+        def producer(sim, store):
+            for i in range(3):
+                yield Timeout(1.0)
+                store.put(i)
+
+        Process(sim, producer(sim, store))
+    """
+
+    def __init__(self, sim: Simulator, gen: Generator):
+        self._sim = sim
+        self._gen = gen
+        self.finished = False
+        self.result: Any = None
+        self._sim.schedule(0.0, self._resume, None)
+
+    def _resume(self, value: Any) -> None:
+        try:
+            request = self._gen.send(value)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            return
+        if isinstance(request, Timeout):
+            self._sim.schedule(request.delay, self._resume, None)
+        elif isinstance(request, Get):
+            item = request.store.try_get()
+            if item is not None:
+                self._sim.schedule(0.0, self._resume, item)
+            else:
+                request.store._waiters.append(self)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"process yielded unsupported request {request!r}")

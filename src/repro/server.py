@@ -1,0 +1,143 @@
+"""A long-running, multi-graph, multi-client server facade (Section 6.2).
+
+The paper's first "future improvement" is extending PGX.D into a
+long-running server where "each client can load up multiple graph instances
+and execute different analysis algorithms on them in an interactive manner",
+raising resource-fairness questions.  This module implements that layer on
+the simulated cluster:
+
+* named **sessions** own named **graph instances** (loaded once, reused);
+* jobs from all sessions funnel through the single cluster, serialized in
+  submission order (the engine's parallel regions are cluster-wide, so two
+  jobs cannot overlap — the isolation model the paper implies);
+* per-session **accounting** (simulated seconds consumed, jobs run, bytes
+  moved) supports the fairness policies the paper asks about; a simple
+  fair-share check can deprioritize heavy sessions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from .core.engine import DistributedGraph, PgxdCluster
+from .core.job import Job
+from .graph.csr import Graph
+from .runtime.stats import JobStats
+
+
+@dataclass
+class SessionUsage:
+    """Resource accounting for one client session."""
+
+    jobs_run: int = 0
+    simulated_seconds: float = 0.0
+    bytes_moved: float = 0.0
+    graphs_loaded: int = 0
+
+
+class Session:
+    """One client's handle onto the server."""
+
+    def __init__(self, server: "PgxdServer", name: str):
+        self._server = server
+        self.name = name
+        self.usage = SessionUsage()
+        self._graphs: dict[str, DistributedGraph] = {}
+
+    # -- graph management ------------------------------------------------------
+
+    def load_graph(self, graph_name: str, graph: Graph, **load_kwargs) -> DistributedGraph:
+        if graph_name in self._graphs:
+            raise KeyError(f"session {self.name!r} already has graph "
+                           f"{graph_name!r}")
+        dg = self._server.cluster.load_graph(graph, **load_kwargs)
+        self._graphs[graph_name] = dg
+        self.usage.graphs_loaded += 1
+        return dg
+
+    def graph(self, graph_name: str) -> DistributedGraph:
+        return self._graphs[graph_name]
+
+    def drop_graph(self, graph_name: str) -> None:
+        del self._graphs[graph_name]
+
+    def graph_names(self) -> list[str]:
+        return sorted(self._graphs)
+
+    # -- execution ----------------------------------------------------------------
+
+    def run_job(self, graph_name: str, job: Job) -> JobStats:
+        return self._server.submit(self, self._graphs[graph_name], job)
+
+    def run_algorithm(self, graph_name: str, algorithm: Callable, /,
+                      *args, **kwargs):
+        """Run one of ``repro.algorithms`` under this session's accounting."""
+        dg = self._graphs[graph_name]
+        t0 = self._server.cluster.now
+        result = algorithm(self._server.cluster, dg, *args, **kwargs)
+        self._server._account(self, self._server.cluster.now - t0,
+                              result.stats.total_bytes, jobs=result.iterations)
+        return result
+
+
+class PgxdServer:
+    """The multi-tenant facade over one simulated cluster."""
+
+    def __init__(self, cluster: Optional[PgxdCluster] = None,
+                 fair_share_window: float = 1.0):
+        self.cluster = cluster or PgxdCluster()
+        self._sessions: dict[str, Session] = {}
+        #: sessions above ``fair_share_window`` x the mean usage are flagged
+        self.fair_share_window = fair_share_window
+        self.submission_log: list[tuple[str, str]] = []
+
+    # -- session lifecycle --------------------------------------------------------
+
+    def create_session(self, name: str) -> Session:
+        if name in self._sessions:
+            raise KeyError(f"session {name!r} already exists")
+        s = Session(self, name)
+        self._sessions[name] = s
+        return s
+
+    def session(self, name: str) -> Session:
+        return self._sessions[name]
+
+    def close_session(self, name: str) -> SessionUsage:
+        return self._sessions.pop(name).usage
+
+    def session_names(self) -> list[str]:
+        return sorted(self._sessions)
+
+    # -- execution -------------------------------------------------------------------
+
+    def submit(self, session: Session, dg: DistributedGraph, job: Job) -> JobStats:
+        """Run a job on behalf of a session (serialized cluster-wide)."""
+        self.submission_log.append((session.name, job.name))
+        stats = self.cluster.run_job(dg, job)
+        self._account(session, stats.elapsed, stats.total_bytes, jobs=1)
+        return stats
+
+    def _account(self, session: Session, seconds: float, nbytes: float,
+                 jobs: int) -> None:
+        session.usage.jobs_run += jobs
+        session.usage.simulated_seconds += seconds
+        session.usage.bytes_moved += nbytes
+
+    # -- fairness ----------------------------------------------------------------------
+
+    def usage_report(self) -> dict[str, SessionUsage]:
+        return {name: s.usage for name, s in self._sessions.items()}
+
+    def over_fair_share(self) -> list[str]:
+        """Sessions consuming more than ``fair_share_window`` times the mean
+        simulated time — the hook a scheduler would use to throttle."""
+        if not self._sessions:
+            return []
+        times = {n: s.usage.simulated_seconds for n, s in self._sessions.items()}
+        mean = sum(times.values()) / len(times)
+        if mean == 0:
+            return []
+        return sorted(n for n, t in times.items()
+                      if t > self.fair_share_window * mean)

@@ -1,0 +1,64 @@
+"""Algorithm-level scalar-path equivalence: every algorithm may run on the
+general per-edge RTC path and must produce identical results."""
+
+import numpy as np
+import pytest
+
+from repro import rmat, with_uniform_weights
+from repro.algorithms import hop_dist, pagerank, pagerank_approx, sssp, wcc
+from tests.conftest import make_cluster
+
+
+@pytest.fixture(scope="module")
+def graph():
+    g = rmat(120, 700, seed=41)
+    return with_uniform_weights(g, 0.1, 1.0, seed=42)
+
+
+def both(fn, graph, **kwargs):
+    cluster = make_cluster(3, 20)
+    dg = cluster.load_graph(graph)
+    fast = fn(cluster, dg, **kwargs)
+    cluster2 = make_cluster(3, 20)
+    dg2 = cluster2.load_graph(graph)
+    slow = fn(cluster2, dg2, force_scalar=True, **kwargs)
+    return fast, slow
+
+
+class TestForceScalar:
+    def test_pagerank_pull(self, graph):
+        fast, slow = both(lambda c, d, **k: pagerank(c, d, "pull", **k),
+                          graph, max_iterations=4)
+        assert np.allclose(fast.values["pr"], slow.values["pr"])
+
+    def test_pagerank_push(self, graph):
+        fast, slow = both(lambda c, d, **k: pagerank(c, d, "push", **k),
+                          graph, max_iterations=4)
+        assert np.allclose(fast.values["pr"], slow.values["pr"])
+
+    def test_pagerank_approx(self, graph):
+        fast, slow = both(pagerank_approx, graph, threshold=1e-4,
+                          max_iterations=20)
+        assert np.allclose(fast.values["pr"], slow.values["pr"])
+        assert fast.iterations == slow.iterations
+
+    def test_wcc(self, graph):
+        fast, slow = both(wcc, graph)
+        assert np.array_equal(fast.values["component"],
+                              slow.values["component"])
+
+    def test_sssp(self, graph):
+        fast, slow = both(sssp, graph, root=0)
+        assert np.allclose(fast.values["dist"], slow.values["dist"])
+
+    def test_hop_dist(self, graph):
+        fast, slow = both(hop_dist, graph, root=0)
+        assert np.array_equal(fast.values["hops"], slow.values["hops"])
+
+    def test_scalar_path_same_simulated_scale(self, graph):
+        """The scalar path performs the same logical work, so its simulated
+        time is close to the vectorized path (identical communication,
+        slightly different per-item accounting)."""
+        fast, slow = both(lambda c, d, **k: pagerank(c, d, "pull", **k),
+                          graph, max_iterations=4)
+        assert slow.total_time == pytest.approx(fast.total_time, rel=0.5)

@@ -1,0 +1,109 @@
+"""Whole-suite determinism and golden-invariant regression guards."""
+
+import numpy as np
+import pytest
+
+from repro import rmat, with_uniform_weights
+from repro.algorithms import (eigenvector, hop_dist, kcore_max, pagerank,
+                              pagerank_approx, sssp, wcc)
+from tests.conftest import make_cluster
+
+
+def run_suite(seed_graph):
+    """Run every algorithm on a fresh cluster; return results + sim times."""
+    out = {}
+    for name, fn in [
+        ("pr", lambda c, d: pagerank(c, d, "pull", max_iterations=8)),
+        ("apr", lambda c, d: pagerank_approx(c, d, threshold=1e-4,
+                                             max_iterations=40)),
+        ("wcc", wcc),
+        ("sssp", lambda c, d: sssp(c, d, root=0)),
+        ("bfs", lambda c, d: hop_dist(c, d, root=0)),
+        ("ev", lambda c, d: eigenvector(c, d, max_iterations=8)),
+        ("kcore", kcore_max),
+    ]:
+        cluster = make_cluster()
+        dg = cluster.load_graph(seed_graph)
+        r = fn(cluster, dg)
+        key_values = (tuple(np.round(v, 12).tobytes() for v in r.values.values())
+                      if r.values else ())
+        out[name] = (key_values, round(r.total_time, 15), r.iterations)
+    return out
+
+
+@pytest.fixture(scope="module")
+def graph():
+    g = rmat(250, 1500, seed=23)
+    return with_uniform_weights(g, 0.1, 1.0, seed=24)
+
+
+class TestSuiteDeterminism:
+    def test_two_full_runs_bit_identical(self, graph):
+        assert run_suite(graph) == run_suite(graph)
+
+    def test_iteration_counts_stable(self, graph):
+        """Golden iteration counts: a change here means the algorithm's
+        convergence behaviour changed — review deliberately."""
+        suite = run_suite(graph)
+        iters = {k: v[2] for k, v in suite.items()}
+        # deterministic per seed; exact values pinned as regression guards
+        assert iters["pr"] == 8
+        assert iters["ev"] == 8
+        assert iters["wcc"] >= 3
+        assert iters["sssp"] >= 5
+        assert iters["bfs"] >= 4
+        assert iters["apr"] <= 40
+
+
+class TestCrossAlgorithmInvariants:
+    def test_bfs_lower_bounds_sssp_hops(self, graph):
+        """Weighted shortest paths cannot use fewer hops than BFS distance
+        implies reachability-wise; both reach the same vertex set."""
+        cluster = make_cluster()
+        dg = cluster.load_graph(graph)
+        d = sssp(cluster, dg, root=0).values["dist"]
+        cluster2 = make_cluster()
+        dg2 = cluster2.load_graph(graph)
+        h = hop_dist(cluster2, dg2, root=0).values["hops"]
+        assert np.array_equal(np.isfinite(d), np.isfinite(h))
+        # with weights in [0.1, 1.0], dist >= 0.1 * hops
+        mask = np.isfinite(d)
+        assert (d[mask] >= 0.1 * h[mask] - 1e-9).all()
+
+    def test_wcc_consistent_with_bfs_reachability(self, graph):
+        """Vertices BFS reaches from 0 are all in 0's weak component."""
+        cluster = make_cluster()
+        dg = cluster.load_graph(graph)
+        comp = wcc(cluster, dg).values["component"]
+        cluster2 = make_cluster()
+        dg2 = cluster2.load_graph(graph)
+        h = hop_dist(cluster2, dg2, root=0).values["hops"]
+        reached = np.isfinite(h)
+        assert (comp[reached] == comp[0]).all()
+
+    def test_exact_and_approx_pagerank_agree_on_top_nodes(self, graph):
+        cluster = make_cluster()
+        dg = cluster.load_graph(graph)
+        exact = pagerank(cluster, dg, "pull", max_iterations=60,
+                         tolerance=1e-12).values["pr"]
+        cluster2 = make_cluster()
+        dg2 = cluster2.load_graph(graph)
+        approx = pagerank_approx(cluster2, dg2, threshold=1e-8,
+                                 max_iterations=300).values["pr"]
+        top_exact = set(np.argsort(exact)[-10:].tolist())
+        top_approx = set(np.argsort(approx)[-10:].tolist())
+        assert len(top_exact & top_approx) >= 9
+
+    def test_kcore_bounded_by_max_degree(self, graph):
+        cluster = make_cluster()
+        dg = cluster.load_graph(graph)
+        k = kcore_max(cluster, dg).extra["max_kcore"]
+        assert 0 < k <= graph.total_degrees().max()
+
+    def test_eigenvector_mass_on_high_indegree_nodes(self, graph):
+        cluster = make_cluster()
+        dg = cluster.load_graph(graph)
+        ev = eigenvector(cluster, dg, max_iterations=30).values["ev"]
+        top_ev = np.argsort(ev)[-5:]
+        # the EV-heaviest vertices have above-average in-degree
+        assert graph.in_degrees()[top_ev].mean() > graph.in_degrees().mean()

@@ -1,0 +1,190 @@
+"""Baseline systems: SA oracle agreement, GAS and dataflow engines."""
+
+import numpy as np
+import pytest
+
+from repro import rmat, with_uniform_weights
+from repro.algorithms import (eigenvector, hop_dist, kcore_max, pagerank,
+                              pagerank_approx, sssp, wcc)
+from repro.baselines import (DataflowEngine, Eigenvector, GasEngine, HopDist,
+                             KCoreMax, PageRankApprox, PageRankPush,
+                             SingleMachine, Sssp, Wcc)
+from tests.conftest import make_cluster
+
+
+@pytest.fixture(scope="module")
+def graph():
+    g = rmat(300, 1800, seed=5)
+    return with_uniform_weights(g, 0.1, 1.0, seed=9)
+
+
+@pytest.fixture(scope="module")
+def sa(graph):
+    return SingleMachine(graph)
+
+
+def fresh(graph):
+    cluster = make_cluster()
+    return cluster, cluster.load_graph(graph)
+
+
+class TestSingleMachineAgreesWithEngine:
+    def test_pagerank(self, graph, sa):
+        cluster, dg = fresh(graph)
+        assert np.allclose(pagerank(cluster, dg, "pull", max_iterations=15).values["pr"],
+                           sa.pagerank("pull", max_iterations=15).values["pr"])
+
+    def test_pagerank_approx(self, graph, sa):
+        cluster, dg = fresh(graph)
+        r = pagerank_approx(cluster, dg, threshold=1e-5)
+        s = sa.pagerank_approx(threshold=1e-5)
+        assert np.allclose(r.values["pr"], s.values["pr"])
+        assert r.iterations == s.iterations
+
+    def test_wcc(self, graph, sa):
+        cluster, dg = fresh(graph)
+        assert np.array_equal(wcc(cluster, dg).values["component"],
+                              sa.wcc().values["component"])
+
+    def test_sssp(self, graph, sa):
+        cluster, dg = fresh(graph)
+        assert np.allclose(sssp(cluster, dg).values["dist"],
+                           sa.sssp().values["dist"])
+
+    def test_hop_dist(self, graph, sa):
+        cluster, dg = fresh(graph)
+        assert np.array_equal(hop_dist(cluster, dg).values["hops"],
+                              sa.hop_dist().values["hops"])
+
+    def test_eigenvector(self, graph, sa):
+        cluster, dg = fresh(graph)
+        assert np.allclose(eigenvector(cluster, dg, max_iterations=20).values["ev"],
+                           sa.eigenvector(max_iterations=20).values["ev"])
+
+    def test_kcore(self, graph, sa):
+        cluster, dg = fresh(graph)
+        assert (kcore_max(cluster, dg).extra["max_kcore"]
+                == sa.kcore_max().extra["max_kcore"])
+
+
+class TestSingleMachineModel:
+    def test_edge_iteration_rate_grows_with_threads(self, sa):
+        rates = [sa.edge_iteration_rate(t) for t in (1, 4, 16, 32)]
+        assert rates == sorted(rates)
+
+    def test_push_slower_than_pull(self, sa):
+        """Atomics make the push variant slower (paper: 3.29 vs 1.92 s)."""
+        assert (sa.pagerank("push", max_iterations=3).time_per_iteration
+                > sa.pagerank("pull", max_iterations=3).time_per_iteration)
+
+    def test_approx_cheaper_than_exact(self, sa):
+        exact = sa.pagerank("pull", max_iterations=20).total_time
+        approx = sa.pagerank_approx(threshold=1e-4, max_iterations=100).total_time
+        assert approx < exact
+
+
+@pytest.fixture(scope="module")
+def gl(graph):
+    return GasEngine(graph, 4)
+
+
+@pytest.fixture(scope="module")
+def gx(graph):
+    return DataflowEngine(graph, 4)
+
+
+ALL_PROGRAMS = [
+    (PageRankPush, dict(max_iterations=10), "pr"),
+    (PageRankApprox, dict(threshold=1e-5, max_iterations=200), "pr"),
+    (Wcc, {}, "component"),
+    (Sssp, dict(root=0), "dist"),
+    (HopDist, dict(root=0), "hops"),
+    (Eigenvector, dict(max_iterations=15), "ev"),
+]
+
+
+class TestGasEngine:
+    @pytest.mark.parametrize("prog_cls,kwargs,key", ALL_PROGRAMS)
+    def test_matches_sa(self, graph, sa, gl, prog_cls, kwargs, key):
+        result = gl.run(prog_cls(**kwargs))
+        oracle = {
+            "pr": (sa.pagerank(max_iterations=10)
+                   if prog_cls is PageRankPush
+                   else sa.pagerank_approx(threshold=1e-5, max_iterations=200)),
+            "component": sa.wcc(),
+            "dist": sa.sssp(0),
+            "hops": sa.hop_dist(0),
+            "ev": sa.eigenvector(max_iterations=15),
+        }[key]
+        assert np.allclose(result.values[key], oracle.values[key])
+
+    def test_kcore_matches_sa(self, graph, sa, gl):
+        prog = KCoreMax()
+        gl.run(prog)
+        assert prog.best_k == sa.kcore_max().extra["max_kcore"]
+
+    def test_replication_factor_grows_with_machines(self, graph):
+        rf = [GasEngine(graph, p).replication_factor for p in (2, 4, 8)]
+        assert rf == sorted(rf)
+        assert rf[0] > 1.0
+
+    def test_superstep_times_positive(self, gl):
+        r = gl.run(PageRankPush(max_iterations=3))
+        assert len(r.per_superstep) == 3 and min(r.per_superstep) > 0
+
+    def test_edge_iteration_slower_than_sa(self, graph, sa, gl):
+        """Figure 5(a): GraphLab's per-edge overhead dwarfs OpenMP's."""
+        assert gl.edge_iteration_rate(16) < 0.5 * sa.edge_iteration_rate(16)
+
+
+class TestDataflowEngine:
+    @pytest.mark.parametrize("prog_cls,kwargs,key", ALL_PROGRAMS[:4])
+    def test_matches_sa(self, graph, sa, gx, prog_cls, kwargs, key):
+        result = gx.run(prog_cls(**kwargs))
+        oracle = {
+            "pr": (sa.pagerank(max_iterations=10)
+                   if prog_cls is PageRankPush
+                   else sa.pagerank_approx(threshold=1e-5, max_iterations=200)),
+            "component": sa.wcc(),
+            "dist": sa.sssp(0),
+            "hops": sa.hop_dist(0),
+        }[key]
+        assert np.allclose(result.values[key], oracle.values[key])
+
+    def test_slower_than_gas(self, gl, gx):
+        """The paper's headline ordering: GX an order slower than GL."""
+        t_gl = gl.run(PageRankPush(max_iterations=3)).time_per_superstep
+        t_gx = gx.run(PageRankPush(max_iterations=3)).time_per_superstep
+        assert t_gx > 3 * t_gl
+
+    def test_routing_replication_exceeds_gas(self, graph, gl, gx):
+        """GraphX ships vertex data to more places (per-partition routing)."""
+        assert gx.replication_factor > gl.replication_factor
+
+
+class TestSystemOrdering:
+    def test_pgx_beats_gl_beats_gx(self, graph, gl, gx):
+        """The Figure 3 ordering at equal machine count."""
+        cluster, dg = fresh(graph)
+        t_pgx = pagerank(cluster, dg, "push", max_iterations=3).time_per_iteration
+        t_gl = gl.run(PageRankPush(max_iterations=3)).time_per_superstep
+        t_gx = gx.run(PageRankPush(max_iterations=3)).time_per_superstep
+        assert t_pgx < t_gl < t_gx
+
+    def test_pull_beats_push_on_engine(self):
+        """Table 3: the pull variant's plain stores beat push's atomics.
+        Needs paper-default (large) buffers so per-message overhead does not
+        mask the atomic cost."""
+        from repro import rmat
+        from repro.algorithms import pagerank
+
+        g = rmat(2000, 16000, seed=11)
+
+        def run(variant):
+            cluster = make_cluster(2, 40, buffer_size=256 * 1024,
+                                   num_workers=8, chunk_size=1024)
+            dg = cluster.load_graph(g)
+            return pagerank(cluster, dg, variant,
+                            max_iterations=3).time_per_iteration
+
+        assert run("pull") < run("push")

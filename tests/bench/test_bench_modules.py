@@ -1,0 +1,133 @@
+"""Calibration helpers, harness runners, and the figure microbenches."""
+
+import numpy as np
+import pytest
+
+from repro import rmat, with_uniform_weights
+from repro.bench import (BENCH_SCALE, PAPER_TABLE3, PAPER_TABLE4, fmt_secs,
+                         format_table, model_loading_time, run_gl, run_gx,
+                         run_pgx, run_sa, scaled_cluster_config,
+                         scaled_gas_config, to_paper_scale)
+from repro.bench.figures import (barrier_series, buffer_size_bench,
+                                 remote_random_read_bench)
+from repro.graph.generators import PAPER_GRAPHS
+
+
+class TestCalibration:
+    def test_scaled_config_shrinks_fixed_costs(self):
+        full = scaled_cluster_config(4, 1.0)
+        small = scaled_cluster_config(4, 0.001)
+        assert (small.network.per_message_overhead
+                == pytest.approx(full.network.per_message_overhead * 0.001))
+        assert small.engine.buffer_size < full.engine.buffer_size
+        assert small.machine.llc_bytes < full.machine.llc_bytes
+
+    def test_scaled_config_keeps_rates(self):
+        small = scaled_cluster_config(4, 0.001)
+        assert small.network.link_bw == scaled_cluster_config(4, 1.0).network.link_bw
+        assert small.machine.dram_random_bw == pytest.approx(3.2e9)
+
+    def test_to_paper_scale(self):
+        assert to_paper_scale(0.004, 0.001) == pytest.approx(4.0)
+
+    def test_engine_overrides_pass_through(self):
+        cfg = scaled_cluster_config(4, 0.01, num_workers=5)
+        assert cfg.engine.num_workers == 5
+
+    def test_paper_reference_tables_populated(self):
+        assert PAPER_TABLE3[("PGX", 32, "pr_pull", "TWT")] == 0.36
+        assert PAPER_TABLE4[("WEB", "GL")] == 3424.0
+
+    def test_loading_model_orderings(self):
+        """GraphLab's loader is the slowest on every dataset (Table 4)."""
+        for name in ("LJ", "WIK", "TWT", "WEB"):
+            s = PAPER_GRAPHS[name]
+            times = {sys: model_loading_time(sys, s.paper_nodes, s.paper_edges)
+                     for sys in ("GX", "GL", "PGX")}
+            assert times["GL"] > times["GX"] and times["GL"] > times["PGX"]
+
+    def test_loading_model_scales_with_size(self):
+        small = model_loading_time("PGX", 10_000, 100_000, startup_scale=0.0)
+        big = model_loading_time("PGX", 10_000_000, 100_000_000,
+                                 startup_scale=0.0)
+        assert big > 10 * small
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ValueError):
+            model_loading_time("HADOOP", 10, 10)
+
+
+@pytest.fixture(scope="module")
+def tiny_bench_graph():
+    g = rmat(400, 3000, seed=17)
+    return with_uniform_weights(g, 0.1, 1.0, seed=18)
+
+
+SCALE = 1e-4
+
+
+class TestHarnessRunners:
+    @pytest.mark.parametrize("algorithm", ["pr_pull", "pr_push", "pr_approx",
+                                           "wcc", "sssp", "hop_dist", "ev",
+                                           "kcore"])
+    def test_run_pgx_every_algorithm(self, tiny_bench_graph, algorithm):
+        row = run_pgx(tiny_bench_graph, "T", algorithm, 2, SCALE)
+        assert row.system == "PGX" and row.seconds > 0
+        assert row.iterations > 0
+
+    def test_run_sa_matches_pgx_semantics(self, tiny_bench_graph):
+        row = run_sa(tiny_bench_graph, "T", "wcc", SCALE)
+        assert row.system == "SA" and row.machines == 1
+
+    def test_run_gl_pull_unsupported(self, tiny_bench_graph):
+        assert run_gl(tiny_bench_graph, "T", "pr_pull", 2, SCALE) is None
+
+    def test_run_gx_kcore_unsupported(self, tiny_bench_graph):
+        assert run_gx(tiny_bench_graph, "T", "kcore", 2, SCALE) is None
+
+    def test_run_gl_produces_row(self, tiny_bench_graph):
+        row = run_gl(tiny_bench_graph, "T", "pr_push", 4, SCALE)
+        assert row.system == "GL" and row.seconds > 0
+
+    def test_paper_equiv_conversion(self, tiny_bench_graph):
+        row = run_sa(tiny_bench_graph, "T", "hop_dist", SCALE)
+        assert row.paper_equiv(SCALE) == pytest.approx(row.seconds / SCALE)
+
+    def test_format_table_alignment(self):
+        out = format_table("T", ["a", "bb"], [["1", "2"], ["333", "4"]])
+        lines = out.splitlines()
+        assert "T" in lines[1]
+        assert all(" | " in l for l in (lines[2], lines[4], lines[5]))
+        assert "333" in out
+
+    def test_fmt_secs(self):
+        assert fmt_secs(None, SCALE) == "n/a"
+        assert fmt_secs(2e-4, 1e-4) == "2"
+
+
+class TestFigureMicrobenches:
+    def test_random_read_invariants(self):
+        r = remote_random_read_bench(4, total_requests=200_000)
+        assert r.utilized_bw == pytest.approx(2 * r.effective_bw)
+        assert r.effective_bw <= r.local_bw * 1.001
+        assert r.utilized_bw <= r.network_bw
+
+    def test_random_read_scales_with_copiers(self):
+        r1 = remote_random_read_bench(1, total_requests=200_000)
+        r8 = remote_random_read_bench(8, total_requests=200_000)
+        assert r8.effective_bw > 1.5 * r1.effective_bw
+
+    def test_buffer_size_monotone(self):
+        small = buffer_size_bench(2, 4096, bytes_per_machine=2e7)
+        big = buffer_size_bench(2, 262144, bytes_per_machine=2e7)
+        assert big > 2 * small
+
+    def test_buffer_4kb_anchor(self):
+        assert buffer_size_bench(2, 4096, bytes_per_machine=2e7) == pytest.approx(
+            1.5e9, rel=0.1)
+
+    def test_barrier_series_monotone(self):
+        series = barrier_series([2, 4, 8, 16, 32])
+        lats = [t for _, t in series]
+        assert lats == sorted(lats)
+        assert all(t < 1e-3 for t in lats)

@@ -1,0 +1,52 @@
+"""Shared fixtures: small deterministic graphs and cluster factories."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ClusterConfig, PgxdCluster, from_edges, rmat, with_uniform_weights
+
+
+@pytest.fixture
+def tiny_graph():
+    """Six nodes, hand-checkable: 0->1->2->3->5, 0->4->3."""
+    edges = [(0, 1), (1, 2), (2, 3), (0, 4), (4, 3), (3, 5)]
+    return from_edges([e[0] for e in edges], [e[1] for e in edges], num_nodes=6)
+
+
+@pytest.fixture
+def small_rmat():
+    """A skewed 300-node graph with hubs (deterministic)."""
+    return rmat(300, 1800, seed=5)
+
+
+@pytest.fixture
+def small_rmat_weighted():
+    g = rmat(300, 1800, seed=5)
+    return with_uniform_weights(g, 0.1, 1.0, seed=9)
+
+
+@pytest.fixture
+def medium_rmat():
+    return rmat(2000, 16000, seed=11)
+
+
+def make_cluster(num_machines=4, ghost_threshold=40, chunk_size=256,
+                 num_workers=4, num_copiers=2, **engine_kwargs):
+    cfg = ClusterConfig(num_machines=num_machines).with_engine(
+        ghost_threshold=ghost_threshold, chunk_size=chunk_size,
+        num_workers=num_workers, num_copiers=num_copiers, **engine_kwargs)
+    return PgxdCluster(cfg)
+
+
+@pytest.fixture
+def cluster_factory():
+    return make_cluster
+
+
+@pytest.fixture
+def loaded(small_rmat):
+    """(cluster, distributed graph) over 4 machines with ghosts on."""
+    cluster = make_cluster()
+    return cluster, cluster.load_graph(small_rmat)

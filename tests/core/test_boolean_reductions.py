@@ -1,0 +1,72 @@
+"""Boolean AND/OR reductions end-to-end (reachability-style kernels)."""
+
+import numpy as np
+import pytest
+
+from repro import EdgeMapJob, EdgeMapSpec, ReduceOp, from_edges, rmat
+from tests.conftest import make_cluster
+
+
+class TestOrReduction:
+    def test_one_step_reachability(self, small_rmat):
+        """marked(t) |= marked(n) over out-edges — frontier expansion
+        expressed as a boolean OR push."""
+        g = small_rmat
+        cluster = make_cluster(3, None)
+        dg = cluster.load_graph(g)
+        rng = np.random.default_rng(2)
+        seeds = rng.random(g.num_nodes) < 0.1
+        dg.add_property("seed", dtype=np.float64,
+                        from_global=seeds.astype(np.float64))
+        dg.add_property("hit", dtype=np.float64, init=0.0)
+        # booleans as 0/1 floats with MAX == OR (wire format is 8B values)
+        cluster.run_job(dg, EdgeMapJob(name="j", spec=EdgeMapSpec(
+            direction="push", source="seed", target="hit", op=ReduceOp.MAX)))
+        src, dst = g.edge_list()
+        want = np.zeros(g.num_nodes)
+        np.maximum.at(want, dst, seeds[src].astype(np.float64))
+        assert np.array_equal(dg.gather("hit"), want)
+
+    def test_native_bool_or_push_local(self):
+        """Native boolean OR reduction on a single machine (no wire types)."""
+        g = from_edges([0, 1, 2], [3, 3, 4], num_nodes=5)
+        cluster = make_cluster(1, None)
+        dg = cluster.load_graph(g)
+        dg.add_property("m", dtype=np.bool_,
+                        from_global=np.array([True, False, False, False, False]))
+        dg.add_property("out", dtype=np.bool_, init=False)
+        cluster.run_job(dg, EdgeMapJob(name="j", spec=EdgeMapSpec(
+            direction="push", source="m", target="out", op=ReduceOp.OR)))
+        assert dg.gather("out").tolist() == [False, False, False, True, False]
+
+
+class TestAndReduction:
+    def test_all_in_neighbors_satisfy(self):
+        """ok(n) &= flag(t) over in-neighbors: conjunction over predecessors
+        (the admissibility pattern in dataflow analyses)."""
+        g = from_edges([0, 1, 0, 2], [2, 2, 3, 3], num_nodes=4)
+        cluster = make_cluster(1, None)
+        dg = cluster.load_graph(g)
+        dg.add_property("flag", dtype=np.bool_,
+                        from_global=np.array([True, False, True, True]))
+        dg.add_property("ok", dtype=np.bool_, init=True)
+        cluster.run_job(dg, EdgeMapJob(name="j", spec=EdgeMapSpec(
+            direction="pull", source="flag", target="ok", op=ReduceOp.AND)))
+        got = dg.gather("ok")
+        # node 2 has in-nbrs {0 (T), 1 (F)} -> False; node 3 has {0, 2} -> True
+        assert got.tolist() == [True, True, False, True]
+
+    def test_iterated_and_converges(self):
+        """Iterating the AND pull computes 'all ancestors flagged'."""
+        # chain 0 -> 1 -> 2 -> 3 with node 0 unflagged
+        g = from_edges([0, 1, 2], [1, 2, 3], num_nodes=4)
+        cluster = make_cluster(2, None)
+        dg = cluster.load_graph(g)
+        dg.add_property("flag", dtype=np.bool_,
+                        from_global=np.array([False, True, True, True]))
+        job = EdgeMapJob(name="j", spec=EdgeMapSpec(
+            direction="pull", source="flag", target="flag", op=ReduceOp.AND))
+        for _ in range(3):
+            cluster.run_job(dg, job)
+        # falsity propagates down the whole chain
+        assert dg.gather("flag").tolist() == [False, False, False, False]

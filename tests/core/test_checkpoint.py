@@ -1,0 +1,89 @@
+"""Checkpoint/restore of distributed graph state."""
+
+import numpy as np
+import pytest
+
+from repro import rmat, with_uniform_weights
+from repro.algorithms import pagerank, wcc
+from repro.core.checkpoint import (checkpoint_properties, restore_checkpoint,
+                                   save_checkpoint)
+from tests.conftest import make_cluster
+
+
+@pytest.fixture
+def ranked_dg(small_rmat_weighted):
+    cluster = make_cluster()
+    dg = cluster.load_graph(small_rmat_weighted)
+    r = pagerank(cluster, dg, "pull", max_iterations=10)
+    dg.add_property("pr", from_global=r.values["pr"])
+    dg.add_property("flag", dtype=np.bool_, init=True)
+    return cluster, dg
+
+
+class TestRoundTrip:
+    def test_structure_preserved(self, ranked_dg, tmp_path):
+        cluster, dg = ranked_dg
+        path = tmp_path / "ck.npz"
+        save_checkpoint(dg, path)
+        dg2 = restore_checkpoint(make_cluster(), path)
+        assert dg2.num_nodes == dg.num_nodes
+        assert dg2.num_edges == dg.num_edges
+        assert np.array_equal(dg2.graph.out_nbrs, dg.graph.out_nbrs)
+        assert np.allclose(dg2.graph.edge_weights, dg.graph.edge_weights)
+
+    def test_properties_preserved(self, ranked_dg, tmp_path):
+        cluster, dg = ranked_dg
+        path = tmp_path / "ck.npz"
+        save_checkpoint(dg, path)
+        dg2 = restore_checkpoint(make_cluster(), path)
+        assert np.allclose(dg2.gather("pr"), dg.gather("pr"))
+        assert (dg2.gather("flag") == True).all()  # noqa: E712
+        assert dg2.gather("flag").dtype == np.bool_
+
+    def test_restore_onto_different_machine_count(self, ranked_dg, tmp_path):
+        cluster, dg = ranked_dg
+        path = tmp_path / "ck.npz"
+        save_checkpoint(dg, path)
+        dg2 = restore_checkpoint(make_cluster(num_machines=7), path)
+        assert len(dg2.machines) == 7
+        assert np.allclose(dg2.gather("pr"), dg.gather("pr"))
+
+    def test_builtin_props_not_duplicated(self, ranked_dg, tmp_path):
+        cluster, dg = ranked_dg
+        path = tmp_path / "ck.npz"
+        save_checkpoint(dg, path)
+        assert checkpoint_properties(path) == ["flag", "pr"]
+
+    def test_edge_props_preserved(self, small_rmat, tmp_path):
+        small_rmat.add_edge_property("cap", np.arange(small_rmat.num_edges,
+                                                      dtype=float))
+        cluster = make_cluster()
+        dg = cluster.load_graph(small_rmat)
+        path = tmp_path / "ck.npz"
+        save_checkpoint(dg, path)
+        dg2 = restore_checkpoint(make_cluster(), path)
+        assert np.array_equal(dg2.graph.edge_property("cap"),
+                              small_rmat.edge_property("cap"))
+
+    def test_computation_resumes_after_restore(self, ranked_dg, tmp_path):
+        """The server scenario: checkpoint, restart, keep analyzing."""
+        cluster, dg = ranked_dg
+        path = tmp_path / "ck.npz"
+        save_checkpoint(dg, path)
+        cluster2 = make_cluster(num_machines=3)
+        dg2 = restore_checkpoint(cluster2, path)
+        r = wcc(cluster2, dg2)
+        cluster3 = make_cluster(num_machines=3)
+        dg3 = cluster3.load_graph(dg.graph)
+        assert np.array_equal(r.values["component"],
+                              wcc(cluster3, dg3).values["component"])
+
+    def test_bad_version_rejected(self, ranked_dg, tmp_path):
+        cluster, dg = ranked_dg
+        path = tmp_path / "ck.npz"
+        save_checkpoint(dg, path)
+        data = dict(np.load(path))
+        data["__version"] = np.array([99])
+        np.savez(path, **data)
+        with pytest.raises(ValueError):
+            restore_checkpoint(make_cluster(), path)

@@ -1,0 +1,361 @@
+"""End-to-end engine jobs: correctness across configurations.
+
+Every test computes an oracle directly from the global edge list and asserts
+the engine produces it, across machine counts, ghost settings, partitioning
+strategies and both execution paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (ClusterConfig, EdgeMapJob, EdgeMapSpec, NodeKernelJob,
+                   PgxdCluster, ReduceOp, rmat, with_uniform_weights)
+from tests.conftest import make_cluster
+
+
+def pull_oracle(g, source_vals, op, transform=None, active=None):
+    """Reference for: n.target op= f(t.source) over in-neighbors."""
+    n = g.num_nodes
+    out = np.full(n, op.bottom(np.float64))
+    src, dst = g.edge_list()
+    if active is not None:
+        keep = active[dst]
+        src, dst = src[keep], dst[keep]
+    vals = source_vals[src]
+    if transform:
+        vals = transform(vals)
+    op.apply_at(out, dst, vals)
+    return out
+
+
+def push_oracle(g, source_vals, op, weights=None, active=None):
+    """Reference for: t.target op= f(n.source) over out-neighbors."""
+    n = g.num_nodes
+    out = np.full(n, op.bottom(np.float64))
+    src, dst = g.edge_list()
+    vals = source_vals[src] if weights is None else source_vals[src] + weights
+    if active is not None:
+        keep = active[src]
+        dst, vals = dst[keep], vals[keep]
+    op.apply_at(out, dst, vals)
+    return out
+
+
+def run_edge_map(cluster, dg, spec, x_init, target_bottom, force_scalar=False):
+    dg.add_property("x", from_global=x_init)
+    dg.add_property("t", init=target_bottom)
+    stats = cluster.run_job(dg, EdgeMapJob(name="j", spec=spec),
+                            force_scalar=force_scalar)
+    result = dg.gather("t")
+    dg.drop_property("x")
+    dg.drop_property("t")
+    return result, stats
+
+
+@pytest.mark.parametrize("num_machines", [1, 2, 4, 7])
+@pytest.mark.parametrize("ghost_threshold", [None, 30])
+class TestPullAcrossConfigs:
+    def test_pull_sum(self, small_rmat, num_machines, ghost_threshold):
+        cluster = make_cluster(num_machines, ghost_threshold)
+        dg = cluster.load_graph(small_rmat)
+        x = np.arange(small_rmat.num_nodes, dtype=np.float64)
+        spec = EdgeMapSpec(direction="pull", source="x", target="t",
+                           op=ReduceOp.SUM)
+        got, _ = run_edge_map(cluster, dg, spec, x, 0.0)
+        want = pull_oracle(small_rmat, x, ReduceOp.SUM)
+        assert np.allclose(got, want)
+
+    def test_push_sum(self, small_rmat, num_machines, ghost_threshold):
+        cluster = make_cluster(num_machines, ghost_threshold)
+        dg = cluster.load_graph(small_rmat)
+        x = np.arange(small_rmat.num_nodes, dtype=np.float64) * 0.5
+        spec = EdgeMapSpec(direction="push", source="x", target="t",
+                           op=ReduceOp.SUM)
+        got, _ = run_edge_map(cluster, dg, spec, x, 0.0)
+        want = push_oracle(small_rmat, x, ReduceOp.SUM)
+        assert np.allclose(got, want)
+
+
+class TestOperatorsAndOptions:
+    @pytest.mark.parametrize("op", [ReduceOp.SUM, ReduceOp.MIN, ReduceOp.MAX])
+    def test_pull_each_op(self, small_rmat, op):
+        cluster = make_cluster()
+        dg = cluster.load_graph(small_rmat)
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=small_rmat.num_nodes)
+        spec = EdgeMapSpec(direction="pull", source="x", target="t", op=op)
+        got, _ = run_edge_map(cluster, dg, spec, x, op.bottom(np.float64))
+        assert np.allclose(got, pull_oracle(small_rmat, x, op))
+
+    @pytest.mark.parametrize("op", [ReduceOp.SUM, ReduceOp.MIN, ReduceOp.MAX])
+    def test_push_each_op(self, small_rmat, op):
+        cluster = make_cluster()
+        dg = cluster.load_graph(small_rmat)
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=small_rmat.num_nodes)
+        spec = EdgeMapSpec(direction="push", source="x", target="t", op=op)
+        got, _ = run_edge_map(cluster, dg, spec, x, op.bottom(np.float64))
+        assert np.allclose(got, push_oracle(small_rmat, x, op))
+
+    def test_push_with_weights(self, small_rmat_weighted):
+        g = small_rmat_weighted
+        cluster = make_cluster()
+        dg = cluster.load_graph(g)
+        x = np.arange(g.num_nodes, dtype=np.float64)
+        spec = EdgeMapSpec(direction="push", source="x", target="t",
+                           op=ReduceOp.MIN,
+                           transform=lambda v, w: v + w, use_weights=True)
+        got, _ = run_edge_map(cluster, dg, spec, x, np.inf)
+        want = push_oracle(g, x, ReduceOp.MIN, weights=g.edge_weights)
+        assert np.allclose(got, want)
+
+    def test_pull_with_transform(self, small_rmat):
+        cluster = make_cluster()
+        dg = cluster.load_graph(small_rmat)
+        x = np.arange(small_rmat.num_nodes, dtype=np.float64)
+        spec = EdgeMapSpec(direction="pull", source="x", target="t",
+                           op=ReduceOp.SUM, transform=lambda v, w: v * 2.0)
+        got, _ = run_edge_map(cluster, dg, spec, x, 0.0)
+        want = pull_oracle(small_rmat, x, ReduceOp.SUM, transform=lambda v: v * 2)
+        assert np.allclose(got, want)
+
+    def test_active_filter_push(self, small_rmat):
+        cluster = make_cluster()
+        dg = cluster.load_graph(small_rmat)
+        rng = np.random.default_rng(3)
+        active = rng.random(small_rmat.num_nodes) < 0.3
+        dg.add_property("act", dtype=np.bool_, from_global=active)
+        x = np.ones(small_rmat.num_nodes)
+        spec = EdgeMapSpec(direction="push", source="x", target="t",
+                           op=ReduceOp.SUM, active="act")
+        got, _ = run_edge_map(cluster, dg, spec, x, 0.0)
+        want = push_oracle(small_rmat, x, ReduceOp.SUM, active=active)
+        assert np.allclose(got, want)
+
+    def test_active_filter_pull(self, small_rmat):
+        cluster = make_cluster()
+        dg = cluster.load_graph(small_rmat)
+        rng = np.random.default_rng(4)
+        active = rng.random(small_rmat.num_nodes) < 0.5
+        dg.add_property("act", dtype=np.bool_, from_global=active)
+        x = np.arange(small_rmat.num_nodes, dtype=np.float64)
+        spec = EdgeMapSpec(direction="pull", source="x", target="t",
+                           op=ReduceOp.SUM, active="act")
+        got, _ = run_edge_map(cluster, dg, spec, x, 0.0)
+        want = pull_oracle(small_rmat, x, ReduceOp.SUM, active=active)
+        assert np.allclose(got, want)
+
+    def test_reverse_push_targets_in_neighbors(self, tiny_graph):
+        cluster = make_cluster(2, None)
+        dg = cluster.load_graph(tiny_graph)
+        x = np.arange(6, dtype=np.float64) + 1
+        spec = EdgeMapSpec(direction="push", source="x", target="t",
+                           op=ReduceOp.SUM, reverse=True)
+        got, _ = run_edge_map(cluster, dg, spec, x, 0.0)
+        # reverse push: for edge (u, v), v sends to u == pull oracle on x
+        src, dst = tiny_graph.edge_list()
+        want = np.zeros(6)
+        np.add.at(want, src, x[dst])
+        assert np.allclose(got, want)
+
+    def test_reverse_pull_reads_out_neighbors(self, tiny_graph):
+        cluster = make_cluster(2, None)
+        dg = cluster.load_graph(tiny_graph)
+        x = np.arange(6, dtype=np.float64) + 1
+        spec = EdgeMapSpec(direction="pull", source="x", target="t",
+                           op=ReduceOp.SUM, reverse=True)
+        got, _ = run_edge_map(cluster, dg, spec, x, 0.0)
+        src, dst = tiny_graph.edge_list()
+        want = np.zeros(6)
+        np.add.at(want, src, x[dst])
+        assert np.allclose(got, want)
+
+
+class TestScalarVectorEquivalence:
+    @pytest.mark.parametrize("direction", ["pull", "push"])
+    def test_paths_agree(self, small_rmat, direction):
+        cluster = make_cluster(3, 30)
+        dg = cluster.load_graph(small_rmat)
+        x = np.arange(small_rmat.num_nodes, dtype=np.float64)
+        spec = EdgeMapSpec(direction=direction, source="x", target="t",
+                           op=ReduceOp.SUM)
+        vec, _ = run_edge_map(cluster, dg, spec, x, 0.0)
+        sca, _ = run_edge_map(cluster, dg, spec, x, 0.0, force_scalar=True)
+        assert np.allclose(vec, sca)
+
+    def test_paths_agree_with_weights_and_filter(self, small_rmat_weighted):
+        g = small_rmat_weighted
+        cluster = make_cluster(3, 30)
+        dg = cluster.load_graph(g)
+        active = np.arange(g.num_nodes) % 3 == 0
+        dg.add_property("act", dtype=np.bool_, from_global=active)
+        x = np.linspace(0, 1, g.num_nodes)
+        spec = EdgeMapSpec(direction="push", source="x", target="t",
+                           op=ReduceOp.MIN, transform=lambda v, w: v + w,
+                           use_weights=True, active="act")
+        vec, _ = run_edge_map(cluster, dg, spec, x, np.inf)
+        sca, _ = run_edge_map(cluster, dg, spec, x, np.inf, force_scalar=True)
+        assert np.allclose(vec, sca)
+
+
+class TestPartitioningOptions:
+    @pytest.mark.parametrize("strategy", ["edge", "vertex"])
+    def test_results_invariant_to_partitioning(self, small_rmat, strategy):
+        cluster = make_cluster()
+        dg = cluster.load_graph(small_rmat, partitioning=strategy)
+        x = np.arange(small_rmat.num_nodes, dtype=np.float64)
+        spec = EdgeMapSpec(direction="pull", source="x", target="t",
+                           op=ReduceOp.SUM)
+        got, _ = run_edge_map(cluster, dg, spec, x, 0.0)
+        assert np.allclose(got, pull_oracle(small_rmat, x, ReduceOp.SUM))
+
+    @pytest.mark.parametrize("chunking", ["edge", "node"])
+    def test_results_invariant_to_chunking(self, small_rmat, chunking):
+        cluster = make_cluster(chunking=chunking)
+        dg = cluster.load_graph(small_rmat)
+        x = np.ones(small_rmat.num_nodes)
+        spec = EdgeMapSpec(direction="push", source="x", target="t",
+                           op=ReduceOp.SUM)
+        got, _ = run_edge_map(cluster, dg, spec, x, 0.0)
+        assert np.allclose(got, push_oracle(small_rmat, x, ReduceOp.SUM))
+
+
+class TestNodeKernels:
+    def test_kernel_applies_per_machine(self, small_rmat):
+        cluster = make_cluster()
+        dg = cluster.load_graph(small_rmat)
+        dg.add_property("y", init=1.0)
+
+        def double(view, lo, hi):
+            view["y"][lo:hi] *= 2.0
+
+        cluster.run_job(dg, NodeKernelJob(name="dbl", kernel=double,
+                                          writes=(("y", ReduceOp.OVERWRITE),)))
+        assert (dg.gather("y") == 2.0).all()
+
+    def test_kernel_sees_degrees(self, small_rmat):
+        cluster = make_cluster()
+        dg = cluster.load_graph(small_rmat)
+        dg.add_property("d", init=0.0)
+
+        def copy_deg(view, lo, hi):
+            view["d"][lo:hi] = view.out_degrees()[lo:hi]
+
+        cluster.run_job(dg, NodeKernelJob(name="deg", kernel=copy_deg,
+                                          writes=(("d", ReduceOp.OVERWRITE),)))
+        assert np.array_equal(dg.gather("d"), small_rmat.out_degrees())
+
+    def test_node_kernel_does_not_disturb_ghost_values(self, small_rmat):
+        """Regression: node kernels must not trigger ghost post-sync that
+        overwrites owner values with bottoms."""
+        cluster = make_cluster(4, 20)
+        dg = cluster.load_graph(small_rmat)
+        dg.add_property("v", from_global=np.arange(small_rmat.num_nodes, dtype=float))
+
+        def touch(view, lo, hi):
+            view["v"][lo:hi] += 1.0
+
+        cluster.run_job(dg, NodeKernelJob(name="touch", kernel=touch,
+                                          writes=(("v", ReduceOp.OVERWRITE),)))
+        assert np.array_equal(dg.gather("v"),
+                              np.arange(small_rmat.num_nodes, dtype=float) + 1)
+
+
+class TestClusterApi:
+    def test_gather_set_round_trip(self, loaded):
+        cluster, dg = loaded
+        vals = np.random.default_rng(0).random(dg.num_nodes)
+        dg.add_property("p", from_global=vals)
+        assert np.allclose(dg.gather("p"), vals)
+        dg.set_from_global("p", vals * 2)
+        assert np.allclose(dg.gather("p"), vals * 2)
+
+    def test_map_reduce_sum(self, loaded):
+        cluster, dg = loaded
+        dg.add_property("one", init=1.0)
+        total = cluster.map_reduce(dg, lambda v: float(v["one"].sum()))
+        assert total == dg.num_nodes
+
+    def test_map_reduce_min(self, loaded):
+        cluster, dg = loaded
+        dg.add_property("idx", from_global=np.arange(dg.num_nodes, dtype=float))
+        lo = cluster.map_reduce(dg, lambda v: float(v["idx"].min()), ReduceOp.MIN)
+        assert lo == 0.0
+
+    def test_barrier_advances_clock(self, loaded):
+        cluster, dg = loaded
+        before = cluster.now
+        latency = cluster.barrier()
+        assert cluster.now == pytest.approx(before + latency)
+
+    def test_jobs_advance_simulated_time(self, loaded):
+        cluster, dg = loaded
+        dg.add_property("x", init=1.0)
+        dg.add_property("t", init=0.0)
+        t0 = cluster.now
+        stats = cluster.run_job(dg, EdgeMapJob(name="j", spec=EdgeMapSpec(
+            direction="pull", source="x", target="t", op=ReduceOp.SUM)))
+        assert cluster.now > t0
+        assert stats.elapsed > 0
+        assert stats.start_time == t0 and stats.end_time == cluster.now
+
+    def test_remote_traffic_zero_on_single_machine(self, small_rmat):
+        cluster = make_cluster(1, None)
+        dg = cluster.load_graph(small_rmat)
+        dg.add_property("x", init=1.0)
+        dg.add_property("t", init=0.0)
+        stats = cluster.run_job(dg, EdgeMapJob(name="j", spec=EdgeMapSpec(
+            direction="pull", source="x", target="t", op=ReduceOp.SUM)))
+        assert stats.total_bytes == 0
+        assert stats.remote_reads == 0
+
+    def test_has_property(self, loaded):
+        _, dg = loaded
+        assert dg.has_property("out_degree")
+        assert not dg.has_property("nope")
+
+    def test_job_log_records_runs(self, loaded):
+        cluster, dg = loaded
+        dg.add_property("x", init=1.0)
+        dg.add_property("t", init=0.0)
+        cluster.run_job(dg, EdgeMapJob(name="logged", spec=EdgeMapSpec(
+            direction="pull", source="x", target="t", op=ReduceOp.SUM)))
+        assert cluster.job_log[-1][0] == "logged"
+
+
+class TestGhostEffects:
+    def test_ghosts_reduce_read_traffic(self, small_rmat):
+        """The Figure 6(a) mechanism: ghosting hubs cuts request bytes."""
+        x = np.ones(small_rmat.num_nodes)
+        spec = EdgeMapSpec(direction="pull", source="x", target="t",
+                           op=ReduceOp.SUM)
+
+        def traffic(thr):
+            cluster = make_cluster(4, thr)
+            dg = cluster.load_graph(small_rmat)
+            _, stats = run_edge_map(cluster, dg, spec, x, 0.0)
+            return stats.bytes_by_kind["read_req"]
+
+        assert traffic(20) < traffic(None)
+
+    def test_ghost_privatization_off_still_correct(self, small_rmat):
+        cluster = make_cluster(4, 20, ghost_privatization=False)
+        dg = cluster.load_graph(small_rmat)
+        x = np.ones(small_rmat.num_nodes)
+        spec = EdgeMapSpec(direction="push", source="x", target="t",
+                           op=ReduceOp.SUM)
+        got, _ = run_edge_map(cluster, dg, spec, x, 0.0)
+        assert np.allclose(got, push_oracle(small_rmat, x, ReduceOp.SUM))
+
+    def test_privatization_avoids_atomics(self, small_rmat):
+        x = np.ones(small_rmat.num_nodes)
+        spec = EdgeMapSpec(direction="push", source="x", target="t",
+                           op=ReduceOp.SUM)
+
+        def atomics(privatize):
+            cluster = make_cluster(4, 20, ghost_privatization=privatize)
+            dg = cluster.load_graph(small_rmat)
+            _, stats = run_edge_map(cluster, dg, spec, x, 0.0)
+            return stats.atomic_ops
+
+        assert atomics(True) < atomics(False)

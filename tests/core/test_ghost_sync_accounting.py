@@ -1,0 +1,161 @@
+"""Ghost synchronization protocol: traffic accounting and two-stage reduce."""
+
+import numpy as np
+import pytest
+
+from repro import EdgeMapJob, EdgeMapSpec, ReduceOp, from_edges, rmat
+from repro.core.messages import WRITE_REQ_ITEM_BYTES
+from tests.conftest import make_cluster
+
+
+def star(n_spokes=60, n_extra=40):
+    """A hub (node 0) that every spoke points to, plus filler nodes."""
+    n = 1 + n_spokes + n_extra
+    src = list(range(1, n_spokes + 1))
+    dst = [0] * n_spokes
+    # filler chain so every machine owns something
+    src += list(range(n_spokes + 1, n - 1))
+    dst += list(range(n_spokes + 2, n))
+    return from_edges(src, dst, num_nodes=n)
+
+
+class TestPreSync:
+    def test_read_props_broadcast_to_all_machines(self):
+        g = star()
+        cluster = make_cluster(4, 10)
+        dg = cluster.load_graph(g)
+        assert dg.num_ghosts >= 1
+        dg.add_property("x", init=1.0)
+        dg.add_property("t", init=0.0)
+        # Pull along out-edges (reverse): spokes read the hub's x -> ghost.
+        stats = cluster.run_job(dg, EdgeMapJob(name="j", spec=EdgeMapSpec(
+            direction="pull", source="x", target="t", op=ReduceOp.SUM,
+            reverse=True)))
+        # Pre-sync = (P-1) messages per read prop per owner with ghosts.
+        assert stats.bytes_by_kind["ghost_sync"] > 0
+        # All 60 reads of the hub were served locally from ghost columns;
+        # only the filler chain's partition-crossing edges go remote.
+        src, dst = g.edge_list()
+        filler_crossing = int((dg.partitioning.owners(src[60:])
+                               != dg.partitioning.owners(dst[60:])).sum())
+        assert stats.remote_reads == filler_crossing
+        assert stats.remote_reads < 60
+
+    def test_no_ghosts_no_sync_traffic(self, small_rmat):
+        cluster = make_cluster(4, None)
+        dg = cluster.load_graph(small_rmat)
+        dg.add_property("x", init=1.0)
+        dg.add_property("t", init=0.0)
+        stats = cluster.run_job(dg, EdgeMapJob(name="j", spec=EdgeMapSpec(
+            direction="pull", source="x", target="t", op=ReduceOp.SUM)))
+        assert stats.bytes_by_kind.get("ghost_sync", 0) == 0
+
+    def test_ghost_values_are_fresh_each_job(self):
+        """Pre-sync must re-broadcast after the owner's value changes."""
+        g = star()
+        cluster = make_cluster(4, 10)
+        dg = cluster.load_graph(g)
+        dg.add_property("x", init=1.0)
+        dg.add_property("t", init=0.0)
+        job = EdgeMapJob(name="j", spec=EdgeMapSpec(
+            direction="pull", source="x", target="t", op=ReduceOp.SUM,
+            reverse=True))
+        cluster.run_job(dg, job)
+        first = dg.gather("t").copy()
+        # change the hub's value via its owner, rerun
+        dg.machines[dg.partitioning.owner(0)].props["x"][0] = 5.0
+        dg.set_from_global("t", np.zeros(dg.num_nodes))
+        cluster.run_job(dg, job)
+        second = dg.gather("t")
+        spokes = np.arange(1, 61)
+        assert np.allclose(second[spokes], 5 * first[spokes])
+
+
+class TestPostSync:
+    def test_push_to_ghosted_hub_reduces_back(self):
+        g = star()
+        cluster = make_cluster(4, 10)
+        dg = cluster.load_graph(g)
+        dg.add_property("x", init=2.0)
+        dg.add_property("acc", init=0.0)
+        stats = cluster.run_job(dg, EdgeMapJob(name="j", spec=EdgeMapSpec(
+            direction="push", source="x", target="acc", op=ReduceOp.SUM)))
+        assert dg.gather("acc")[0] == pytest.approx(2.0 * 60)
+        # Pushes to the hub were absorbed by ghost copies, not write
+        # messages; only the filler chain's crossing edges go remote.
+        src, dst = g.edge_list()
+        filler_crossing = int((dg.partitioning.owners(src[60:])
+                               != dg.partitioning.owners(dst[60:])).sum())
+        assert stats.remote_writes == filler_crossing
+        assert stats.remote_writes < 60
+
+    def test_without_ghosts_hub_pushes_travel(self):
+        g = star()
+        cluster = make_cluster(4, None)
+        dg = cluster.load_graph(g)
+        dg.add_property("x", init=2.0)
+        dg.add_property("acc", init=0.0)
+        stats = cluster.run_job(dg, EdgeMapJob(name="j", spec=EdgeMapSpec(
+            direction="push", source="x", target="acc", op=ReduceOp.SUM)))
+        assert dg.gather("acc")[0] == pytest.approx(120.0)
+        assert stats.remote_writes > 0
+        assert (stats.bytes_by_kind["write_req"]
+                >= stats.remote_writes * WRITE_REQ_ITEM_BYTES)
+
+    @pytest.mark.parametrize("op,expected", [
+        (ReduceOp.SUM, 120.0),
+        (ReduceOp.MIN, 2.0),
+        (ReduceOp.MAX, 2.0),
+    ])
+    def test_two_stage_reduce_each_operator(self, op, expected):
+        g = star()
+        cluster = make_cluster(4, 10)
+        dg = cluster.load_graph(g)
+        dg.add_property("x", init=2.0)
+        dg.add_property("acc", init=op.bottom(np.float64))
+        cluster.run_job(dg, EdgeMapJob(name="j", spec=EdgeMapSpec(
+            direction="push", source="x", target="acc", op=op)))
+        assert dg.gather("acc")[0] == pytest.approx(expected)
+
+    def test_untouched_ghosts_do_not_corrupt(self):
+        """Ghost columns of written props start at bottom; owners of ghosts
+        that received no writes must keep their prior values."""
+        g = star()
+        cluster = make_cluster(4, 10)
+        dg = cluster.load_graph(g)
+        dg.add_property("x", init=1.0)
+        dg.add_property("acc", from_global=np.full(g.num_nodes, 7.0))
+        active = np.zeros(g.num_nodes, dtype=bool)  # nobody pushes
+        dg.add_property("on", dtype=np.bool_, from_global=active)
+        cluster.run_job(dg, EdgeMapJob(name="j", spec=EdgeMapSpec(
+            direction="push", source="x", target="acc", op=ReduceOp.SUM,
+            active="on")))
+        assert (dg.gather("acc") == 7.0).all()
+
+
+class TestTrafficConservation:
+    def test_read_request_and_response_byte_symmetry(self, medium_rmat):
+        cluster = make_cluster(4, None)
+        dg = cluster.load_graph(medium_rmat)
+        dg.add_property("x", init=1.0)
+        dg.add_property("t", init=0.0)
+        stats = cluster.run_job(dg, EdgeMapJob(name="j", spec=EdgeMapSpec(
+            direction="pull", source="x", target="t", op=ReduceOp.SUM)))
+        # 8 B per request item, 8 B per response item, same item counts:
+        # payload bytes match; headers differ by message count only.
+        req = stats.bytes_by_kind["read_req"]
+        resp = stats.bytes_by_kind["read_resp"]
+        assert req == pytest.approx(resp, rel=0.05)
+
+    def test_remote_read_count_equals_remote_edges(self, medium_rmat):
+        cluster = make_cluster(4, None)
+        dg = cluster.load_graph(medium_rmat)
+        dg.add_property("x", init=1.0)
+        dg.add_property("t", init=0.0)
+        stats = cluster.run_job(dg, EdgeMapJob(name="j", spec=EdgeMapSpec(
+            direction="pull", source="x", target="t", op=ReduceOp.SUM)))
+        src, dst = medium_rmat.edge_list()
+        owners = dg.partitioning.owners
+        remote_edges = int((owners(src) != owners(dst)).sum())
+        assert stats.remote_reads == remote_edges
+        assert stats.local_reads == medium_rmat.num_edges - remote_edges

@@ -1,0 +1,78 @@
+"""Heterogeneous clusters and straggler injection."""
+
+import numpy as np
+import pytest
+
+from repro import ClusterConfig, EdgeMapJob, EdgeMapSpec, PgxdCluster, ReduceOp, rmat
+from repro.algorithms import pagerank
+from repro.runtime.config import MachineConfig
+
+
+def base_config(machines=4):
+    return ClusterConfig(num_machines=machines).with_engine(
+        ghost_threshold=None, chunk_size=512, num_workers=8, num_copiers=2)
+
+
+class TestConfig:
+    def test_default_config_for_all_machines(self):
+        cfg = base_config()
+        assert cfg.machine_config(0) is cfg.machine
+        assert cfg.machine_config(3) is cfg.machine
+
+    def test_straggler_override(self):
+        cfg = base_config().with_straggler(2, 3.0)
+        slow = cfg.machine_config(2)
+        assert slow.cpu_op_time == pytest.approx(3 * cfg.machine.cpu_op_time)
+        assert slow.dram_random_bw == pytest.approx(cfg.machine.dram_random_bw / 3)
+        assert cfg.machine_config(0) is cfg.machine
+
+    def test_restacking_straggler_replaces(self):
+        cfg = base_config().with_straggler(1, 2.0).with_straggler(1, 5.0)
+        assert cfg.machine_config(1).cpu_op_time == pytest.approx(
+            5 * cfg.machine.cpu_op_time)
+        assert len(cfg.machine_overrides) == 1
+
+
+class TestStragglerEffects:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return rmat(2000, 16000, seed=11)
+
+    def run_pr(self, cfg, graph):
+        cluster = PgxdCluster(cfg)
+        dg = cluster.load_graph(graph)
+        r = pagerank(cluster, dg, "pull", max_iterations=3)
+        return r, cluster
+
+    def test_results_unaffected(self, graph):
+        r_even, _ = self.run_pr(base_config(), graph)
+        r_slow, _ = self.run_pr(base_config().with_straggler(1, 4.0), graph)
+        assert np.allclose(r_even.values["pr"], r_slow.values["pr"])
+
+    def test_straggler_slows_the_whole_cluster(self, graph):
+        r_even, _ = self.run_pr(base_config(), graph)
+        r_slow, _ = self.run_pr(base_config().with_straggler(1, 4.0), graph)
+        assert r_slow.time_per_iteration > r_even.time_per_iteration
+
+    def test_more_slowdown_more_damage(self, graph):
+        times = []
+        for f in (1.0, 4.0, 16.0):
+            cfg = base_config().with_straggler(1, f) if f > 1 else base_config()
+            r, _ = self.run_pr(cfg, graph)
+            times.append(r.time_per_iteration)
+        assert times == sorted(times)
+
+    def test_straggler_shows_as_inter_machine_imbalance(self, graph):
+        """Edge partitioning balances *work*, not heterogeneous speed: a
+        slow machine surfaces as inter-machine imbalance in the
+        Figure 6(c) decomposition."""
+        def inter_fraction(cfg):
+            cluster = PgxdCluster(cfg)
+            dg = cluster.load_graph(graph)
+            pagerank(cluster, dg, "pull", max_iterations=2)
+            st = [s for n, s in cluster.job_log if n == "pr_pull"][-1]
+            bd = st.breakdown(8)
+            return bd.inter_machine / max(bd.total, 1e-12)
+
+        assert (inter_fraction(base_config().with_straggler(0, 8.0))
+                > inter_fraction(base_config()))

@@ -1,0 +1,119 @@
+"""Message framing, request buffers, RMI registry (Section 3.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.messages import (HEADER_BYTES, Message, MsgKind, ReadBuffer,
+                                 RmiRegistry, SideStructure, WriteBuffer)
+from repro.core.properties import ReduceOp
+
+
+class TestWireBytes:
+    def test_read_request_8_bytes_per_item(self):
+        msg = Message(MsgKind.READ_REQ, src=0, dst=1,
+                      offsets=np.arange(10))
+        assert msg.wire_bytes() == HEADER_BYTES + 80
+
+    def test_read_response_8_bytes_per_item(self):
+        msg = Message(MsgKind.READ_RESP, src=0, dst=1,
+                      values=np.arange(10.0))
+        assert msg.wire_bytes() == HEADER_BYTES + 80
+
+    def test_write_request_16_bytes_per_item(self):
+        """Address + value, 8 B each — the Figure 8(a) framing."""
+        msg = Message(MsgKind.WRITE_REQ, src=0, dst=1,
+                      offsets=np.arange(5), values=np.arange(5.0),
+                      op=ReduceOp.SUM)
+        assert msg.wire_bytes() == HEADER_BYTES + 80
+
+    def test_control_message_header_only(self):
+        assert Message(MsgKind.CONTROL, src=0, dst=1).wire_bytes() == HEADER_BYTES
+
+    def test_payload_override(self):
+        msg = Message(MsgKind.CONTROL, src=0, dst=1,
+                      payload_bytes_override=1000)
+        assert msg.wire_bytes() == HEADER_BYTES + 1000
+
+    def test_unique_request_ids(self):
+        a = Message(MsgKind.READ_REQ, src=0, dst=1)
+        b = Message(MsgKind.READ_REQ, src=0, dst=1)
+        assert a.request_id != b.request_id
+
+
+class TestReadBuffer:
+    def test_accumulates_bytes(self):
+        buf = ReadBuffer()
+        buf.append(np.arange(4), np.arange(4))
+        assert buf.nbytes == 32
+        buf.append(np.arange(2), np.arange(2))
+        assert buf.nbytes == 48
+
+    def test_drain_concatenates_in_order(self):
+        buf = ReadBuffer()
+        buf.append(np.array([1, 2]), np.array([10, 20]))
+        buf.append(np.array([3]), np.array([30]))
+        offsets, rows, weights = buf.drain()
+        assert offsets.tolist() == [1, 2, 3]
+        assert rows.tolist() == [10, 20, 30]
+        assert weights is None
+        assert buf.empty and buf.nbytes == 0
+
+    def test_drain_with_weights(self):
+        buf = ReadBuffer()
+        buf.append(np.array([1]), np.array([0]), np.array([0.5]))
+        _, _, weights = buf.drain()
+        assert weights.tolist() == [0.5]
+
+
+class TestWriteBuffer:
+    def test_accumulates_16b_per_item(self):
+        buf = WriteBuffer()
+        buf.append(np.arange(3), np.ones(3))
+        assert buf.nbytes == 48
+
+    def test_drain(self):
+        buf = WriteBuffer()
+        buf.append(np.array([7]), np.array([1.5]))
+        offsets, values = buf.drain()
+        assert offsets.tolist() == [7] and values.tolist() == [1.5]
+        assert buf.empty
+
+
+class TestRmiRegistry:
+    def test_register_and_lookup(self):
+        reg = RmiRegistry()
+        fn = lambda view: None
+        fn_id = reg.register(fn, name="ping")
+        assert reg.lookup(fn_id) is fn
+        assert reg.id_of("ping") == fn_id
+
+    def test_ids_are_compact(self):
+        reg = RmiRegistry()
+        ids = [reg.register(lambda: None, name=f"f{i}") for i in range(3)]
+        assert ids == [0, 1, 2]
+
+    def test_duplicate_name_rejected(self):
+        reg = RmiRegistry()
+        reg.register(lambda: None, name="f")
+        with pytest.raises(KeyError):
+            reg.register(lambda: None, name="f")
+
+    def test_default_name_from_function(self):
+        reg = RmiRegistry()
+
+        def my_method(view):
+            pass
+
+        fn_id = reg.register(my_method)
+        assert reg.id_of("my_method") == fn_id
+
+
+class TestSideStructure:
+    def test_holds_vectorized_state(self):
+        side = SideStructure(request_id=1, prop="x", rows=np.arange(3))
+        assert side.rows.tolist() == [0, 1, 2] and side.tasks == []
+
+    def test_holds_scalar_tasks(self):
+        side = SideStructure(request_id=2, prop="x",
+                             tasks=[("task", 0, 1, 0.0, None)])
+        assert side.rows is None and len(side.tasks) == 1

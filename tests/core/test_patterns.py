@@ -1,0 +1,166 @@
+"""Distributed pattern matching (Section 6.2 future work), vs networkx."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro import from_edges, rmat
+from repro.patterns import (MatchResult, Pattern, PatternMatcher,
+                            diamond_pattern, path_pattern, star_pattern,
+                            triangle_pattern)
+from tests.conftest import make_cluster
+
+
+def nx_match_count(graph, pattern: Pattern) -> int:
+    """Oracle: count injective homomorphisms with networkx subgraph search.
+
+    We count label-assigned matches (ordered), i.e. the number of injective
+    maps query->data preserving all query edges.
+    """
+    dg = nx.DiGraph()
+    src, dst = graph.edge_list()
+    dg.add_nodes_from(range(graph.num_nodes))
+    dg.add_edges_from(zip(src.tolist(), dst.tolist()))
+    names = [v.name for v in pattern.vertices]
+    name_idx = {n: i for i, n in enumerate(names)}
+    edges = [(name_idx[s], name_idx[d]) for s, d in pattern.edges]
+
+    count = 0
+    import itertools
+
+    for combo in itertools.permutations(range(graph.num_nodes), len(names)):
+        ok = all(dg.has_edge(combo[s], combo[d]) for s, d in edges)
+        if ok:
+            # degree constraints
+            for i, pv in enumerate(pattern.vertices):
+                if dg.out_degree(combo[i]) < pv.min_out_degree:
+                    ok = False
+                if dg.in_degree(combo[i]) < pv.min_in_degree:
+                    ok = False
+        if ok:
+            count += 1
+    return count
+
+
+@pytest.fixture
+def matcher_factory():
+    def make(graph, **kwargs):
+        cluster = make_cluster(3, None)
+        dg = cluster.load_graph(graph)
+        return PatternMatcher(cluster, dg, **kwargs)
+
+    return make
+
+
+@pytest.fixture
+def small_graph():
+    # dedup'ed so matches equal simple-digraph matches
+    return rmat(14, 40, seed=3, dedup=True)
+
+
+class TestPlanning:
+    def test_path_plan_is_sequential(self):
+        order, steps, checks = path_pattern(3).plan()
+        assert order == [0, 1, 2, 3]
+        assert all(not c for c in checks)
+
+    def test_triangle_has_one_check_edge(self):
+        order, steps, checks = triangle_pattern().plan()
+        assert len(steps) == 2
+        assert sum(len(c) for c in checks) == 1
+
+    def test_disconnected_pattern_rejected(self):
+        p = Pattern().vertex("a").vertex("b")
+        with pytest.raises(ValueError):
+            p.plan()
+
+    def test_empty_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            Pattern().plan()
+
+    def test_duplicate_vertex_rejected(self):
+        with pytest.raises(ValueError):
+            Pattern().vertex("a").vertex("a")
+
+    def test_edge_with_unknown_vertex_rejected(self):
+        with pytest.raises(ValueError):
+            Pattern().vertex("a").edge("a", "b")
+
+
+class TestCorrectness:
+    def test_single_edge_count(self, matcher_factory, small_graph):
+        m = matcher_factory(small_graph)
+        result = m.find(path_pattern(1))
+        assert result.num_matches == nx_match_count(small_graph, path_pattern(1))
+
+    def test_path2_matches(self, matcher_factory, small_graph):
+        m = matcher_factory(small_graph)
+        result = m.find(path_pattern(2))
+        assert result.num_matches == nx_match_count(small_graph, path_pattern(2))
+
+    def test_triangle_matches(self, matcher_factory, small_graph):
+        m = matcher_factory(small_graph)
+        result = m.find(triangle_pattern())
+        assert result.num_matches == nx_match_count(small_graph,
+                                                    triangle_pattern())
+
+    def test_diamond_matches(self, matcher_factory):
+        g = rmat(10, 30, seed=9, dedup=True)
+        m = matcher_factory(g)
+        result = m.find(diamond_pattern())
+        assert result.num_matches == nx_match_count(g, diamond_pattern())
+
+    def test_matches_satisfy_edges(self, matcher_factory, small_graph):
+        m = matcher_factory(small_graph)
+        result = m.find(triangle_pattern())
+        src, dst = small_graph.edge_list()
+        edge_set = set(zip(src.tolist(), dst.tolist()))
+        for a, b, c in result.matches:
+            assert (a, b) in edge_set and (b, c) in edge_set and (c, a) in edge_set
+            assert len({a, b, c}) == 3
+
+    def test_known_triangle(self, matcher_factory):
+        g = from_edges([0, 1, 2, 0], [1, 2, 0, 3], num_nodes=4)
+        m = matcher_factory(g)
+        result = m.find(triangle_pattern())
+        # one 3-cycle, counted once per rotation (3 labeled matches)
+        assert result.num_matches == 3
+
+    def test_no_match(self, matcher_factory):
+        g = from_edges([0, 1], [1, 2], num_nodes=3)  # no cycle
+        m = matcher_factory(g)
+        assert m.find(triangle_pattern()).num_matches == 0
+
+    def test_degree_constraints(self, matcher_factory):
+        # hub with 3 out-edges, plus an unrelated edge
+        g = from_edges([0, 0, 0, 4], [1, 2, 3, 5], num_nodes=6)
+        m = matcher_factory(g)
+        res = m.find(star_pattern(2))
+        # only vertex 0 qualifies as hub (min_out_degree=2): 3*2 ordered spokes
+        assert res.num_matches == 6
+        for row in res.matches:
+            assert row[0] == 0
+
+
+class TestCostProfile:
+    def test_contexts_and_bytes_reported(self, matcher_factory):
+        g = rmat(200, 1600, seed=4, dedup=True)
+        m = matcher_factory(g)
+        res = m.find(path_pattern(2))
+        assert res.contexts_materialized >= res.num_matches
+        assert res.bytes_shipped > 0
+        assert res.simulated_seconds > 0
+
+    def test_longer_paths_ship_more_bytes(self, matcher_factory):
+        g = rmat(200, 1600, seed=4, dedup=True)
+        r1 = matcher_factory(g).find(path_pattern(1))
+        r2 = matcher_factory(g).find(path_pattern(2))
+        assert r2.bytes_shipped > r1.bytes_shipped
+
+    def test_context_explosion_guard(self, matcher_factory):
+        """The Section 6.2 concern: partial solutions explode; the matcher
+        enforces a memory cap instead of dying silently."""
+        g = rmat(300, 4000, seed=5)
+        m = matcher_factory(g, max_contexts=1000)
+        with pytest.raises(MemoryError):
+            m.find(path_pattern(3))

@@ -1,0 +1,105 @@
+"""Reduction operators and the column-oriented property store."""
+
+import numpy as np
+import pytest
+
+from repro.core.properties import PropertyStore, ReduceOp
+
+
+class TestBottomValues:
+    def test_sum_bottom(self):
+        assert ReduceOp.SUM.bottom(np.float64) == 0.0
+
+    def test_min_bottom_float(self):
+        assert ReduceOp.MIN.bottom(np.float64) == np.inf
+
+    def test_max_bottom_float(self):
+        assert ReduceOp.MAX.bottom(np.float64) == -np.inf
+
+    def test_min_bottom_int(self):
+        assert ReduceOp.MIN.bottom(np.int64) == np.iinfo(np.int64).max
+
+    def test_bool_bottoms(self):
+        assert ReduceOp.AND.bottom(np.bool_) is True
+        assert ReduceOp.OR.bottom(np.bool_) is False
+
+    def test_bottom_is_identity(self):
+        """Reducing the bottom into any value leaves it unchanged."""
+        for op in (ReduceOp.SUM, ReduceOp.MIN, ReduceOp.MAX):
+            bottom = op.bottom(np.float64)
+            assert op.scalar(3.5, bottom) == 3.5
+
+
+class TestApplyAt:
+    def test_sum_accumulates_duplicates(self):
+        arr = np.zeros(3)
+        ReduceOp.SUM.apply_at(arr, np.array([1, 1, 2]), np.array([1.0, 2.0, 5.0]))
+        assert arr.tolist() == [0.0, 3.0, 5.0]
+
+    def test_min_with_duplicates(self):
+        arr = np.full(2, 10.0)
+        ReduceOp.MIN.apply_at(arr, np.array([0, 0]), np.array([7.0, 3.0]))
+        assert arr[0] == 3.0
+
+    def test_max(self):
+        arr = np.zeros(2)
+        ReduceOp.MAX.apply_at(arr, np.array([1]), np.array([9.0]))
+        assert arr.tolist() == [0.0, 9.0]
+
+    def test_and_or(self):
+        arr = np.array([True, True])
+        ReduceOp.AND.apply_at(arr, np.array([0]), np.array([False]))
+        assert arr.tolist() == [False, True]
+        arr2 = np.array([False, False])
+        ReduceOp.OR.apply_at(arr2, np.array([1]), np.array([True]))
+        assert arr2.tolist() == [False, True]
+
+    def test_overwrite(self):
+        arr = np.zeros(2)
+        ReduceOp.OVERWRITE.apply_at(arr, np.array([0]), np.array([4.0]))
+        assert arr[0] == 4.0
+
+    def test_combine_matches_apply_at(self):
+        for op in (ReduceOp.SUM, ReduceOp.MIN, ReduceOp.MAX):
+            a = np.array([1.0, 5.0, -2.0])
+            b = np.array([4.0, 2.0, -7.0])
+            combined = op.combine(a.copy(), b)
+            via_apply = a.copy()
+            op.apply_at(via_apply, np.arange(3), b)
+            assert np.array_equal(combined, via_apply)
+
+    def test_scalar_matches_combine(self):
+        for op in (ReduceOp.SUM, ReduceOp.MIN, ReduceOp.MAX):
+            assert op.scalar(3.0, 5.0) == op.combine(
+                np.array([3.0]), np.array([5.0]))[0]
+
+
+class TestPropertyStore:
+    def test_add_and_read(self):
+        ps = PropertyStore(4)
+        arr = ps.add("x", init=2.5)
+        assert arr.shape == (4,) and (arr == 2.5).all()
+        assert ps["x"] is arr
+
+    def test_duplicate_rejected(self):
+        ps = PropertyStore(4)
+        ps.add("x")
+        with pytest.raises(KeyError):
+            ps.add("x")
+
+    def test_drop(self):
+        ps = PropertyStore(4)
+        ps.add("x")
+        ps.drop("x")
+        assert "x" not in ps
+
+    def test_dtype(self):
+        ps = PropertyStore(4)
+        ps.add("flag", dtype=np.bool_, init=True)
+        assert ps.dtype("flag") == np.bool_
+
+    def test_names_sorted(self):
+        ps = PropertyStore(2)
+        ps.add("b")
+        ps.add("a")
+        assert ps.names() == ["a", "b"]

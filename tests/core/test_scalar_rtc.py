@@ -1,0 +1,221 @@
+"""The general RTC programming model: custom tasks, continuations, RMI.
+
+These exercise the paper's Section 4.1 API directly — hand-written task
+classes with ``run()``/``read_done()``/``filter()`` — on the scalar path.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (InNbrIterTask, NodeIterTask, OutNbrIterTask, ReduceOp,
+                   TaskJob, rmat)
+from repro.core.tasks import spec_task, EdgeMapSpec
+from tests.conftest import make_cluster
+
+
+@pytest.fixture
+def setup(small_rmat):
+    cluster = make_cluster(3, 30)
+    dg = cluster.load_graph(small_rmat)
+    return cluster, dg, small_rmat
+
+
+class TestPushTask:
+    def test_paper_push_example(self, setup):
+        """The my_task_push listing: t.foo += n.bar over out-neighbors."""
+        cluster, dg, g = setup
+        dg.add_property("bar", from_global=np.arange(g.num_nodes, dtype=float))
+        dg.add_property("foo", init=0.0)
+
+        class MyTaskPush(OutNbrIterTask):
+            def run(self, ctx):
+                bar_val = ctx.get_local(ctx.node_id(), "bar")
+                ctx.write_remote(ctx.nbr_id(), "foo", bar_val, ReduceOp.SUM)
+
+        cluster.run_job(dg, TaskJob(name="push", task_cls=MyTaskPush,
+                                    reads=("bar",),
+                                    writes=(("foo", ReduceOp.SUM),)))
+        src, dst = g.edge_list()
+        want = np.zeros(g.num_nodes)
+        np.add.at(want, dst, np.arange(g.num_nodes, dtype=float)[src])
+        assert np.allclose(dg.gather("foo"), want)
+
+
+class TestPullTask:
+    def test_paper_pull_example(self, setup):
+        """The my_task_pull listing: n.foo += t.bar over in-neighbors,
+        with the continuation arriving via read_done()."""
+        cluster, dg, g = setup
+        dg.add_property("bar", from_global=np.arange(g.num_nodes, dtype=float))
+        dg.add_property("foo", init=0.0)
+
+        class MyTaskPull(InNbrIterTask):
+            def run(self, ctx):
+                ctx.read_remote(ctx.nbr_id(), "bar")
+
+            def read_done(self, ctx, value, tag=None):
+                curr = ctx.get_local(ctx.node_id(), "foo")
+                ctx.set_local(ctx.node_id(), curr + value, "foo")
+
+        cluster.run_job(dg, TaskJob(name="pull", task_cls=MyTaskPull,
+                                    reads=("bar",),
+                                    writes=(("foo", ReduceOp.SUM),)))
+        src, dst = g.edge_list()
+        want = np.zeros(g.num_nodes)
+        np.add.at(want, dst, np.arange(g.num_nodes, dtype=float)[src])
+        assert np.allclose(dg.gather("foo"), want)
+
+    def test_tag_carries_edge_state_to_continuation(self, setup):
+        """State needed after continuation travels in the side structure."""
+        cluster, dg, g = setup
+        g.edge_weights = np.full(g.num_edges, 2.0)
+        cluster2 = make_cluster(3, 30)
+        dg2 = cluster2.load_graph(g)
+        dg2.add_property("bar", init=1.0)
+        dg2.add_property("foo", init=0.0)
+
+        class WeightedPull(InNbrIterTask):
+            def run(self, ctx):
+                ctx.read_remote(ctx.nbr_id(), "bar", tag=ctx.edge_weight())
+
+            def read_done(self, ctx, value, tag=None):
+                curr = ctx.get_local(ctx.node_id(), "foo")
+                ctx.set_local(ctx.node_id(), curr + value * tag, "foo")
+
+        cluster2.run_job(dg2, TaskJob(name="wpull", task_cls=WeightedPull,
+                                      reads=("bar",),
+                                      writes=(("foo", ReduceOp.SUM),)))
+        want = g.in_degrees() * 2.0
+        assert np.allclose(dg2.gather("foo"), want)
+
+
+class TestFilter:
+    def test_filter_skips_inactive_nodes(self, setup):
+        cluster, dg, g = setup
+        active = np.arange(g.num_nodes) % 2 == 0
+        dg.add_property("active", dtype=np.bool_, from_global=active)
+        dg.add_property("hits", init=0.0)
+
+        class FilteredTask(OutNbrIterTask):
+            def filter(self, ctx):
+                return bool(ctx.get_local(ctx.node_id(), "active"))
+
+            def run(self, ctx):
+                ctx.write_remote(ctx.nbr_id(), "hits", 1.0, ReduceOp.SUM)
+
+        cluster.run_job(dg, TaskJob(name="f", task_cls=FilteredTask,
+                                    reads=("active",),
+                                    writes=(("hits", ReduceOp.SUM),)))
+        src, dst = g.edge_list()
+        want = np.zeros(g.num_nodes)
+        np.add.at(want, dst[active[src]], 1.0)
+        assert np.allclose(dg.gather("hits"), want)
+
+    def test_deactivation_from_run(self, setup):
+        """A node can deactivate itself via set_local, visible next job."""
+        cluster, dg, g = setup
+        dg.add_property("active", dtype=np.bool_, init=True)
+        dg.add_property("count", init=0.0)
+
+        class SelfDeactivate(NodeIterTask):
+            def filter(self, ctx):
+                return bool(ctx.get_local(ctx.node_id(), "active"))
+
+            def run(self, ctx):
+                c = ctx.get_local(ctx.node_id(), "count")
+                ctx.set_local(ctx.node_id(), c + 1.0, "count")
+                ctx.set_local(ctx.node_id(), False, "active")
+
+        job = TaskJob(name="once", task_cls=SelfDeactivate,
+                      reads=("active",), writes=(("count", ReduceOp.SUM),
+                                                 ("active", ReduceOp.OVERWRITE)))
+        cluster.run_job(dg, job)
+        cluster.run_job(dg, job)  # second pass: everyone inactive
+        assert (dg.gather("count") == 1.0).all()
+
+
+class TestNodeIterTask:
+    def test_runs_once_per_node(self, setup):
+        cluster, dg, g = setup
+        dg.add_property("seen", init=0.0)
+
+        class MarkTask(NodeIterTask):
+            def run(self, ctx):
+                ctx.set_local(ctx.node_id(),
+                              ctx.get_local(ctx.node_id(), "seen") + 1, "seen")
+
+        cluster.run_job(dg, TaskJob(name="mark", task_cls=MarkTask,
+                                    writes=(("seen", ReduceOp.SUM),)))
+        assert (dg.gather("seen") == 1.0).all()
+
+    def test_task_object_state_machine(self, setup):
+        """Multiple read_done callbacks distinguished by task-object state —
+        the Section 4.1.2 state-machine pattern."""
+        cluster, dg, g = setup
+        dg.add_property("a", init=2.0)
+        dg.add_property("b", init=3.0)
+        dg.add_property("out", init=0.0)
+
+        class TwoReads(NodeIterTask):
+            def __init__(self):
+                self.stage = 0
+                self.first = None
+
+            def run(self, ctx):
+                target = (ctx.node_id() + 1) % 300
+                ctx.read_remote(target, "a")
+
+            def read_done(self, ctx, value, tag=None):
+                if self.stage == 0:
+                    self.stage = 1
+                    self.first = value
+                    target = (ctx.node_id() + 1) % 300
+                    ctx.read_remote(target, "b")
+                else:
+                    ctx.set_local(ctx.node_id(), self.first * value, "out")
+
+        cluster.run_job(dg, TaskJob(name="chain", task_cls=TwoReads,
+                                    reads=("a", "b"),
+                                    writes=(("out", ReduceOp.OVERWRITE),)))
+        assert (dg.gather("out") == 6.0).all()
+
+
+class TestRmi:
+    def test_remote_method_invocation(self, setup):
+        cluster, dg, g = setup
+        calls = []
+
+        def bump(view, amount):
+            calls.append((view.machine_index, amount))
+            view["counter"][:] += amount
+
+        fn_id = cluster.register_rmi(bump)
+        dg.add_property("counter", init=0.0)
+
+        class CallOut(NodeIterTask):
+            def run(self, ctx):
+                if ctx.node_id() == 0:
+                    for m in range(3):
+                        ctx.call_remote(m, fn_id, 5.0)
+
+        cluster.run_job(dg, TaskJob(name="rmi", task_cls=CallOut))
+        assert sorted(m for m, _ in calls) == [0, 1, 2]
+        assert (dg.gather("counter") == 5.0).all()
+
+
+class TestSpecTaskGeneration:
+    def test_generated_class_kind(self):
+        spec = EdgeMapSpec(direction="pull", source="a", target="b",
+                           op=ReduceOp.SUM)
+        cls = spec_task(spec, name="GenPull")
+        assert cls.ITER == "in" and cls.__name__ == "GenPull"
+
+    def test_generated_reverse_kind(self):
+        spec = EdgeMapSpec(direction="push", source="a", target="b",
+                           op=ReduceOp.SUM, reverse=True)
+        assert spec_task(spec).ITER == "in"
+
+    def test_invalid_direction_rejected(self):
+        with pytest.raises(ValueError):
+            EdgeMapSpec(direction="sideways", source="a", target="b",
+                        op=ReduceOp.SUM)

@@ -1,0 +1,97 @@
+"""Chrome-trace exporter."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import EdgeMapJob, EdgeMapSpec, ReduceOp, rmat
+from repro.trace import TraceEvent, Tracer
+from tests.conftest import make_cluster
+
+
+@pytest.fixture
+def traced(small_rmat):
+    cluster = make_cluster(3, 30)
+    dg = cluster.load_graph(small_rmat)
+    dg.add_property("x", init=1.0)
+    dg.add_property("t", init=0.0)
+    tracer = Tracer(cluster)
+    with tracer:
+        cluster.run_job(dg, EdgeMapJob(name="j", spec=EdgeMapSpec(
+            direction="pull", source="x", target="t", op=ReduceOp.SUM)))
+    return cluster, dg, tracer
+
+
+class TestTracer:
+    def test_captures_all_categories(self, traced):
+        _, _, tracer = traced
+        cats = {e.category for e in tracer.events}
+        assert cats == {"worker", "copier", "network"}
+
+    def test_events_have_valid_spans(self, traced):
+        cluster, _, tracer = traced
+        for e in tracer.events:
+            assert e.duration >= 0
+            assert 0 <= e.start <= cluster.now
+            assert e.start + e.duration <= cluster.now + 1e-12
+
+    def test_worker_lanes_match_config(self, traced):
+        _, _, tracer = traced
+        lanes = {e.tid for e in tracer.events if e.category == "worker"}
+        assert lanes <= {f"worker {w}" for w in range(4)}
+        assert lanes
+
+    def test_network_events_carry_bytes(self, traced):
+        _, _, tracer = traced
+        net = [e for e in tracer.events if e.category == "network"]
+        assert net and all(e.args["bytes"] > 0 for e in net)
+
+    def test_uninstall_restores_hooks(self, traced, small_rmat):
+        cluster, dg, tracer = traced
+        n_before = len(tracer.events)
+        cluster.run_job(dg, EdgeMapJob(name="j2", spec=EdgeMapSpec(
+            direction="pull", source="x", target="t", op=ReduceOp.SUM)))
+        assert len(tracer.events) == n_before  # no longer recording
+
+    def test_double_install_rejected(self, small_rmat):
+        cluster = make_cluster(2, None)
+        tracer = Tracer(cluster)
+        with tracer:
+            with pytest.raises(RuntimeError):
+                tracer.install()
+
+    def test_tracing_does_not_change_results_or_times(self, small_rmat):
+        def run(trace):
+            cluster = make_cluster(3, 30)
+            dg = cluster.load_graph(small_rmat)
+            dg.add_property("x", init=1.0)
+            dg.add_property("t", init=0.0)
+            job = EdgeMapJob(name="j", spec=EdgeMapSpec(
+                direction="pull", source="x", target="t", op=ReduceOp.SUM))
+            if trace:
+                with Tracer(cluster):
+                    stats = cluster.run_job(dg, job)
+            else:
+                stats = cluster.run_job(dg, job)
+            return dg.gather("t"), stats.elapsed
+
+        (v1, t1), (v2, t2) = run(True), run(False)
+        assert np.array_equal(v1, v2)
+        assert t1 == t2
+
+    def test_chrome_json_round_trip(self, traced, tmp_path):
+        _, _, tracer = traced
+        path = tmp_path / "trace.json"
+        tracer.save(path)
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        assert any(e.get("ph") == "M" for e in events)  # process metadata
+        xs = [e for e in events if e.get("ph") == "X"]
+        assert len(xs) == len(tracer.events)
+        assert all("ts" in e and "dur" in e for e in xs)
+
+    def test_busy_summary_positive(self, traced):
+        _, _, tracer = traced
+        summary = tracer.busy_summary()
+        assert all(v > 0 for v in summary.values())

@@ -1,0 +1,94 @@
+"""Node and edge chunking (Section 3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.chunking import (chunk_edge_counts, edge_chunks, make_chunks,
+                                  node_chunks)
+
+
+class TestNodeChunks:
+    def test_covers_range(self):
+        chunks = node_chunks(100, 32)
+        assert chunks[0] == (0, 32)
+        assert chunks[-1] == (96, 100)
+        assert sum(hi - lo for lo, hi in chunks) == 100
+
+    def test_exact_division(self):
+        assert node_chunks(64, 16) == [(0, 16), (16, 32), (32, 48), (48, 64)]
+
+    def test_empty(self):
+        assert node_chunks(0, 16) == []
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            node_chunks(10, 0)
+
+
+class TestEdgeChunks:
+    def test_balanced_on_uniform_degrees(self):
+        starts = np.arange(0, 101 * 4, 4)  # 100 nodes, degree 4 each
+        chunks = edge_chunks(starts, 40)
+        counts = chunk_edge_counts(starts, chunks)
+        assert counts.max() <= 44 and counts.min() >= 36
+
+    def test_covers_all_nodes(self, small_rmat):
+        chunks = edge_chunks(small_rmat.out_starts, 100)
+        assert chunks[0][0] == 0 and chunks[-1][1] == small_rmat.num_nodes
+        covered = sum(hi - lo for lo, hi in chunks)
+        assert covered == small_rmat.num_nodes
+
+    def test_hub_gets_own_chunk(self):
+        # degrees: 1, 1000, 1, 1
+        starts = np.array([0, 1, 1001, 1002, 1003])
+        chunks = edge_chunks(starts, 10)
+        hub_chunks = [c for c in chunks if c[0] <= 1 < c[1]]
+        assert hub_chunks == [(1, 2)]
+
+    def test_never_splits_a_node(self, small_rmat):
+        chunks = edge_chunks(small_rmat.out_starts, 50)
+        boundaries = [lo for lo, _ in chunks] + [chunks[-1][1]]
+        assert boundaries == sorted(set(boundaries))
+
+    def test_bounds_max_chunk_weight_on_skewed_graph(self, small_rmat):
+        """Edge chunking's whole point: no chunk is much heavier than the
+        target unless a single node exceeds it."""
+        starts = small_rmat.out_starts
+        target = 100
+        counts = chunk_edge_counts(starts, edge_chunks(starts, target))
+        max_degree = np.diff(starts).max()
+        assert counts.max() <= target + max_degree
+
+    def test_zero_edges(self):
+        starts = np.zeros(11, dtype=np.int64)
+        chunks = edge_chunks(starts, 100)
+        assert sum(hi - lo for lo, hi in chunks) == 10
+
+    def test_empty_rows(self):
+        assert edge_chunks(np.array([0]), 10) == []
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            edge_chunks(np.array([0, 5]), 0)
+
+
+class TestMakeChunks:
+    def test_edge_strategy(self, small_rmat):
+        chunks = make_chunks(small_rmat.out_starts, "edge", 100)
+        counts = chunk_edge_counts(small_rmat.out_starts, chunks)
+        assert len(chunks) > 5 and counts.sum() == small_rmat.num_edges
+
+    def test_node_strategy_scales_by_avg_degree(self, small_rmat):
+        chunks = make_chunks(small_rmat.out_starts, "node", 60)
+        sizes = {hi - lo for lo, hi in chunks[:-1]}
+        assert len(sizes) == 1  # uniform node counts
+
+    def test_node_chunking_worse_balance_on_skew(self, small_rmat):
+        starts = small_rmat.out_starts
+        e_counts = chunk_edge_counts(starts, make_chunks(starts, "edge", 100))
+        n_counts = chunk_edge_counts(starts, make_chunks(starts, "node", 100))
+        assert n_counts.max() > e_counts.max()
+
+    def test_unknown_strategy(self, small_rmat):
+        with pytest.raises(ValueError):
+            make_chunks(small_rmat.out_starts, "spiral", 10)

@@ -1,0 +1,149 @@
+"""Graph generators: sizes, determinism, skew, presets."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (PAPER_GRAPHS, grid_graph, paper_graph,
+                                    rmat, uniform_random, with_uniform_weights)
+
+
+class TestRmat:
+    def test_exact_counts(self):
+        g = rmat(512, 4000, seed=1)
+        assert g.num_nodes == 512 and g.num_edges == 4000
+
+    def test_non_power_of_two_nodes(self):
+        g = rmat(300, 2000, seed=2)
+        assert g.num_nodes == 300
+        assert g.out_nbrs.max() < 300
+
+    def test_deterministic_with_seed(self):
+        g1, g2 = rmat(256, 2048, seed=7), rmat(256, 2048, seed=7)
+        assert np.array_equal(g1.out_nbrs, g2.out_nbrs)
+        assert np.array_equal(g1.out_starts, g2.out_starts)
+
+    def test_different_seeds_differ(self):
+        g1, g2 = rmat(256, 2048, seed=7), rmat(256, 2048, seed=8)
+        assert not np.array_equal(g1.out_nbrs, g2.out_nbrs)
+
+    def test_skewed_degree_distribution(self):
+        g = rmat(1024, 16384, seed=3)
+        deg = g.total_degrees()
+        # Heavy tail: the top 1% of nodes hold far more than 1% of edges.
+        top = np.sort(deg)[-10:]
+        assert top.sum() > 0.08 * deg.sum()
+
+    def test_more_skew_with_higher_a(self):
+        g_hi = rmat(1024, 16384, a=0.7, b=0.1, c=0.1, seed=4)
+        g_lo = rmat(1024, 16384, a=0.3, b=0.25, c=0.25, seed=4)
+        assert g_hi.total_degrees().max() > g_lo.total_degrees().max()
+
+    def test_dedup_option(self):
+        g = rmat(64, 2000, seed=5, dedup=True)
+        src, dst = g.edge_list()
+        pairs = list(zip(src.tolist(), dst.tolist()))
+        assert len(pairs) == len(set(pairs))
+
+    def test_invalid_probabilities_rejected(self):
+        with pytest.raises(ValueError):
+            rmat(64, 100, a=0.8, b=0.2, c=0.2)
+
+    def test_invalid_node_count_rejected(self):
+        with pytest.raises(ValueError):
+            rmat(0, 100)
+
+
+class TestUniformRandom:
+    def test_counts(self):
+        g = uniform_random(1000, 5000, seed=1)
+        assert g.num_nodes == 1000 and g.num_edges == 5000
+
+    def test_deterministic(self):
+        a, b = uniform_random(100, 500, seed=3), uniform_random(100, 500, seed=3)
+        assert np.array_equal(a.out_nbrs, b.out_nbrs)
+
+    def test_degrees_roughly_uniform(self):
+        g = uniform_random(1000, 50000, seed=2)
+        deg = g.out_degrees()
+        assert deg.max() < 5 * deg.mean()
+
+    def test_crossing_edge_fraction(self):
+        """The Figure 4 property: (P-1)/P of edges cross, however partitioned."""
+        from repro.graph.partition import edge_partition
+
+        g = uniform_random(2000, 40000, seed=4)
+        p = edge_partition(g, 4)
+        src, dst = g.edge_list()
+        crossing = (p.owners(src) != p.owners(dst)).mean()
+        assert crossing == pytest.approx(3 / 4, abs=0.03)
+
+
+class TestGridGraph:
+    def test_bidirectional_edge_count(self):
+        g = grid_graph(3, 4)
+        # horizontal: 3*3, vertical: 2*4 -> 17, doubled = 34
+        assert g.num_edges == 34
+
+    def test_unidirectional(self):
+        g = grid_graph(3, 4, bidirectional=False)
+        assert g.num_edges == 17
+
+    def test_corner_degree(self):
+        g = grid_graph(3, 3)
+        assert g.out_degrees()[0] == 2  # corner has 2 neighbors
+
+    def test_connected(self):
+        import networkx as nx
+
+        g = grid_graph(4, 5)
+        assert nx.is_strongly_connected(g.to_networkx())
+
+
+class TestWeights:
+    def test_uniform_weights_range(self, small_rmat):
+        g = with_uniform_weights(small_rmat, 2.0, 5.0, seed=1)
+        assert g.edge_weights.min() >= 2.0 and g.edge_weights.max() < 5.0
+
+    def test_weights_deterministic(self):
+        g1 = with_uniform_weights(rmat(64, 256, seed=1), seed=5)
+        g2 = with_uniform_weights(rmat(64, 256, seed=1), seed=5)
+        assert np.array_equal(g1.edge_weights, g2.edge_weights)
+
+
+class TestPaperGraphs:
+    def test_all_presets_exist(self):
+        assert set(PAPER_GRAPHS) == {"TWT", "WEB", "LJ", "WIK", "UNI"}
+
+    def test_scaled_sizes(self):
+        g = paper_graph("TWT", scale=1 / 10000)
+        spec = PAPER_GRAPHS["TWT"]
+        assert g.num_nodes == pytest.approx(spec.paper_nodes / 10000, rel=0.01)
+        assert g.num_edges == pytest.approx(spec.paper_edges / 10000, rel=0.01)
+
+    def test_average_degree_preserved(self):
+        g = paper_graph("WEB", scale=1 / 5000)
+        spec = PAPER_GRAPHS["WEB"]
+        paper_avg = spec.paper_edges / spec.paper_nodes
+        assert g.num_edges / g.num_nodes == pytest.approx(paper_avg, rel=0.05)
+
+    def test_uni_is_uniform(self):
+        g = paper_graph("UNI", scale=1 / 20000)
+        deg = g.out_degrees()
+        assert deg.max() < 6 * max(1.0, deg.mean())
+
+    def test_twt_is_skewed(self):
+        g = paper_graph("TWT", scale=1 / 10000)
+        assert g.out_degrees().max() > 30 * g.out_degrees().mean()
+
+    def test_weighted_flag(self):
+        g = paper_graph("LJ", scale=1 / 10000, weighted=True)
+        assert g.edge_weights is not None
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            paper_graph("NOPE")
+
+    def test_deterministic(self):
+        a = paper_graph("WIK", scale=1 / 10000)
+        b = paper_graph("WIK", scale=1 / 10000)
+        assert np.array_equal(a.out_nbrs, b.out_nbrs)

@@ -1,0 +1,81 @@
+"""Graph file formats: text edge list and binary (Table 4 loaders)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.io import (binary_size_bytes, load_binary, load_edge_list,
+                            save_binary, save_edge_list, text_size_bytes)
+
+
+class TestEdgeListFormat:
+    def test_round_trip(self, tiny_graph, tmp_path):
+        path = tmp_path / "g.txt"
+        save_edge_list(tiny_graph, path)
+        g2 = load_edge_list(path)
+        assert g2.num_nodes == tiny_graph.num_nodes
+        assert np.array_equal(g2.out_nbrs, tiny_graph.out_nbrs)
+        assert np.array_equal(g2.out_starts, tiny_graph.out_starts)
+
+    def test_round_trip_weighted(self, small_rmat_weighted, tmp_path):
+        path = tmp_path / "gw.txt"
+        save_edge_list(small_rmat_weighted, path)
+        g2 = load_edge_list(path)
+        assert np.allclose(g2.edge_weights, small_rmat_weighted.edge_weights,
+                           rtol=1e-6)
+
+    def test_header_pins_node_count(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# nodes 10\n0 1\n")
+        g = load_edge_list(path)
+        assert g.num_nodes == 10
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# a comment\n\n0 1\n\n# more\n1 2\n")
+        g = load_edge_list(path)
+        assert g.num_edges == 2
+
+    def test_explicit_num_nodes_overrides(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1\n")
+        g = load_edge_list(path, num_nodes=7)
+        assert g.num_nodes == 7
+
+
+class TestBinaryFormat:
+    def test_round_trip(self, small_rmat, tmp_path):
+        path = tmp_path / "g.bin"
+        save_binary(small_rmat, path)
+        g2 = load_binary(path)
+        assert g2.num_nodes == small_rmat.num_nodes
+        assert np.array_equal(g2.out_nbrs, small_rmat.out_nbrs)
+        assert np.array_equal(g2.in_nbrs, small_rmat.in_nbrs)
+
+    def test_round_trip_weighted(self, small_rmat_weighted, tmp_path):
+        path = tmp_path / "g.bin"
+        save_binary(small_rmat_weighted, path)
+        g2 = load_binary(path)
+        assert np.allclose(g2.edge_weights, small_rmat_weighted.edge_weights)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"NOTMAGIC" + b"\x00" * 100)
+        with pytest.raises(ValueError):
+            load_binary(path)
+
+    def test_on_disk_size_matches_model(self, small_rmat, tmp_path):
+        path = tmp_path / "g.bin"
+        save_binary(small_rmat, path)
+        assert path.stat().st_size == binary_size_bytes(
+            small_rmat.num_nodes, small_rmat.num_edges)
+
+    def test_text_size_model_order_of_magnitude(self, small_rmat, tmp_path):
+        path = tmp_path / "g.txt"
+        save_edge_list(small_rmat, path)
+        model = text_size_bytes(small_rmat.num_edges)
+        assert 0.3 * model < path.stat().st_size < 3 * model
+
+    def test_binary_smaller_than_text_for_weighted(self):
+        """The PGX.D loading advantage: compact binary vs. text parse."""
+        assert (binary_size_bytes(10_000, 1_000_000)
+                < text_size_bytes(1_000_000, weighted=True) * 2)

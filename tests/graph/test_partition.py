@@ -1,0 +1,126 @@
+"""Vertex/edge partitioning and global-id encoding (Section 3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.partition import (Partitioning, decode_global_id,
+                                   edge_partition, encode_global_id,
+                                   make_partitioning, vertex_partition)
+
+
+class TestGlobalIds:
+    def test_round_trip(self):
+        for machine, offset in [(0, 0), (3, 12345), (31, 2**40)]:
+            gid = encode_global_id(machine, offset)
+            assert decode_global_id(gid) == (machine, offset)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            encode_global_id(-1, 0)
+
+    def test_offset_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            encode_global_id(0, 1 << 48)
+
+    def test_vectorized_matches_scalar(self, small_rmat):
+        part = edge_partition(small_rmat, 4)
+        vs = np.arange(small_rmat.num_nodes)
+        gids = part.global_ids(vs)
+        for v in [0, 10, 100, 299]:
+            m, off = decode_global_id(int(gids[v]))
+            assert m == part.owner(v)
+            assert off == part.local_offset(v)
+
+
+class TestVertexPartition:
+    def test_equal_node_counts(self):
+        p = vertex_partition(100, 4)
+        sizes = [p.machine_size(m) for m in range(4)]
+        assert sizes == [25, 25, 25, 25]
+
+    def test_covers_all_nodes(self):
+        p = vertex_partition(103, 4)
+        assert sum(p.machine_size(m) for m in range(4)) == 103
+
+    def test_single_machine(self):
+        p = vertex_partition(10, 1)
+        assert p.machine_range(0) == (0, 10)
+
+    def test_more_machines_than_nodes(self):
+        p = vertex_partition(2, 8)
+        assert sum(p.machine_size(m) for m in range(8)) == 2
+
+    def test_zero_machines_rejected(self):
+        with pytest.raises(ValueError):
+            vertex_partition(10, 0)
+
+
+class TestEdgePartition:
+    def test_balances_degree_sums(self, small_rmat):
+        p = edge_partition(small_rmat, 4)
+        td = small_rmat.total_degrees()
+        loads = [td[p.starts[m]:p.starts[m + 1]].sum() for m in range(4)]
+        mean = np.mean(loads)
+        assert max(loads) < 1.5 * mean
+
+    def test_beats_vertex_partition_on_skewed_graph(self, small_rmat):
+        td = small_rmat.total_degrees()
+
+        def max_load(p):
+            return max(td[p.starts[m]:p.starts[m + 1]].sum() for m in range(4))
+
+        assert (max_load(edge_partition(small_rmat, 4))
+                < max_load(vertex_partition(small_rmat.num_nodes, 4)))
+
+    def test_consecutive_ranges(self, small_rmat):
+        p = edge_partition(small_rmat, 8)
+        assert p.starts[0] == 0 and p.starts[-1] == small_rmat.num_nodes
+        assert np.all(np.diff(p.starts) >= 0)
+
+    def test_pivots_shared_form(self, small_rmat):
+        p = edge_partition(small_rmat, 4)
+        assert len(p.pivots) == 3
+
+    def test_empty_graph_falls_back(self):
+        from repro.graph.csr import from_edges
+
+        g = from_edges([], [], num_nodes=8)
+        p = edge_partition(g, 4)
+        assert sum(p.machine_size(m) for m in range(4)) == 8
+
+
+class TestOwnerLookup:
+    def test_owner_matches_range(self, small_rmat):
+        p = edge_partition(small_rmat, 4)
+        for v in range(0, small_rmat.num_nodes, 17):
+            m = p.owner(v)
+            lo, hi = p.machine_range(m)
+            assert lo <= v < hi
+
+    def test_owners_vectorized(self, small_rmat):
+        p = edge_partition(small_rmat, 4)
+        vs = np.arange(small_rmat.num_nodes)
+        owners = p.owners(vs)
+        assert all(owners[v] == p.owner(v) for v in range(0, 300, 23))
+
+    def test_local_offsets(self, small_rmat):
+        p = edge_partition(small_rmat, 4)
+        vs = np.arange(small_rmat.num_nodes)
+        owners = p.owners(vs)
+        offs = p.local_offsets(vs, owners)
+        for v in range(0, 300, 31):
+            assert offs[v] == v - p.starts[owners[v]]
+
+
+class TestDispatch:
+    def test_make_partitioning_edge(self, small_rmat):
+        p = make_partitioning(small_rmat, 4, "edge")
+        assert isinstance(p, Partitioning)
+
+    def test_make_partitioning_vertex(self, small_rmat):
+        p = make_partitioning(small_rmat, 4, "vertex")
+        assert p.machine_size(0) == 75
+
+    def test_unknown_strategy(self, small_rmat):
+        with pytest.raises(ValueError):
+            make_partitioning(small_rmat, 4, "hash")

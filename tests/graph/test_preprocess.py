@@ -1,0 +1,125 @@
+"""Vertex renumbering preprocessing."""
+
+import numpy as np
+import pytest
+
+from repro import from_edges, grid_graph, rmat
+from repro.graph.partition import vertex_partition
+from repro.graph.preprocess import (neighbor_id_distance, renumber_bfs,
+                                    renumber_by_degree, renumber_random)
+from repro.graph.stats import partition_stats
+
+
+def graphs_isomorphic_under_map(g1, g2, new_of_old):
+    s1, d1 = g1.edge_list()
+    s2, d2 = g2.edge_list()
+    mapped = sorted(zip(new_of_old[s1].tolist(), new_of_old[d1].tolist()))
+    return mapped == sorted(zip(s2.tolist(), d2.tolist()))
+
+
+@pytest.fixture
+def skewed():
+    return rmat(400, 3200, seed=9)
+
+
+class TestDegreeOrder:
+    def test_is_permutation(self, skewed):
+        _, m = renumber_by_degree(skewed)
+        assert sorted(m.tolist()) == list(range(skewed.num_nodes))
+
+    def test_preserves_structure(self, skewed):
+        g2, m = renumber_by_degree(skewed)
+        assert graphs_isomorphic_under_map(skewed, g2, m)
+
+    def test_hubs_get_low_ids(self, skewed):
+        g2, _ = renumber_by_degree(skewed)
+        deg = g2.total_degrees()
+        assert deg[0] == deg.max()
+        # top ids hold far fewer edges than bottom ids
+        k = skewed.num_nodes // 10
+        assert deg[:k].sum() > deg[-k:].sum()
+
+    def test_ascending_option(self, skewed):
+        g2, _ = renumber_by_degree(skewed, descending=False)
+        deg = g2.total_degrees()
+        assert deg[-1] == deg.max()
+
+    def test_weights_follow_edges(self):
+        g = from_edges([0, 1, 2], [1, 2, 0], num_nodes=3,
+                       weights=[10.0, 20.0, 30.0])
+        g2, m = renumber_by_degree(g)
+        s2, d2 = g2.edge_list()
+        # every edge keeps its own weight under the relabeling
+        orig = {(int(m[u]), int(m[v])): w for u, v, w in
+                zip(*g.edge_list(), g.edge_weights)}
+        for u, v, w in zip(s2.tolist(), d2.tolist(), g2.edge_weights.tolist()):
+            assert orig[(u, v)] == w
+
+    def test_edge_props_follow_edges(self, skewed):
+        skewed.add_edge_property("tag", np.arange(skewed.num_edges, dtype=float))
+        g2, m = renumber_by_degree(skewed)
+        s1, d1 = skewed.edge_list()
+        orig = {}
+        for u, v, t in zip(m[s1].tolist(), m[d1].tolist(),
+                           skewed.edge_property("tag").tolist()):
+            orig.setdefault((u, v), []).append(t)
+        s2, d2 = g2.edge_list()
+        got = {}
+        for u, v, t in zip(s2.tolist(), d2.tolist(),
+                           g2.edge_property("tag").tolist()):
+            got.setdefault((u, v), []).append(t)
+        assert {k: sorted(v) for k, v in got.items()} == \
+               {k: sorted(v) for k, v in orig.items()}
+
+
+class TestBfsOrder:
+    def test_is_permutation_and_isomorphic(self, skewed):
+        g2, m = renumber_bfs(skewed)
+        assert sorted(m.tolist()) == list(range(skewed.num_nodes))
+        assert graphs_isomorphic_under_map(skewed, g2, m)
+
+    def test_improves_locality_on_grid(self):
+        grid = grid_graph(20, 20)
+        shuffled, _ = renumber_random(grid, seed=3)
+        bfs_ordered, _ = renumber_bfs(shuffled)
+        assert (neighbor_id_distance(bfs_ordered)
+                < 0.5 * neighbor_id_distance(shuffled))
+
+    def test_locality_lowers_crossing_edges(self):
+        """Better numbering = fewer crossing edges under range partitioning
+        — why the paper's preprocessing step matters."""
+        grid = grid_graph(24, 24)
+        shuffled, _ = renumber_random(grid, seed=4)
+        bfs_ordered, _ = renumber_bfs(shuffled)
+        cross_rand = partition_stats(
+            shuffled, vertex_partition(shuffled.num_nodes, 8)).crossing_fraction
+        cross_bfs = partition_stats(
+            bfs_ordered, vertex_partition(shuffled.num_nodes, 8)).crossing_fraction
+        assert cross_bfs < 0.5 * cross_rand
+
+    def test_handles_disconnected_components(self):
+        g = from_edges([0, 2], [1, 3], num_nodes=6)  # 2 comps + isolates
+        g2, m = renumber_bfs(g)
+        assert sorted(m.tolist()) == list(range(6))
+        assert graphs_isomorphic_under_map(g, g2, m)
+
+
+class TestRandomOrder:
+    def test_seeded_determinism(self, skewed):
+        _, m1 = renumber_random(skewed, seed=5)
+        _, m2 = renumber_random(skewed, seed=5)
+        assert np.array_equal(m1, m2)
+
+    def test_algorithms_invariant_under_renumbering(self, skewed):
+        """PageRank values must be the same up to the relabeling."""
+        from repro.algorithms import pagerank
+        from tests.conftest import make_cluster
+
+        cluster = make_cluster()
+        dg = cluster.load_graph(skewed)
+        pr1 = pagerank(cluster, dg, "pull", max_iterations=20).values["pr"]
+        g2, m = renumber_random(skewed, seed=6)
+        cluster2 = make_cluster()
+        dg2 = cluster2.load_graph(g2)
+        pr2 = pagerank(cluster2, dg2, "pull", max_iterations=20).values["pr"]
+        assert np.allclose(pr1, pr2[m])

@@ -1,0 +1,91 @@
+"""Graph statistics module."""
+
+import numpy as np
+import pytest
+
+from repro import grid_graph, rmat, uniform_random
+from repro.graph.partition import edge_partition, vertex_partition
+from repro.graph.stats import (DegreeStats, degree_histogram, degree_stats,
+                               effective_diameter_estimate, partition_stats)
+
+
+class TestDegreeStats:
+    def test_uniform_distribution_low_gini(self):
+        st = degree_stats(np.full(1000, 5))
+        assert st.gini == pytest.approx(0.0, abs=0.01)
+        assert st.mean == 5 and st.maximum == 5
+
+    def test_single_hub_high_gini(self):
+        deg = np.zeros(1000)
+        deg[0] = 10_000
+        st = degree_stats(deg)
+        assert st.gini > 0.98
+        assert st.top1pct_share == pytest.approx(1.0)
+
+    def test_rmat_more_skewed_than_er(self):
+        g_rmat = rmat(2000, 20000, seed=1)
+        g_er = uniform_random(2000, 20000, seed=1)
+        assert (degree_stats(g_rmat.total_degrees()).gini
+                > degree_stats(g_er.total_degrees()).gini + 0.1)
+
+    def test_empty(self):
+        st = degree_stats(np.array([]))
+        assert st.mean == 0 and st.gini == 0
+
+    def test_percentiles_ordered(self):
+        st = degree_stats(rmat(500, 5000, seed=2).out_degrees())
+        assert st.median <= st.p99 <= st.maximum
+
+
+class TestHistogram:
+    def test_counts_sum_to_n(self):
+        g = rmat(500, 5000, seed=3)
+        hist = degree_histogram(g.out_degrees())
+        assert sum(c for _, _, c in hist) == g.num_nodes
+
+    def test_bins_are_increasing(self):
+        hist = degree_histogram(rmat(500, 5000, seed=3).out_degrees())
+        los = [lo for lo, _, _ in hist]
+        assert los == sorted(los)
+
+    def test_all_zero_degrees(self):
+        hist = degree_histogram(np.zeros(10, dtype=np.int64))
+        assert hist == [(0, 0, 10)]
+
+
+class TestPartitionStats:
+    def test_edge_partition_balances_loads(self):
+        g = rmat(2000, 20000, seed=4)
+        ps_edge = partition_stats(g, edge_partition(g, 8))
+        ps_vert = partition_stats(g, vertex_partition(g.num_nodes, 8))
+        assert ps_edge.imbalance < ps_vert.imbalance
+        assert ps_edge.imbalance < 1.5
+
+    def test_crossing_fraction_er(self):
+        g = uniform_random(2000, 40000, seed=5)
+        ps = partition_stats(g, vertex_partition(g.num_nodes, 4))
+        assert ps.crossing_fraction == pytest.approx(0.75, abs=0.03)
+
+    def test_single_machine_no_crossing(self):
+        g = rmat(200, 1000, seed=6)
+        ps = partition_stats(g, vertex_partition(g.num_nodes, 1))
+        assert ps.crossing_fraction == 0.0
+        assert ps.imbalance == 1.0
+
+
+class TestDiameter:
+    def test_grid_has_large_diameter(self):
+        g = grid_graph(12, 12)
+        assert effective_diameter_estimate(g, samples=4) > 10
+
+    def test_social_graph_small_world(self):
+        g = rmat(2000, 30000, seed=7)
+        grid = grid_graph(44, 45)  # ~same node count
+        assert (effective_diameter_estimate(g, samples=6)
+                < effective_diameter_estimate(grid, samples=6))
+
+    def test_empty_graph(self):
+        from repro import from_edges
+
+        g = from_edges([], [], num_nodes=5)
+        assert effective_diameter_estimate(g, samples=3) == 0.0

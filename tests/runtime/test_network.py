@@ -1,0 +1,142 @@
+"""Network fabric model: serialization, overheads, incast, accounting."""
+
+import pytest
+
+from repro.runtime.config import NetworkConfig
+from repro.runtime.network import Network
+from repro.runtime.simulator import Simulator
+
+
+def make_net(n=4, **kwargs):
+    sim = Simulator()
+    return sim, Network(sim, n, NetworkConfig(**kwargs))
+
+
+class TestDelivery:
+    def test_message_is_delivered(self):
+        sim, net = make_net()
+        got = []
+        net.send(0, 1, 1024, got.append, "msg")
+        sim.run()
+        assert got == ["msg"]
+
+    def test_delivery_time_includes_serialization_and_latency(self):
+        sim, net = make_net()
+        cfg = net.config
+        t = net.send(0, 1, 256 * 1024, lambda: None)
+        expected_min = (2 * 256 * 1024 / cfg.link_bw + cfg.per_message_overhead
+                        + cfg.link_latency)
+        assert t >= expected_min
+
+    def test_local_send_is_near_instant(self):
+        sim, net = make_net()
+        t = net.send(2, 2, 10_000_000, lambda: None)
+        assert t < 1e-6
+        sim.run()
+
+    def test_bad_endpoints_rejected(self):
+        _, net = make_net(2)
+        with pytest.raises(ValueError):
+            net.send(0, 5, 100, lambda: None)
+
+    def test_back_to_back_messages_serialize_on_tx(self):
+        sim, net = make_net()
+        t1 = net.send(0, 1, 100_000, lambda: None)
+        t2 = net.send(0, 1, 100_000, lambda: None)
+        assert t2 > t1
+
+    def test_different_sources_do_not_serialize_on_tx(self):
+        """Two senders to two distinct receivers overlap fully."""
+        sim, net = make_net()
+        t1 = net.send(0, 1, 1_000_000, lambda: None)
+        sim2, net2 = make_net()
+        net2.send(0, 1, 1_000_000, lambda: None)
+        t2 = net2.send(2, 3, 1_000_000, lambda: None)
+        assert t2 == pytest.approx(t1, rel=1e-9)
+
+    def test_incast_serializes_on_rx(self):
+        """N senders to one receiver: deliveries spread out."""
+        sim, net = make_net(8)
+        times = []
+        for src in range(1, 8):
+            net.send(src, 0, 1_000_000, lambda: None)
+            times.append(net._rx[0].next_free)
+        assert times == sorted(times)
+        span = times[-1] - times[0]
+        assert span >= 5 * 1_000_000 / net.config.link_bw
+
+    def test_outbound_send_not_blocked_by_future_inbound(self):
+        """Regression: inbound deliveries reserve the poller at future times;
+        they must not delay a present-time outbound send."""
+        sim, net = make_net()
+        # Queue lots of inbound traffic to machine 1 (reserves far future).
+        for _ in range(50):
+            net.send(0, 1, 1_000_000, lambda: None)
+        # Machine 1 sends something now: should depart almost immediately.
+        t = net.send(1, 2, 1024, lambda: None)
+        assert t < 50 * 1_000_000 / net.config.link_bw
+
+    def test_callback_args_passed(self):
+        sim, net = make_net()
+        got = []
+        net.send(0, 1, 10, lambda a, b: got.append((a, b)), 1, 2)
+        sim.run()
+        assert got == [(1, 2)]
+
+
+class TestThroughputModel:
+    def test_small_buffers_waste_bandwidth(self):
+        _, net = make_net()
+        assert (net.point_to_point_throughput(4096)
+                < 0.5 * net.point_to_point_throughput(256 * 1024))
+
+    def test_throughput_monotone_in_buffer_size(self):
+        _, net = make_net()
+        sizes = [1 << k for k in range(8, 22)]
+        rates = [net.point_to_point_throughput(s) for s in sizes]
+        assert rates == sorted(rates)
+
+    def test_throughput_approaches_link_bw(self):
+        _, net = make_net()
+        assert net.point_to_point_throughput(16 << 20) > 0.95 * net.config.link_bw
+
+    def test_paper_anchor_4kb_1_5_gbs(self):
+        """Figure 8(b): 4 KB buffers attain ~1.5 GB/s."""
+        _, net = make_net()
+        assert net.point_to_point_throughput(4096) == pytest.approx(1.5e9, rel=0.05)
+
+
+class TestAccounting:
+    def test_bytes_counted_per_source(self):
+        sim, net = make_net()
+        net.send(0, 1, 100, lambda: None)
+        net.send(0, 2, 200, lambda: None)
+        net.send(1, 2, 300, lambda: None)
+        assert net.stats.bytes_sent[0] == 300
+        assert net.stats.bytes_sent[1] == 300
+        assert net.stats.total_bytes == 600
+
+    def test_bytes_by_kind(self):
+        sim, net = make_net()
+        net.send(0, 1, 100, lambda: None, kind="read_req")
+        net.send(0, 1, 50, lambda: None, kind="ghost_sync")
+        assert net.stats.bytes_by_kind["read_req"] == 100
+        assert net.stats.bytes_by_kind["ghost_sync"] == 50
+
+    def test_local_messages_not_counted(self):
+        sim, net = make_net()
+        net.send(1, 1, 999, lambda: None)
+        assert net.stats.total_bytes == 0 and net.stats.messages == 0
+
+    def test_reset_stats(self):
+        sim, net = make_net()
+        net.send(0, 1, 100, lambda: None)
+        net.reset_stats()
+        assert net.stats.total_bytes == 0
+
+    def test_busy_fractions_reported(self):
+        sim, net = make_net()
+        net.send(0, 1, 1_000_000, lambda: None)
+        sim.run()
+        busy = net.busy_fractions()
+        assert busy["tx"][0] > 0 and busy["rx"][1] > 0 and busy["poller"][0] > 0

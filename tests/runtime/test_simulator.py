@@ -1,0 +1,209 @@
+"""Discrete-event simulator core: ordering, cancellation, processes."""
+
+import pytest
+
+from repro.runtime.simulator import Get, Process, Simulator, Store, Timeout
+
+
+class TestScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, order.append, "c")
+        sim.schedule(1.0, order.append, "a")
+        sim.schedule(2.0, order.append, "b")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        sim = Simulator()
+        order = []
+        for tag in "abcde":
+            sim.schedule(1.0, order.append, tag)
+        sim.run()
+        assert order == list("abcde")
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        sim.schedule(2.5, lambda: None)
+        sim.run()
+        assert sim.now == pytest.approx(2.5)
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        seen = []
+
+        def outer():
+            seen.append(("outer", sim.now))
+            sim.schedule(1.0, inner)
+
+        def inner():
+            seen.append(("inner", sim.now))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert seen == [("outer", 1.0), ("inner", 2.0)]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule_at(5.0, hits.append, 1)
+        sim.run()
+        assert sim.now == pytest.approx(5.0) and hits == [1]
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: sim.schedule_at(0.5, lambda: None))
+        with pytest.raises(ValueError):
+            sim.run()
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        hits = []
+        ev = sim.schedule(1.0, hits.append, "x")
+        sim.cancel(ev)
+        sim.run()
+        assert hits == []
+
+    def test_cancel_mid_run(self):
+        sim = Simulator()
+        hits = []
+        later = sim.schedule(2.0, hits.append, "late")
+        sim.schedule(1.0, sim.cancel, later)
+        sim.run()
+        assert hits == []
+
+    def test_pending_excludes_cancelled(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.cancel(ev)
+        assert sim.pending == 1
+
+
+class TestRunControls:
+    def test_run_until_stops_clock(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(1.0, hits.append, 1)
+        sim.schedule(5.0, hits.append, 2)
+        sim.run(until=2.0)
+        assert hits == [1] and sim.now == pytest.approx(2.0)
+        sim.run()
+        assert hits == [1, 2]
+
+    def test_run_until_advances_clock_when_idle(self):
+        sim = Simulator()
+        sim.run(until=4.0)
+        assert sim.now == pytest.approx(4.0)
+
+    def test_max_events(self):
+        sim = Simulator()
+        hits = []
+        for i in range(5):
+            sim.schedule(float(i + 1), hits.append, i)
+        sim.run(max_events=2)
+        assert hits == [0, 1]
+
+    def test_step_returns_false_when_empty(self):
+        assert Simulator().step() is False
+
+    def test_events_executed_counter(self):
+        sim = Simulator()
+        for _ in range(3):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_executed == 3
+
+
+class TestProcesses:
+    def test_timeout_sequencing(self):
+        sim = Simulator()
+        trace = []
+
+        def proc():
+            trace.append(sim.now)
+            yield Timeout(1.5)
+            trace.append(sim.now)
+            yield Timeout(0.5)
+            trace.append(sim.now)
+
+        Process(sim, proc())
+        sim.run()
+        assert trace == [0.0, 1.5, 2.0]
+
+    def test_store_put_get(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            item = yield Get(store)
+            got.append((item, sim.now))
+
+        def producer():
+            yield Timeout(2.0)
+            store.put("payload")
+
+        Process(sim, consumer())
+        Process(sim, producer())
+        sim.run()
+        assert got == [("payload", 2.0)]
+
+    def test_store_buffers_when_no_waiter(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+        assert store.try_get() == 1
+
+    def test_process_result(self):
+        sim = Simulator()
+
+        def proc():
+            yield Timeout(1.0)
+            return 42
+
+        p = Process(sim, proc())
+        sim.run()
+        assert p.finished and p.result == 42
+
+    def test_two_processes_interleave(self):
+        sim = Simulator()
+        trace = []
+
+        def ticker(name, period):
+            for _ in range(3):
+                yield Timeout(period)
+                trace.append((name, sim.now))
+
+        Process(sim, ticker("fast", 1.0))
+        Process(sim, ticker("slow", 2.5))
+        sim.run()
+        assert trace == [("fast", 1.0), ("fast", 2.0), ("slow", 2.5),
+                         ("fast", 3.0), ("slow", 5.0), ("slow", 7.5)]
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        def build():
+            sim = Simulator()
+            trace = []
+            for i in range(20):
+                sim.schedule((i * 7 % 5) * 0.1, trace.append, i)
+            sim.run()
+            return trace, sim.now
+
+        t1, now1 = build()
+        t2, now2 = build()
+        assert t1 == t2 and now1 == now2

@@ -1,0 +1,101 @@
+"""JobStats accumulation and the Figure 6(c) imbalance breakdown."""
+
+import pytest
+
+from repro.runtime.stats import Breakdown, JobStats
+
+
+def make_stats(span=(0.0, 10.0)):
+    st = JobStats(start_time=span[0], end_time=span[1])
+    return st
+
+
+class TestJobStats:
+    def test_elapsed(self):
+        st = make_stats((2.0, 5.0))
+        assert st.elapsed == pytest.approx(3.0)
+
+    def test_total_bytes(self):
+        st = make_stats()
+        st.bytes_by_kind["read_req"] += 100
+        st.bytes_by_kind["write_req"] += 50
+        assert st.total_bytes == 150
+
+    def test_record_busy_ignores_empty_intervals(self):
+        st = make_stats()
+        st.record_busy(0, 0, 5.0, 5.0)
+        assert st.busy_intervals == {} or not st.busy_intervals[0][0]
+
+    def test_merge_from_accumulates(self):
+        a, b = make_stats(), make_stats()
+        a.messages = 3
+        b.messages = 4
+        b.bytes_by_kind["x"] = 7
+        a.merge_from(b)
+        assert a.messages == 7 and a.bytes_by_kind["x"] == 7
+
+
+class TestBreakdown:
+    def test_fractions_sum_to_one(self):
+        bd = Breakdown(fully_parallel=1.0, intra_machine=2.0, inter_machine=1.0)
+        fr = bd.as_fractions()
+        assert sum(fr.values()) == pytest.approx(1.0)
+
+    def test_empty_breakdown_fractions(self):
+        fr = Breakdown().as_fractions()
+        assert all(v == 0.0 for v in fr.values())
+
+    def test_all_workers_busy_is_fully_parallel(self):
+        st = make_stats((0.0, 10.0))
+        for m in range(2):
+            for w in range(2):
+                st.record_busy(m, w, 0.0, 10.0)
+        bd = st.breakdown(workers_per_machine=2)
+        assert bd.fully_parallel == pytest.approx(10.0)
+        assert bd.intra_machine == pytest.approx(0.0)
+        assert bd.inter_machine == pytest.approx(0.0)
+
+    def test_idle_worker_within_machine_is_intra(self):
+        st = make_stats((0.0, 10.0))
+        st.record_busy(0, 0, 0.0, 10.0)
+        st.record_busy(0, 1, 0.0, 5.0)  # worker 1 idles from t=5
+        st.record_busy(1, 0, 0.0, 10.0)
+        st.record_busy(1, 1, 0.0, 10.0)
+        bd = st.breakdown(workers_per_machine=2)
+        assert bd.fully_parallel == pytest.approx(5.0)
+        assert bd.intra_machine == pytest.approx(5.0)
+        assert bd.inter_machine == pytest.approx(0.0)
+
+    def test_finished_machine_is_inter(self):
+        st = make_stats((0.0, 10.0))
+        st.record_busy(0, 0, 0.0, 4.0)  # machine 0 completely done at t=4
+        st.record_busy(0, 1, 0.0, 4.0)
+        st.record_busy(1, 0, 0.0, 10.0)
+        st.record_busy(1, 1, 0.0, 10.0)
+        bd = st.breakdown(workers_per_machine=2)
+        assert bd.fully_parallel == pytest.approx(4.0)
+        assert bd.inter_machine == pytest.approx(6.0)
+
+    def test_total_covers_span(self):
+        st = make_stats((0.0, 8.0))
+        st.record_busy(0, 0, 0.0, 3.0)
+        st.record_busy(0, 1, 1.0, 6.0)
+        st.record_busy(1, 0, 0.0, 8.0)
+        st.record_busy(1, 1, 0.0, 7.5)
+        bd = st.breakdown(workers_per_machine=2)
+        assert bd.total == pytest.approx(8.0)
+
+    def test_no_intervals_is_all_inter(self):
+        st = make_stats((0.0, 4.0))
+        bd = st.breakdown(workers_per_machine=2)
+        assert bd.inter_machine == pytest.approx(4.0)
+
+    def test_gap_then_resume_counts_as_intra(self):
+        """A worker waiting for responses mid-job shows as intra-machine."""
+        st = make_stats((0.0, 10.0))
+        st.record_busy(0, 0, 0.0, 3.0)
+        st.record_busy(0, 0, 7.0, 10.0)  # idle gap [3, 7]
+        st.record_busy(0, 1, 0.0, 10.0)
+        bd = st.breakdown(workers_per_machine=2)
+        assert bd.intra_machine == pytest.approx(4.0)
+        assert bd.fully_parallel == pytest.approx(6.0)

@@ -1,0 +1,76 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_algorithm(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--algorithm", "bogus"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["run", "--algorithm", "wcc"])
+        assert args.graph == "TWT" and args.machines == 8
+
+
+SMALL = ["--scale", "0.0001"]
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info", "--graph", "LJ", *SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "nodes" in out and "gini" in out and "crossing edges" in out
+
+    def test_run_pagerank(self, capsys):
+        assert main(["run", "--algorithm", "pr_pull", "--graph", "LJ",
+                     "--machines", "2", *SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "paper-scale equivalent" in out and "traffic" in out
+
+    def test_run_with_ghost_threshold(self, capsys):
+        assert main(["run", "--algorithm", "pr_push", "--graph", "LJ",
+                     "--machines", "2", "--ghost-threshold", "50", *SMALL]) == 0
+
+    def test_run_sssp_weighted(self, capsys):
+        assert main(["run", "--algorithm", "sssp", "--graph", "LJ",
+                     "--machines", "2", *SMALL]) == 0
+
+    def test_compare(self, capsys):
+        assert main(["compare", "--algorithm", "pr_push", "--graph", "LJ",
+                     "--machines", "2,4", *SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "SA" in out and "PGX" in out and "GL" in out and "GX" in out
+
+    def test_compare_pull_omits_push_only_systems(self, capsys):
+        assert main(["compare", "--algorithm", "pr_pull", "--graph", "LJ",
+                     "--machines", "2", *SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "GL" not in out.replace("GL ", "GL") or "GL" not in out
+
+    def test_generate_binary(self, tmp_path, capsys):
+        out_file = tmp_path / "g.bin"
+        assert main(["generate", "--graph", "WIK", *SMALL,
+                     "--format", "binary", "--out", str(out_file)]) == 0
+        from repro.graph.io import load_binary
+
+        g = load_binary(out_file)
+        assert g.num_edges > 0
+
+    def test_generate_text_weighted(self, tmp_path):
+        out_file = tmp_path / "g.txt"
+        assert main(["generate", "--graph", "WIK", *SMALL, "--weighted",
+                     "--format", "text", "--out", str(out_file)]) == 0
+        from repro.graph.io import load_edge_list
+
+        assert load_edge_list(out_file).edge_weights is not None

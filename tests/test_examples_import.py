@@ -1,0 +1,29 @@
+"""Smoke checks of the example scripts: importable, documented, runnable API.
+
+Full example runs take seconds to minutes; here we verify each script
+imports cleanly (catching API drift) and exposes a main() with a docstring.
+The examples themselves are exercised end-to-end in CI-style manual runs.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES = sorted((pathlib.Path(__file__).parent.parent / "examples")
+                  .glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=[p.stem for p in EXAMPLES])
+def test_example_imports_and_has_main(path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    assert callable(getattr(module, "main", None)), f"{path.stem} lacks main()"
+    assert module.__doc__, f"{path.stem} lacks a module docstring"
+
+
+def test_expected_example_set():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "social_influencers", "road_network_routing",
+            "custom_algorithm", "green_marl_dsl", "cluster_sizing"} <= names

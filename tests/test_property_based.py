@@ -1,0 +1,172 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import EdgeMapJob, EdgeMapSpec, ReduceOp, from_edges
+from repro.graph.chunking import chunk_edge_counts, edge_chunks
+from repro.graph.partition import (decode_global_id, edge_partition,
+                                   encode_global_id, vertex_partition)
+from tests.conftest import make_cluster
+
+# A random small digraph as (num_nodes, edge list) pairs.
+graphs = st.integers(min_value=2, max_value=40).flatmap(
+    lambda n: st.tuples(
+        st.just(n),
+        st.lists(st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+                 min_size=0, max_size=120),
+    ))
+
+slow = settings(max_examples=25, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestCsrProperties:
+    @given(graphs)
+    @settings(max_examples=60, deadline=None)
+    def test_csr_preserves_multiset_of_edges(self, data):
+        n, edges = data
+        g = from_edges([e[0] for e in edges], [e[1] for e in edges], num_nodes=n)
+        src, dst = g.edge_list()
+        assert sorted(zip(src.tolist(), dst.tolist())) == sorted(edges)
+
+    @given(graphs)
+    @settings(max_examples=60, deadline=None)
+    def test_reverse_csr_is_transpose(self, data):
+        n, edges = data
+        g = from_edges([e[0] for e in edges], [e[1] for e in edges], num_nodes=n)
+        fwd = sorted((u, v) for u, v in edges)
+        rev = []
+        for v in range(n):
+            for u in g.in_neighbors(v):
+                rev.append((int(u), v))
+        assert sorted(rev) == fwd
+
+    @given(graphs)
+    @settings(max_examples=60, deadline=None)
+    def test_degree_sums_equal(self, data):
+        n, edges = data
+        g = from_edges([e[0] for e in edges], [e[1] for e in edges], num_nodes=n)
+        assert g.out_degrees().sum() == g.in_degrees().sum() == len(edges)
+
+
+class TestPartitionProperties:
+    @given(st.integers(1, 500), st.integers(1, 16))
+    @settings(max_examples=60, deadline=None)
+    def test_vertex_partition_covers_exactly(self, n, p):
+        part = vertex_partition(n, p)
+        sizes = [part.machine_size(m) for m in range(p)]
+        assert sum(sizes) == n
+        assert max(sizes) - min(sizes) <= 1
+
+    @given(graphs, st.integers(1, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_edge_partition_owner_consistency(self, data, p):
+        n, edges = data
+        g = from_edges([e[0] for e in edges], [e[1] for e in edges], num_nodes=n)
+        part = edge_partition(g, p)
+        for v in range(n):
+            m = part.owner(v)
+            lo, hi = part.machine_range(m)
+            assert lo <= v < hi
+
+    @given(st.integers(0, 1 << 15), st.integers(0, (1 << 48) - 1))
+    @settings(max_examples=80, deadline=None)
+    def test_global_id_round_trip(self, machine, offset):
+        assert decode_global_id(encode_global_id(machine, offset)) == (machine, offset)
+
+
+class TestChunkingProperties:
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=80),
+           st.integers(1, 64))
+    @settings(max_examples=60, deadline=None)
+    def test_chunks_partition_nodes_and_edges(self, degrees, chunk):
+        starts = np.concatenate(([0], np.cumsum(degrees))).astype(np.int64)
+        chunks = edge_chunks(starts, chunk)
+        assert sum(hi - lo for lo, hi in chunks) == len(degrees)
+        assert chunk_edge_counts(starts, chunks).sum() == sum(degrees)
+        # Contiguity: each chunk starts where the previous ended.
+        for (a, b), (c, d) in zip(chunks, chunks[1:]):
+            assert b == c
+
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=80),
+           st.integers(1, 64))
+    @settings(max_examples=60, deadline=None)
+    def test_chunk_weight_bounded(self, degrees, chunk):
+        starts = np.concatenate(([0], np.cumsum(degrees))).astype(np.int64)
+        counts = chunk_edge_counts(starts, edge_chunks(starts, chunk))
+        if len(counts):
+            assert counts.max() <= chunk + max(degrees)
+
+
+class TestReductionProperties:
+    ops = st.sampled_from([ReduceOp.SUM, ReduceOp.MIN, ReduceOp.MAX])
+
+    @given(ops, st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_reduction_order_invariant(self, op, values):
+        """Commutative + associative: any order gives the same result."""
+        acc1 = op.bottom(np.float64)
+        for v in values:
+            acc1 = op.scalar(acc1, v)
+        acc2 = op.bottom(np.float64)
+        for v in reversed(values):
+            acc2 = op.scalar(acc2, v)
+        assert acc1 == acc2 or abs(acc1 - acc2) < 1e-6 * max(1, abs(acc1))
+
+    @given(ops, st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_apply_at_equals_fold(self, op, values):
+        arr = np.array([op.bottom(np.float64)])
+        op.apply_at(arr, np.zeros(len(values), dtype=np.int64),
+                    np.array(values))
+        acc = op.bottom(np.float64)
+        for v in values:
+            acc = op.scalar(acc, v)
+        assert arr[0] == acc or abs(arr[0] - acc) < 1e-6 * max(1, abs(acc))
+
+
+class TestEngineInvariants:
+    @given(graphs,
+           st.integers(1, 4),
+           st.sampled_from([None, 3]),
+           st.sampled_from(["pull", "push"]))
+    @slow
+    def test_engine_matches_oracle_on_random_graphs(self, data, machines,
+                                                    ghost_thr, direction):
+        """The flagship invariant: for any graph and any cluster shape, the
+        engine's edge-map equals the direct numpy oracle."""
+        n, edges = data
+        g = from_edges([e[0] for e in edges], [e[1] for e in edges], num_nodes=n)
+        cluster = make_cluster(machines, ghost_thr, chunk_size=8,
+                               num_workers=2, num_copiers=1)
+        dg = cluster.load_graph(g)
+        x = np.arange(n, dtype=np.float64) + 1
+        dg.add_property("x", from_global=x)
+        dg.add_property("t", init=0.0)
+        spec = EdgeMapSpec(direction=direction, source="x", target="t",
+                           op=ReduceOp.SUM)
+        cluster.run_job(dg, EdgeMapJob(name="j", spec=spec))
+        got = dg.gather("t")
+        src, dst = g.edge_list()
+        want = np.zeros(n)
+        np.add.at(want, dst, x[src])
+        assert np.allclose(got, want)
+
+    @given(graphs, st.sampled_from([ReduceOp.MIN, ReduceOp.MAX]))
+    @slow
+    def test_scalar_equals_vectorized_on_random_graphs(self, data, op):
+        n, edges = data
+        g = from_edges([e[0] for e in edges], [e[1] for e in edges], num_nodes=n)
+        cluster = make_cluster(2, 3, chunk_size=8, num_workers=2, num_copiers=1)
+        dg = cluster.load_graph(g)
+        x = np.arange(n, dtype=np.float64)
+        dg.add_property("x", from_global=x)
+        dg.add_property("a", init=op.bottom(np.float64))
+        dg.add_property("b", init=op.bottom(np.float64))
+        sa = EdgeMapSpec(direction="pull", source="x", target="a", op=op)
+        sb = EdgeMapSpec(direction="pull", source="x", target="b", op=op)
+        cluster.run_job(dg, EdgeMapJob(name="v", spec=sa))
+        cluster.run_job(dg, EdgeMapJob(name="s", spec=sb), force_scalar=True)
+        assert np.allclose(dg.gather("a"), dg.gather("b"))
