@@ -70,10 +70,18 @@ APPROX_MAX_ITERS = 30
 
 
 def run_pgx(graph, graph_name: str, algorithm: str, machines: int,
-            scale: float, **engine_overrides) -> Row:
-    """Run one algorithm on the PGX.D engine."""
-    cluster = PgxdCluster(scaled_cluster_config(machines, scale,
-                                                **engine_overrides))
+            scale: float, cluster: Optional[PgxdCluster] = None,
+            **engine_overrides) -> Row:
+    """Run one algorithm on the PGX.D engine.
+
+    Pass an existing ``cluster`` to observe the run from outside (attach a
+    :class:`repro.trace.Tracer`, read ``cluster.metrics`` afterwards);
+    ``engine_overrides`` are ignored in that case.  The cluster used is
+    always available as ``row.extra["cluster"]``.
+    """
+    if cluster is None:
+        cluster = PgxdCluster(scaled_cluster_config(machines, scale,
+                                                    **engine_overrides))
     dg = cluster.load_graph(graph)
     if algorithm == "pr_pull":
         r = alg.pagerank(cluster, dg, "pull", max_iterations=FIXED_ITERS)
@@ -104,7 +112,7 @@ def run_pgx(graph, graph_name: str, algorithm: str, machines: int,
         raise ValueError(f"unknown algorithm {algorithm!r}")
     return Row("PGX", machines, algorithm, graph_name, secs, per_iter,
                iterations=r.iterations,
-               extra={"stats": r.stats, "result": r})
+               extra={"stats": r.stats, "result": r, "cluster": cluster})
 
 
 def run_sa(graph, graph_name: str, algorithm: str, scale: float) -> Row:

@@ -5,6 +5,8 @@ Examples::
     python -m repro info --graph TWT --scale 0.001
     python -m repro run --algorithm pr_pull --graph TWT --machines 8
     python -m repro run --algorithm sssp --graph WEB --machines 4 --scale 5e-4
+    python -m repro run --algorithm pr_pull --graph LJ --metrics-out out/pr
+    python -m repro report --algo pagerank --graph TWT --machines 8
     python -m repro compare --algorithm pr_push --graph TWT --machines 2,8,32
     python -m repro generate --graph LJ --scale 1e-3 --format binary --out lj.bin
 """
@@ -23,6 +25,8 @@ from .graph.io import save_binary, save_edge_list
 
 ALGORITHMS = ["pr_pull", "pr_push", "pr_approx", "wcc", "sssp", "hop_dist",
               "ev", "kcore"]
+#: friendly names accepted by ``repro report --algo``
+ALGO_ALIASES = {"pagerank": "pr_pull"}
 
 
 def _add_graph_args(p: argparse.ArgumentParser) -> None:
@@ -30,6 +34,14 @@ def _add_graph_args(p: argparse.ArgumentParser) -> None:
                    help="paper dataset stand-in to generate")
     p.add_argument("--scale", type=float, default=1e-3,
                    help="scale factor vs. the paper's dataset size")
+
+
+def _add_obs_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--metrics-out", default=None, metavar="PREFIX",
+                   help="write PREFIX.prom (Prometheus text) and "
+                        "PREFIX.json (snapshot) after the run")
+    p.add_argument("--trace-out", default=None, metavar="PATH",
+                   help="write a Chrome trace-event JSON timeline to PATH")
 
 
 def _load(args) -> tuple:
@@ -59,11 +71,46 @@ def cmd_info(args) -> int:
     return 0
 
 
+def _observed_run(args, algorithm: str):
+    """Run ``algorithm`` on a cluster we own, with optional trace capture.
+
+    Returns ``(row, cluster)``; handles ``--metrics-out`` / ``--trace-out``.
+    """
+    from .trace import Tracer
+
+    g = paper_graph(args.graph, scale=args.scale,
+                    weighted=algorithm == "sssp")
+    overrides = {}
+    if getattr(args, "ghost_threshold", None) is not None:
+        overrides["ghost_threshold"] = args.ghost_threshold
+    cluster = PgxdCluster(scaled_cluster_config(args.machines, args.scale,
+                                                **overrides))
+    tracer = Tracer(cluster) if getattr(args, "trace_out", None) else None
+    if tracer is not None:
+        tracer.install()
+    try:
+        row = run_pgx(g, args.graph, algorithm, args.machines, args.scale,
+                      cluster=cluster)
+    finally:
+        if tracer is not None:
+            tracer.uninstall()
+    return row, cluster, tracer
+
+
+def _export_obs(args, cluster, tracer) -> None:
+    """Write ``--metrics-out`` / ``--trace-out`` artifacts, if requested."""
+    if getattr(args, "metrics_out", None):
+        from .obs.exporters import write_metrics
+
+        prom_path, json_path = write_metrics(cluster.metrics, args.metrics_out)
+        print(f"  metrics: {prom_path} + {json_path}")
+    if tracer is not None:
+        tracer.save(args.trace_out)
+        print(f"  trace: {args.trace_out} ({len(tracer.events)} events)")
+
+
 def cmd_run(args) -> int:
-    g = _load(args)
-    row = run_pgx(g, args.graph, args.algorithm, args.machines, args.scale,
-                  **({"ghost_threshold": args.ghost_threshold}
-                     if args.ghost_threshold is not None else {}))
+    row, cluster, tracer = _observed_run(args, args.algorithm)
     unit = "per iteration" if row.per_iteration else "total"
     print(f"PGX.D | {args.algorithm} on {args.graph} "
           f"(scale {args.scale:g}, {args.machines} machines)")
@@ -77,6 +124,20 @@ def cmd_run(args) -> int:
         print(f"  remote reads: {stats.remote_reads:,}  "
               f"remote writes: {stats.remote_writes:,}  "
               f"atomics: {stats.atomic_ops:,}")
+    _export_obs(args, cluster, tracer)
+    return 0
+
+
+def cmd_report(args) -> int:
+    from .obs.report import render_overhead_report
+
+    algorithm = ALGO_ALIASES.get(args.algo, args.algo)
+    row, cluster, tracer = _observed_run(args, algorithm)
+    title = (f"{args.algo} on {args.graph} "
+             f"(scale {args.scale:g}, {args.machines} machines)")
+    print(render_overhead_report(cluster.metrics, title=title,
+                                 elapsed=cluster.now))
+    _export_obs(args, cluster, tracer)
     return 0
 
 
@@ -128,7 +189,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--algorithm", required=True, choices=ALGORITHMS)
     p_run.add_argument("--machines", type=int, default=8)
     p_run.add_argument("--ghost-threshold", type=int, default=None)
+    _add_obs_args(p_run)
     p_run.set_defaults(fn=cmd_run)
+
+    p_rep = sub.add_parser(
+        "report", help="run one algorithm and print the per-layer overhead "
+                       "breakdown (metrics-registry view of Figure 5)")
+    _add_graph_args(p_rep)
+    p_rep.add_argument("--algo", required=True,
+                       choices=ALGORITHMS + sorted(ALGO_ALIASES),
+                       help="algorithm (aliases: pagerank -> pr_pull)")
+    p_rep.add_argument("--machines", type=int, default=8)
+    _add_obs_args(p_rep)
+    p_rep.set_defaults(fn=cmd_report)
 
     p_cmp = sub.add_parser("compare",
                            help="compare PGX.D / GraphLab-like / GraphX-like / SA")

@@ -39,6 +39,11 @@ def deliver_request(exc: "JobExecution", msg: Message) -> None:
     """Network delivery callback for request-side messages."""
     machine = exc.machines[msg.dst]
     machine.request_queue.append(msg)
+    depth = len(machine.request_queue)
+    exc.hooks.emit("comm.enqueue", machine=msg.dst, kind=msg.kind.value,
+                   depth=depth, time=exc.sim.now)
+    exc.hooks.emit("comm.queue_depth", machine=msg.dst, depth=depth,
+                   time=exc.sim.now)
     for cs in exc.copiers[msg.dst]:
         if not cs.busy:
             cs.busy = True
@@ -60,6 +65,8 @@ def copier_loop(exc: "JobExecution", cs: CopierState) -> None:
         return
     cs.busy = True
     msg = machine.request_queue.popleft()
+    exc.hooks.emit("comm.queue_depth", machine=machine.index,
+                   depth=len(machine.request_queue), time=exc.sim.now)
     machine.cpu.thread_started()
     tally = _process_message(exc, machine, msg)
     dur = machine.cpu.mixed_duration(tally.cpu_ops, tally.atomic_ops,
@@ -70,6 +77,10 @@ def copier_loop(exc: "JobExecution", cs: CopierState) -> None:
 def _copier_done(exc: "JobExecution", cs: CopierState, msg: Message,
                  dur: float) -> None:
     cs.machine.cpu.thread_finished(dur)
+    exc.hooks.emit("comm.copier_done", machine=cs.machine.index,
+                   copier=cs.cindex, kind=msg.kind.value,
+                   items=msg.item_count, start=exc.sim.now - dur,
+                   duration=dur)
     # Side effects that become visible when the copier finishes:
     if msg.kind is MsgKind.READ_REQ:
         resp = msg._response  # built in _process_message

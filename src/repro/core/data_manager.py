@@ -77,6 +77,8 @@ class DataManager:
         slot = m.ghosts.slot_of(np.asarray([vertex]))[0]
         if slot >= 0 and prop in self.exec.ghost_read_set and prop in m.ghosts.arrays:
             self.exec.stats.local_reads += 1
+            self.exec.hooks.emit("ghost.hit", machine=m.index, prop=prop,
+                                 mode="read", count=1, time=self.exec.sim.now)
             return m.ghosts.arrays[prop][slot]
         raise KeyError(
             f"vertex {vertex} is neither owned by machine {m.index} nor ghosted; "
@@ -107,9 +109,13 @@ class DataManager:
         slot = m.ghosts.slot_of(np.asarray([vertex]))[0]
         if slot >= 0 and prop in self.exec.ghost_read_set and prop in m.ghosts.arrays:
             self.exec.stats.local_reads += 1
+            self.exec.hooks.emit("ghost.hit", machine=m.index, prop=prop,
+                                 mode="read", count=1, time=self.exec.sim.now)
             value = m.ghosts.arrays[prop][slot]
             task.read_done(ctx, value, tag)
             return
+        self.exec.hooks.emit("ghost.miss", machine=m.index, prop=prop,
+                             mode="read", count=1, time=self.exec.sim.now)
         owner = m.partitioning.owner(vertex)
         offset = vertex - m.partitioning.starts[owner]
         buf = ws.scalar_read_buf(owner, prop)
@@ -141,6 +147,8 @@ class DataManager:
         slot = m.ghosts.slot_of(np.asarray([vertex]))[0]
         if slot >= 0 and prop in self.exec.ghost_write_set and prop in m.ghosts.arrays:
             self.exec.stats.local_writes += 1
+            self.exec.hooks.emit("ghost.hit", machine=m.index, prop=prop,
+                                 mode="write", count=1, time=self.exec.sim.now)
             if (self.exec.privatize and prop in m.ghosts.private):
                 col = m.ghosts.private[prop][worker]
                 col[slot] = op.scalar(col[slot], value)
@@ -150,6 +158,8 @@ class DataManager:
                 self.exec.stats.atomic_ops += 1
                 ws.pending_atomics += 1
             return
+        self.exec.hooks.emit("ghost.miss", machine=m.index, prop=prop,
+                             mode="write", count=1, time=self.exec.sim.now)
         owner = m.partitioning.owner(vertex)
         offset = vertex - m.partitioning.starts[owner]
         buf = ws.scalar_write_buf(owner, prop, op)

@@ -24,6 +24,7 @@ import numpy as np
 
 from ..graph.csr import Graph
 from ..graph.partition import Partitioning, make_partitioning
+from ..obs import HookBus, MetricsRecorder, MetricsRegistry
 from ..runtime.config import ClusterConfig
 from ..runtime.network import Network
 from ..runtime.simulator import Simulator
@@ -134,8 +135,13 @@ class PgxdCluster:
     def __init__(self, config: Optional[ClusterConfig] = None):
         self.config = config or ClusterConfig()
         self.sim = Simulator()
+        #: instance-scoped telemetry: every engine layer emits on this bus,
+        #: and the recorder keeps the standard ``repro_*`` instruments live.
+        self.hooks = HookBus()
+        self.metrics = MetricsRegistry()
+        self.recorder = MetricsRecorder(self.metrics, self.hooks)
         self.network = Network(self.sim, self.config.num_machines,
-                               self.config.network)
+                               self.config.network, hooks=self.hooks)
         self.rmi = RmiRegistry()
         self.job_log: list[tuple[str, JobStats]] = []
 
@@ -184,6 +190,7 @@ class PgxdCluster:
         ``force_scalar`` runs EdgeMapJobs on the general per-edge RTC path
         instead of the vectorized scheduler fast path (results identical).
         """
+        before = self.metrics.counters_flat()
         exc = JobExecution(self, dgraph, job, force_scalar=force_scalar)
         exc.start()
         while not exc.done:
@@ -192,6 +199,10 @@ class PgxdCluster:
                     f"simulation deadlock in job {job.name!r} "
                     f"(phase={exc.phase}, workers={exc.workers_remaining}, "
                     f"writes={exc.write_outstanding}, sync={exc.sync_outstanding})")
+        self.metrics.counter("repro_jobs_total", labelnames=("kind",)).labels(
+            kind=type(job).__name__).inc()
+        self.metrics.histogram("repro_job_seconds").observe(exc.stats.elapsed)
+        exc.stats.metrics_delta = self.metrics.delta_since(before)
         self.job_log.append((job.name, exc.stats))
         return exc.stats
 

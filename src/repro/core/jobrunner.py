@@ -39,6 +39,7 @@ class JobExecution:
         self.job = job
         self.sim = cluster.sim
         self.network = cluster.network
+        self.hooks = cluster.hooks
         self.machines = dgraph.machines
         self.num_machines = len(self.machines)
 
@@ -96,6 +97,7 @@ class JobExecution:
         ]
 
         self.phase = "init"
+        self._phase_started_at: Optional[float] = None
         self.done = False
         self.chunks_remaining = 0
         self.workers_remaining = 0
@@ -144,10 +146,25 @@ class JobExecution:
     # phase machine
     # ------------------------------------------------------------------
 
+    def _set_phase(self, phase: str) -> None:
+        """Advance the phase machine, emitting phase start/end hook events."""
+        now = self.sim.now
+        if self._phase_started_at is not None:
+            self.hooks.emit("job.phase_end", job=self.job.name,
+                            phase=self.phase, start=self._phase_started_at,
+                            duration=now - self._phase_started_at)
+        self.phase = phase
+        if phase == "done":
+            self._phase_started_at = None
+            return
+        self._phase_started_at = now
+        self.hooks.emit("job.phase_start", job=self.job.name, phase=phase,
+                        time=now)
+
     def start(self) -> None:
         for m in self.machines:
             m.dm.exec = self
-        self.phase = "presync"
+        self._set_phase("presync")
         self._begin_ghost_writes()
         self._send_presync()
         if self.sync_outstanding == 0:
@@ -191,7 +208,7 @@ class JobExecution:
             self._phase_barrier()
 
     def _phase_main(self) -> None:
-        self.phase = "main"
+        self._set_phase("main")
         ecfg = self.cluster.config.engine
         total_chunks = 0
         for m in self.machines:
@@ -224,7 +241,7 @@ class JobExecution:
             self._phase_postsync()
 
     def _phase_postsync(self) -> None:
-        self.phase = "postsync"
+        self._set_phase("postsync")
         if not self.ghost_write_props:
             self._phase_barrier()
             return
@@ -263,12 +280,18 @@ class JobExecution:
             self.check_sync_done()
 
     def _phase_barrier(self) -> None:
-        self.phase = "barrier"
+        self._set_phase("barrier")
+        self.hooks.emit("barrier.enter", job=self.job.name,
+                        machines=self.num_machines, time=self.sim.now)
         latency = barrier_mod.barrier_latency(self.num_machines,
                                               self.cluster.config.network)
         self.sim.schedule(latency, self._finalize)
 
     def _finalize(self) -> None:
-        self.phase = "done"
+        start = self._phase_started_at
+        self.hooks.emit("barrier.exit", job=self.job.name,
+                        machines=self.num_machines, start=start,
+                        duration=self.sim.now - (start or self.sim.now))
+        self._set_phase("done")
         self.stats.end_time = self.sim.now
         self.done = True

@@ -133,6 +133,10 @@ class WorkerState:
 
     def _flush_read(self, dst: int, prop: str, buf: ReadBuffer) -> None:
         offsets, rows, weights = buf.drain()
+        self.exc.hooks.emit("comm.flush", machine=self.machine.index,
+                            worker=self.windex, dst=dst, prop=prop,
+                            kind="read_req", items=len(offsets),
+                            time=self.exc.sim.now)
         # Chunks append whole batches at once, so a buffer can exceed the
         # maximum message size; ship it as a train of full buffers.
         step = self._max_items(8)
@@ -151,6 +155,10 @@ class WorkerState:
         sides = list(buf.sides)
         buf.offsets.clear()
         buf.sides.clear()
+        self.exc.hooks.emit("comm.flush", machine=self.machine.index,
+                            worker=self.windex, dst=dst, prop=prop,
+                            kind="read_req", items=len(offsets),
+                            time=self.exc.sim.now)
         step = self._max_items(8)
         for i in range(0, len(offsets), step):
             msg = Message(MsgKind.READ_REQ, src=self.machine.index, dst=dst,
@@ -177,6 +185,10 @@ class WorkerState:
     def _flush_write(self, dst: int, prop: str, buf: WriteBuffer,
                      op: ReduceOp) -> None:
         offsets, values = buf.drain()
+        self.exc.hooks.emit("comm.flush", machine=self.machine.index,
+                            worker=self.windex, dst=dst, prop=prop,
+                            kind="write_req", items=len(offsets),
+                            time=self.exc.sim.now)
         step = self._max_items(16)
         for i in range(0, len(offsets), step):
             msg = Message(MsgKind.WRITE_REQ, src=self.machine.index, dst=dst,
@@ -191,6 +203,10 @@ class WorkerState:
         values = np.asarray(buf.values)
         buf.offsets.clear()
         buf.values.clear()
+        self.exc.hooks.emit("comm.flush", machine=self.machine.index,
+                            worker=self.windex, dst=dst, prop=prop,
+                            kind="write_req", items=len(offsets),
+                            time=self.exc.sim.now)
         step = self._max_items(16)
         for i in range(0, len(offsets), step):
             msg = Message(MsgKind.WRITE_REQ, src=self.machine.index, dst=dst,
@@ -255,21 +271,27 @@ def worker_loop(exc: "JobExecution", ws: WorkerState) -> None:
 def _start_work(exc: "JobExecution", ws: WorkerState, fn,
                 chunk_overhead: bool = False) -> None:
     m = ws.machine
+    kind = "chunk" if chunk_overhead else "continuation/flush"
+    t0 = exc.sim.now
+    exc.hooks.emit("task.chunk_start", machine=m.index, worker=ws.windex,
+                   kind=kind, time=t0)
     m.cpu.thread_started()
     tally = fn()
     if chunk_overhead:
         tally.cpu_ops += exc.chunk_dispatch_time / exc.cpu_op_time
     dur = m.cpu.mixed_duration(tally.cpu_ops, tally.atomic_ops,
                                tally.random_bytes, tally.seq_bytes)
-    t0 = exc.sim.now
     exc.stats.record_busy(m.index, ws.windex, t0, t0 + dur)
     ws.scheduled = True
-    exc.sim.schedule(dur, _end_work, exc, ws, dur)
+    exc.sim.schedule(dur, _end_work, exc, ws, dur, kind, t0)
 
 
-def _end_work(exc: "JobExecution", ws: WorkerState, dur: float) -> None:
+def _end_work(exc: "JobExecution", ws: WorkerState, dur: float,
+              kind: str = "chunk", start: float = 0.0) -> None:
     ws.machine.cpu.thread_finished(dur)
     ws.scheduled = False
+    exc.hooks.emit("task.chunk_end", machine=ws.machine.index,
+                   worker=ws.windex, kind=kind, start=start, duration=dur)
     worker_loop(exc, ws)
 
 

@@ -126,6 +126,18 @@ def execute_edge_map_chunk(exc: "JobExecution", machine: "Machine",
     is_ghost = (~is_local) & (gslots >= 0) if ghost_ok else np.zeros(n_edges, dtype=bool)
     is_remote = ~(is_local | is_ghost)
 
+    mode = "read" if spec.direction == "pull" else "write"
+    n_ghost = int(is_ghost.sum())
+    n_remote = int(is_remote.sum())
+    if n_ghost:
+        exc.hooks.emit("ghost.hit", machine=machine.index,
+                       prop=spec.source if mode == "read" else spec.target,
+                       mode=mode, count=n_ghost, time=exc.sim.now)
+    if n_remote:
+        exc.hooks.emit("ghost.miss", machine=machine.index,
+                       prop=spec.source if mode == "read" else spec.target,
+                       mode=mode, count=n_remote, time=exc.sim.now)
+
     if spec.direction == "pull":
         _pull(exc, machine, ws, spec, tally, rows, offsets, gslots, owners,
               weights, is_local, is_ghost, is_remote)

@@ -1,0 +1,34 @@
+"""Engine-wide observability: metrics registry, hook bus, and exporters.
+
+Three always-on pieces, owned per cluster so multiple clusters (and their
+observers) coexist in one process:
+
+* :class:`~repro.obs.metrics.MetricsRegistry` — labeled counters, gauges
+  and fixed-bucket histograms with quantile estimates;
+* :class:`~repro.obs.hooks.HookBus` — named instrumentation hook points
+  (``task.chunk_end``, ``net.send``, ``ghost.hit``, ...) with
+  instance-scoped subscriptions;
+* :class:`~repro.obs.recorder.MetricsRecorder` — the built-in subscriber
+  that keeps the standard ``repro_*`` instrument set current.
+
+Exporters (:mod:`repro.obs.exporters`) render Prometheus text and JSON
+snapshots; :mod:`repro.obs.report` prints the Figure-5-style per-layer
+overhead table used by ``repro report``.
+
+``repro.obs.report`` is intentionally not imported here — import it
+directly where needed.
+"""
+
+from .exporters import to_json, to_prometheus, write_metrics
+from .hooks import KNOWN_HOOKS, HookBus, Subscription
+from .metrics import (Counter, DEFAULT_BYTE_BUCKETS, DEFAULT_TIME_BUCKETS,
+                      Gauge, Histogram, MetricsRegistry)
+from .recorder import MetricsRecorder
+
+__all__ = [
+    "HookBus", "Subscription", "KNOWN_HOOKS",
+    "MetricsRegistry", "Counter", "Gauge", "Histogram",
+    "DEFAULT_TIME_BUCKETS", "DEFAULT_BYTE_BUCKETS",
+    "MetricsRecorder",
+    "to_prometheus", "to_json", "write_metrics",
+]

@@ -1,0 +1,85 @@
+"""Metric exporters: Prometheus text exposition and JSON snapshots.
+
+``to_prometheus`` renders the registry in the `text exposition format`_
+scraped by a Prometheus server; ``to_json`` produces a structured snapshot
+for dashboards and offline diffing; ``write_metrics`` writes both next to
+each other (``<prefix>.prom`` / ``<prefix>.json``) — the files behind the
+CLI's ``--metrics-out``.
+
+.. _text exposition format:
+   https://prometheus.io/docs/instrumenting/exposition_formats/
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+from .metrics import MetricsRegistry
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _label_str(labelnames, key, extra: Optional[tuple[str, str]] = None) -> str:
+    pairs = [(n, v) for n, v in zip(labelnames, key)]
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{n}="{_escape_label_value(str(v))}"' for n, v in pairs)
+    return "{" + inner + "}"
+
+
+def _fmt(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """The full registry in the Prometheus text exposition format."""
+    lines: list[str] = []
+    for metric in registry:
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        for key, child in metric.children():
+            if metric.kind == "histogram":
+                cumulative = child.cumulative()
+                bounds = list(metric.buckets) + [float("inf")]
+                for bound, count in zip(bounds, cumulative):
+                    labels = _label_str(metric.labelnames, key,
+                                        extra=("le", _fmt(bound)))
+                    lines.append(f"{metric.name}_bucket{labels} {count}")
+                base = _label_str(metric.labelnames, key)
+                lines.append(f"{metric.name}_sum{base} {_fmt(child.sum)}")
+                lines.append(f"{metric.name}_count{base} {child.count}")
+            else:
+                labels = _label_str(metric.labelnames, key)
+                lines.append(f"{metric.name}{labels} {_fmt(child.value)}")
+    return "\n".join(lines) + "\n"
+
+
+def to_json(registry: MetricsRegistry, indent: int = 2) -> str:
+    """The registry snapshot as a JSON document."""
+    return json.dumps({"metrics": registry.snapshot()}, indent=indent,
+                      sort_keys=True)
+
+
+def write_metrics(registry: MetricsRegistry, prefix: str) -> tuple[str, str]:
+    """Write ``<prefix>.prom`` and ``<prefix>.json``; returns the two paths."""
+    prefix = os.fspath(prefix)
+    parent = os.path.dirname(prefix)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    prom_path, json_path = prefix + ".prom", prefix + ".json"
+    with open(prom_path, "w") as fh:
+        fh.write(to_prometheus(registry))
+    with open(json_path, "w") as fh:
+        fh.write(to_json(registry))
+    return prom_path, json_path

@@ -1,0 +1,136 @@
+"""The instrumentation hook bus: named hook points with scoped subscriptions.
+
+Every :class:`~repro.core.engine.PgxdCluster` owns one :class:`HookBus`.
+Engine layers *emit* events at well-known hook points; observers (the
+metrics recorder, the Chrome tracer, user code) *subscribe* per hook name.
+Because the bus is an instance — not process-global monkeypatching — two
+clusters (and two tracers) coexist in one process with disjoint event
+streams.
+
+Emission is cheap when nobody listens: ``emit`` returns after one dict
+lookup.  Subscribers receive the payload dict positionally::
+
+    def on_chunk(payload: dict) -> None: ...
+    sub = bus.subscribe("task.chunk_end", on_chunk)
+    ...
+    bus.unsubscribe(sub)
+
+Payloads are documented per hook in ``docs/observability.md``; every payload
+carries simulated-time fields in seconds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping
+
+#: The engine's built-in hook points (user hooks may use any other name).
+KNOWN_HOOKS = (
+    "task.chunk_start",    # machine, worker, kind, time
+    "task.chunk_end",      # machine, worker, kind, start, duration
+    "comm.enqueue",        # machine, kind, depth, time
+    "comm.flush",          # machine, worker, dst, prop, kind, items, time
+    "comm.queue_depth",    # machine, depth, time
+    "comm.copier_done",    # machine, copier, kind, items, start, duration
+    "net.send",            # src, dst, nbytes, kind, time, deliver
+    "net.deliver",         # src, dst, nbytes, kind, time
+    "ghost.hit",           # machine, prop, mode, count, time
+    "ghost.miss",          # machine, prop, mode, count, time
+    "job.phase_start",     # job, phase, time
+    "job.phase_end",       # job, phase, start, duration
+    "barrier.enter",       # job, machines, time
+    "barrier.exit",        # job, machines, start, duration
+)
+
+
+class Subscription:
+    """Handle returned by :meth:`HookBus.subscribe`; pass to ``unsubscribe``."""
+
+    __slots__ = ("bus", "name", "fn", "active")
+
+    def __init__(self, bus: "HookBus", name: str, fn: Callable):
+        self.bus = bus
+        self.name = name
+        self.fn = fn
+        self.active = True
+
+    def cancel(self) -> None:
+        self.bus.unsubscribe(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "active" if self.active else "cancelled"
+        return f"Subscription({self.name!r}, {state})"
+
+
+class HookBus:
+    """Instance-scoped publish/subscribe fan-out for instrumentation events."""
+
+    __slots__ = ("_subs",)
+
+    def __init__(self) -> None:
+        self._subs: dict[str, list[Subscription]] = {}
+
+    # -- subscription ------------------------------------------------------
+
+    def subscribe(self, name: str, fn: Callable) -> Subscription:
+        """Register ``fn(payload_dict)`` for hook ``name``."""
+        if not callable(fn):
+            raise TypeError(f"subscriber for {name!r} is not callable: {fn!r}")
+        sub = Subscription(self, name, fn)
+        self._subs.setdefault(name, []).append(sub)
+        return sub
+
+    def subscribe_many(self, mapping: Mapping[str, Callable]) -> list[Subscription]:
+        """Subscribe a batch atomically: on any failure, roll back the ones
+        already added and re-raise (no half-installed observers)."""
+        added: list[Subscription] = []
+        try:
+            for name, fn in mapping.items():
+                added.append(self.subscribe(name, fn))
+        except Exception:
+            for sub in added:
+                self.unsubscribe(sub)
+            raise
+        return added
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        """Remove a subscription (idempotent)."""
+        if not sub.active:
+            return
+        sub.active = False
+        subs = self._subs.get(sub.name)
+        if subs is not None:
+            try:
+                subs.remove(sub)
+            except ValueError:  # pragma: no cover - defensive
+                pass
+            if not subs:
+                del self._subs[sub.name]
+
+    def unsubscribe_all(self, subs: Iterable[Subscription]) -> None:
+        for sub in subs:
+            self.unsubscribe(sub)
+
+    # -- emission ----------------------------------------------------------
+
+    def has(self, name: str) -> bool:
+        """True when at least one subscriber listens on ``name`` (use to skip
+        building expensive payloads on hot paths)."""
+        return name in self._subs
+
+    def emit(self, name: str, **payload) -> None:
+        """Fan ``payload`` out to every subscriber of ``name``.
+
+        Subscriber exceptions propagate — instrumentation bugs should fail
+        loudly in a deterministic simulator rather than corrupt capture.
+        """
+        subs = self._subs.get(name)
+        if not subs:
+            return
+        for sub in tuple(subs):
+            if sub.active:
+                sub.fn(payload)
+
+    def subscriber_count(self, name: str | None = None) -> int:
+        if name is not None:
+            return len(self._subs.get(name, ()))
+        return sum(len(v) for v in self._subs.values())

@@ -1,0 +1,147 @@
+"""The always-on bridge from the hook bus to the metrics registry.
+
+One :class:`MetricsRecorder` is installed per cluster at construction.  It
+subscribes to the engine's built-in hook points and maintains the standard
+``repro_*`` instrument set — the substrate behind ``repro report``, the
+Prometheus/JSON exporters, and the per-job deltas attached to ``JobStats``.
+"""
+
+from __future__ import annotations
+
+from .hooks import HookBus, Subscription
+from .metrics import DEFAULT_BYTE_BUCKETS, MetricsRegistry
+
+
+class MetricsRecorder:
+    """Subscribes the standard engine metrics to a cluster's hook bus."""
+
+    def __init__(self, registry: MetricsRegistry, bus: HookBus):
+        self.registry = registry
+        self.bus = bus
+        r = registry
+
+        self.chunks = r.counter(
+            "repro_chunks_total", "Task chunks executed", ("machine", "kind"))
+        self.worker_busy = r.counter(
+            "repro_worker_busy_seconds_total",
+            "Worker busy time (CPU-seconds, summed over workers)", ("machine",))
+        self.chunk_seconds = r.histogram(
+            "repro_chunk_seconds", "Distribution of chunk busy durations",
+            ("kind",))
+
+        self.flushes = r.counter(
+            "repro_comm_flushes_total", "Request-buffer flushes", ("kind",))
+        self.flush_items = r.counter(
+            "repro_comm_flush_items_total", "Items shipped by flushes",
+            ("kind",))
+        self.comm_requests = r.counter(
+            "repro_comm_requests_total",
+            "Request messages enqueued at destinations", ("kind",))
+        self.queue_depth = r.gauge(
+            "repro_comm_queue_depth", "Current request-queue depth",
+            ("machine",))
+        self.queue_depth_samples = r.histogram(
+            "repro_comm_queue_depth_samples",
+            "Request-queue depth observed at enqueue/dequeue",
+            buckets=(0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024))
+        self.copier_busy = r.counter(
+            "repro_copier_busy_seconds_total",
+            "Copier busy time (CPU-seconds, summed over copiers)", ("machine",))
+        self.copier_messages = r.counter(
+            "repro_copier_messages_total", "Messages processed by copiers",
+            ("kind",))
+
+        self.net_messages = r.counter(
+            "repro_net_messages_total", "Messages on the fabric", ("kind",))
+        self.net_bytes = r.counter(
+            "repro_net_bytes_total", "Bytes on the fabric", ("kind",))
+        self.net_transit = r.counter(
+            "repro_net_transit_seconds_total",
+            "Send-to-deliver latency summed over fabric messages")
+        self.net_message_bytes = r.histogram(
+            "repro_net_message_bytes", "Fabric message size distribution",
+            buckets=DEFAULT_BYTE_BUCKETS)
+
+        self.ghost_hits = r.counter(
+            "repro_ghost_hits_total",
+            "Accesses resolved against a local ghost copy", ("mode",))
+        self.ghost_misses = r.counter(
+            "repro_ghost_misses_total",
+            "Non-local accesses that had to go remote", ("mode",))
+
+        self.phase_seconds = r.counter(
+            "repro_job_phase_seconds_total",
+            "Wall time spent per job phase", ("phase",))
+        self.phases = r.counter(
+            "repro_job_phases_total", "Phase transitions", ("phase",))
+        self.barriers = r.counter(
+            "repro_barriers_total", "End-of-region barriers")
+        self.barrier_seconds = r.counter(
+            "repro_barrier_seconds_total", "Wall time spent in barriers")
+
+        # Updated by PgxdCluster.run_job (no hook needed — the driver knows).
+        r.counter("repro_jobs_total", "Parallel regions executed", ("kind",))
+        r.histogram("repro_job_seconds", "Job elapsed time distribution")
+
+        self._subs: list[Subscription] = bus.subscribe_many({
+            "task.chunk_end": self._on_chunk_end,
+            "comm.flush": self._on_flush,
+            "comm.enqueue": self._on_enqueue,
+            "comm.queue_depth": self._on_queue_depth,
+            "comm.copier_done": self._on_copier_done,
+            "net.send": self._on_net_send,
+            "ghost.hit": self._on_ghost_hit,
+            "ghost.miss": self._on_ghost_miss,
+            "job.phase_end": self._on_phase_end,
+            "barrier.exit": self._on_barrier_exit,
+        })
+
+    def close(self) -> None:
+        """Detach from the bus (the registry keeps its accumulated values)."""
+        self.bus.unsubscribe_all(self._subs)
+        self._subs = []
+
+    # -- hook handlers -----------------------------------------------------
+
+    def _on_chunk_end(self, p: dict) -> None:
+        machine = str(p["machine"])
+        self.chunks.labels(machine=machine, kind=p["kind"]).inc()
+        self.worker_busy.labels(machine=machine).inc(p["duration"])
+        self.chunk_seconds.labels(kind=p["kind"]).observe(p["duration"])
+
+    def _on_flush(self, p: dict) -> None:
+        self.flushes.labels(kind=p["kind"]).inc()
+        self.flush_items.labels(kind=p["kind"]).inc(p["items"])
+
+    def _on_enqueue(self, p: dict) -> None:
+        self.comm_requests.labels(kind=p["kind"]).inc()
+
+    def _on_queue_depth(self, p: dict) -> None:
+        self.queue_depth.labels(machine=str(p["machine"])).set(p["depth"])
+        self.queue_depth_samples.observe(p["depth"])
+
+    def _on_copier_done(self, p: dict) -> None:
+        self.copier_busy.labels(machine=str(p["machine"])).inc(p["duration"])
+        self.copier_messages.labels(kind=p["kind"]).inc()
+
+    def _on_net_send(self, p: dict) -> None:
+        kind = p["kind"]
+        self.net_messages.labels(kind=kind).inc()
+        self.net_bytes.labels(kind=kind).inc(p["nbytes"])
+        self.net_transit.inc(p["deliver"] - p["time"])
+        self.net_message_bytes.observe(p["nbytes"])
+
+    def _on_ghost_hit(self, p: dict) -> None:
+        self.ghost_hits.labels(mode=p["mode"]).inc(p.get("count", 1))
+
+    def _on_ghost_miss(self, p: dict) -> None:
+        self.ghost_misses.labels(mode=p["mode"]).inc(p.get("count", 1))
+
+    def _on_phase_end(self, p: dict) -> None:
+        phase = p["phase"]
+        self.phase_seconds.labels(phase=phase).inc(p["duration"])
+        self.phases.labels(phase=phase).inc()
+
+    def _on_barrier_exit(self, p: dict) -> None:
+        self.barriers.inc()
+        self.barrier_seconds.inc(p["duration"])

@@ -1,0 +1,122 @@
+"""Figure-5-style per-layer overhead reporting from live metrics.
+
+Turns a cluster's :class:`~repro.obs.metrics.MetricsRegistry` into the
+overhead breakdown the paper analyses in Figure 5: how much time the run
+spent in task execution (workers), communication handling (copiers), on the
+fabric, in ghost synchronization, and in barriers.  Worker/copier rows are
+CPU-seconds summed across threads and machines; phase/barrier rows are
+simulated wall seconds — the table reports each layer's share of the summed
+instrumented time, which is the paper's relative-overhead view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .metrics import MetricsRegistry
+
+
+def _family_sum(registry: MetricsRegistry, name: str,
+                where: dict[str, str] | None = None) -> float:
+    metric = registry.get(name)
+    if metric is None:
+        return 0.0
+    total = 0.0
+    for key, child in metric.children():
+        labels = dict(zip(metric.labelnames, key))
+        if where and any(labels.get(k) != v for k, v in where.items()):
+            continue
+        total += child.value
+    return total
+
+
+@dataclass
+class OverheadBreakdown:
+    """Per-layer instrumented seconds for one measurement window."""
+
+    task: float = 0.0       # worker busy CPU-seconds
+    comm: float = 0.0       # copier busy CPU-seconds
+    network: float = 0.0    # send-to-deliver transit seconds
+    ghost: float = 0.0      # presync + postsync wall seconds
+    barrier: float = 0.0    # barrier wall seconds
+
+    @property
+    def total(self) -> float:
+        return self.task + self.comm + self.network + self.ghost + self.barrier
+
+    def rows(self) -> list[tuple[str, float, float]]:
+        t = self.total
+        return [(layer, secs, secs / t if t > 0 else 0.0)
+                for layer, secs in (("task", self.task), ("comm", self.comm),
+                                    ("network", self.network),
+                                    ("ghost", self.ghost),
+                                    ("barrier", self.barrier))]
+
+
+def overhead_breakdown(registry: MetricsRegistry) -> OverheadBreakdown:
+    """Read the per-layer seconds out of the standard instrument set."""
+    ghost_sync = (_family_sum(registry, "repro_job_phase_seconds_total",
+                              {"phase": "presync"})
+                  + _family_sum(registry, "repro_job_phase_seconds_total",
+                                {"phase": "postsync"}))
+    return OverheadBreakdown(
+        task=_family_sum(registry, "repro_worker_busy_seconds_total"),
+        comm=_family_sum(registry, "repro_copier_busy_seconds_total"),
+        network=_family_sum(registry, "repro_net_transit_seconds_total"),
+        ghost=ghost_sync,
+        barrier=_family_sum(registry, "repro_barrier_seconds_total"),
+    )
+
+
+def traffic_by_kind(registry: MetricsRegistry) -> dict[str, float]:
+    """Fabric bytes per message kind (read_req / read_resp / ...)."""
+    metric = registry.get("repro_net_bytes_total")
+    if metric is None:
+        return {}
+    return {key[0]: child.value for key, child in metric.children()}
+
+
+def ghost_hit_rate(registry: MetricsRegistry) -> tuple[float, float]:
+    """(hits, misses) over both read and write modes."""
+    return (_family_sum(registry, "repro_ghost_hits_total"),
+            _family_sum(registry, "repro_ghost_misses_total"))
+
+
+def _table(title: str, headers: list[str], rows: list[list[str]]) -> str:
+    widths = [max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+              for i, h in enumerate(headers)]
+    out = [f"=== {title} ==="]
+    out.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append("-+-".join("-" * w for w in widths))
+    for r in rows:
+        out.append(" | ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(out)
+
+
+def render_overhead_report(registry: MetricsRegistry, title: str = "",
+                           elapsed: float | None = None) -> str:
+    """The ``repro report`` payload: per-layer table plus traffic/ghost lines."""
+    bd = overhead_breakdown(registry)
+    rows = [[layer, f"{secs:.6f}", f"{frac:6.1%}"]
+            for layer, secs, frac in bd.rows()]
+    rows.append(["total", f"{bd.total:.6f}", f"{1.0 if bd.total > 0 else 0.0:6.1%}"])
+    heading = "Per-layer overheads" + (f" — {title}" if title else "")
+    parts = [_table(heading, ["layer", "seconds", "share"], rows)]
+
+    if elapsed is not None:
+        parts.append(f"elapsed (simulated wall): {elapsed:.6f} s")
+
+    traffic = traffic_by_kind(registry)
+    if traffic:
+        total = sum(traffic.values())
+        kinds = ", ".join(f"{k} {v / 1e6:.2f}" for k, v in sorted(traffic.items()))
+        parts.append(f"fabric traffic: {total / 1e6:.2f} MB ({kinds})")
+    hits, misses = ghost_hit_rate(registry)
+    if hits or misses:
+        rate = hits / (hits + misses) if (hits + misses) else 0.0
+        parts.append(f"ghost accesses: {hits:.0f} hits / {misses:.0f} misses "
+                     f"({rate:.1%} served locally)")
+    jobs = _family_sum(registry, "repro_jobs_total")
+    barriers = _family_sum(registry, "repro_barriers_total")
+    parts.append(f"jobs: {jobs:.0f}  barriers: {barriers:.0f}")
+    return "\n".join(parts)

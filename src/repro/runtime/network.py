@@ -15,8 +15,10 @@ patterns.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Any, Callable
+from functools import partial
+from typing import Any, Callable, Optional
 
+from ..obs.hooks import HookBus
 from .config import NetworkConfig
 from .simulator import Simulator
 
@@ -56,10 +58,14 @@ class NetworkStats:
 class Network:
     """The cluster fabric connecting ``num_machines`` simulated machines."""
 
-    def __init__(self, sim: Simulator, num_machines: int, config: NetworkConfig):
+    def __init__(self, sim: Simulator, num_machines: int, config: NetworkConfig,
+                 hooks: Optional[HookBus] = None):
         self.sim = sim
         self.num_machines = num_machines
         self.config = config
+        #: instrumentation bus; the owning cluster passes its own so network
+        #: events land on the same stream as the engine's.
+        self.hooks = hooks if hooks is not None else HookBus()
         self._tx = [_Port() for _ in range(num_machines)]
         self._rx = [_Port() for _ in range(num_machines)]
         # The poller is one thread, but its outbound service happens at send
@@ -104,6 +110,12 @@ class Network:
         rx_done = self._rx[dst].occupy(arrive, nbytes / cfg.link_bw)
         deliver = self._poller_in[dst].occupy(rx_done, cfg.poller_per_message)
         self.sim.schedule_at(deliver, callback, *args)
+        self.hooks.emit("net.send", src=src, dst=dst, nbytes=nbytes, kind=kind,
+                        time=now, deliver=deliver)
+        if self.hooks.has("net.deliver"):
+            self.sim.schedule_at(deliver, partial(
+                self.hooks.emit, "net.deliver", src=src, dst=dst,
+                nbytes=nbytes, kind=kind, time=deliver))
         return deliver
 
     # -- analytic helpers (used by calibration and Figure 8(b)) -------------

@@ -57,6 +57,9 @@ class JobStats:
     #: worker busy intervals: machine -> worker -> list of (start, end)
     busy_intervals: dict[int, dict[int, list[tuple[float, float]]]] = field(
         default_factory=lambda: defaultdict(lambda: defaultdict(list)))
+    #: registry counter increments attributable to this job (flat
+    #: ``name{labels}`` -> delta), attached by ``PgxdCluster.run_job``
+    metrics_delta: dict[str, float] = field(default_factory=dict)
 
     @property
     def elapsed(self) -> float:
@@ -71,7 +74,10 @@ class JobStats:
             self.busy_intervals[machine][worker].append((start, end))
 
     def merge_from(self, other: "JobStats") -> None:
-        """Accumulate another job's counters (used to sum per-iteration jobs)."""
+        """Accumulate another job's measurements (used to sum per-iteration
+        jobs): counters add up, busy intervals concatenate, and the span
+        extends to cover the other job — so ``breakdown()`` on merged
+        multi-iteration stats stays meaningful."""
         for kind, nbytes in other.bytes_by_kind.items():
             self.bytes_by_kind[kind] += nbytes
         self.messages += other.messages
@@ -82,6 +88,13 @@ class JobStats:
         self.local_reads += other.local_reads
         self.local_writes += other.local_writes
         self.atomic_ops += other.atomic_ops
+        for machine, workers in other.busy_intervals.items():
+            for worker, intervals in workers.items():
+                self.busy_intervals[machine][worker].extend(intervals)
+        if other.end_time > self.end_time:
+            self.end_time = other.end_time
+        for name, delta in other.metrics_delta.items():
+            self.metrics_delta[name] = self.metrics_delta.get(name, 0.0) + delta
 
     # -- Figure 6(c) --------------------------------------------------------
 

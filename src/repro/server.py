@@ -34,6 +34,9 @@ class SessionUsage:
     simulated_seconds: float = 0.0
     bytes_moved: float = 0.0
     graphs_loaded: int = 0
+    #: accumulated per-job metric deltas (flat ``name{labels}`` -> value),
+    #: the session's slice of the cluster-wide :class:`MetricsRegistry`
+    metrics: dict = field(default_factory=dict)
 
 
 class Session:
@@ -75,9 +78,12 @@ class Session:
         """Run one of ``repro.algorithms`` under this session's accounting."""
         dg = self._graphs[graph_name]
         t0 = self._server.cluster.now
+        before = self._server.cluster.metrics.counters_flat()
         result = algorithm(self._server.cluster, dg, *args, **kwargs)
         self._server._account(self, self._server.cluster.now - t0,
-                              result.stats.total_bytes, jobs=result.iterations)
+                              result.stats.total_bytes, jobs=result.iterations,
+                              metrics=self._server.cluster.metrics
+                              .delta_since(before))
         return result
 
 
@@ -116,19 +122,30 @@ class PgxdServer:
         """Run a job on behalf of a session (serialized cluster-wide)."""
         self.submission_log.append((session.name, job.name))
         stats = self.cluster.run_job(dg, job)
-        self._account(session, stats.elapsed, stats.total_bytes, jobs=1)
+        self._account(session, stats.elapsed, stats.total_bytes, jobs=1,
+                      metrics=stats.metrics_delta)
         return stats
 
     def _account(self, session: Session, seconds: float, nbytes: float,
-                 jobs: int) -> None:
+                 jobs: int, metrics: Optional[dict] = None) -> None:
         session.usage.jobs_run += jobs
         session.usage.simulated_seconds += seconds
         session.usage.bytes_moved += nbytes
+        for key, value in (metrics or {}).items():
+            session.usage.metrics[key] = session.usage.metrics.get(key, 0.0) + value
 
     # -- fairness ----------------------------------------------------------------------
 
     def usage_report(self) -> dict[str, SessionUsage]:
         return {name: s.usage for name, s in self._sessions.items()}
+
+    def metrics_rollup(self) -> dict[str, dict]:
+        """Per-session metric totals, keyed by session name.  Each value is a
+        flat ``name{labels}`` -> delta mapping covering the jobs that session
+        ran; summing across sessions approximates the cluster registry (minus
+        activity outside any session)."""
+        return {name: dict(s.usage.metrics)
+                for name, s in self._sessions.items()}
 
     def over_fair_share(self) -> list[str]:
         """Sessions consuming more than ``fair_share_window`` times the mean

@@ -6,6 +6,11 @@ the `Chrome trace event format`_ consumed by ``chrome://tracing``, Perfetto,
 and Speedscope — the timeline view you would want when debugging imbalance
 (it makes Figure 6(c)'s breakdown visible span by span).
 
+The tracer is a plain consumer of the cluster's instrumentation hook bus
+(:mod:`repro.obs.hooks`): ``install()`` subscribes to ``task.chunk_end``,
+``comm.copier_done`` and ``net.send`` on *this cluster's* bus only, so two
+tracers attached to two clusters in one process record disjoint event sets.
+
 .. _Chrome trace event format:
    https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
 
@@ -21,11 +26,9 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Optional
 
-from .core import comm_manager, task_manager
 from .core.engine import PgxdCluster
-from .runtime import network as network_mod
+from .obs.hooks import Subscription
 
 
 @dataclass
@@ -55,78 +58,48 @@ class Tracer:
         self.cluster = cluster
         self.events: list[TraceEvent] = []
         self._installed = False
-        self._saved = {}
+        self._subs: list[Subscription] = []
 
     # -- capture hooks -----------------------------------------------------
 
-    def _wrap_start_work(self, orig):
-        tracer = self
+    def _on_chunk_end(self, p: dict) -> None:
+        self.events.append(TraceEvent(
+            name=p["kind"], category="worker",
+            start=p["start"], duration=p["duration"],
+            pid=p["machine"], tid=f"worker {p['worker']}"))
 
-        def wrapped(exc, ws, fn, chunk_overhead=False):
-            t0 = exc.sim.now
-            orig(exc, ws, fn, chunk_overhead)
-            # _start_work schedules _end_work at t0 + dur; recover dur from
-            # the busy interval it just recorded.
-            intervals = exc.stats.busy_intervals[ws.machine.index][ws.windex]
-            if intervals:
-                s, e = intervals[-1]
-                tracer.events.append(TraceEvent(
-                    name="chunk" if chunk_overhead else "continuation/flush",
-                    category="worker", start=s, duration=e - s,
-                    pid=ws.machine.index, tid=f"worker {ws.windex}"))
+    def _on_copier_done(self, p: dict) -> None:
+        self.events.append(TraceEvent(
+            name=p["kind"], category="copier",
+            start=p["start"], duration=p["duration"],
+            pid=p["machine"], tid=f"copier {p['copier']}",
+            args={"items": p["items"]}))
 
-        return wrapped
-
-    def _wrap_copier_done(self, orig):
-        tracer = self
-
-        def wrapped(exc, cs, msg, dur):
-            # Fires when a copier finishes a message: end = now, span = dur.
-            tracer.events.append(TraceEvent(
-                name=msg.kind.value, category="copier",
-                start=exc.sim.now - dur, duration=dur,
-                pid=cs.machine.index, tid=f"copier {cs.cindex}",
-                args={"items": msg.item_count}))
-            orig(exc, cs, msg, dur)
-
-        return wrapped
-
-    def _wrap_send(self, orig):
-        tracer = self
-
-        def wrapped(net, src, dst, nbytes, callback, *args, kind="data"):
-            t0 = net.sim.now
-            deliver = orig(net, src, dst, nbytes, callback, *args, kind=kind)
-            if src != dst:
-                tracer.events.append(TraceEvent(
-                    name=kind, category="network", start=t0,
-                    duration=deliver - t0, pid=src, tid=f"net->{dst}",
-                    args={"bytes": nbytes}))
-            return deliver
-
-        return wrapped
+    def _on_net_send(self, p: dict) -> None:
+        self.events.append(TraceEvent(
+            name=p["kind"], category="network", start=p["time"],
+            duration=p["deliver"] - p["time"],
+            pid=p["src"], tid=f"net->{p['dst']}",
+            args={"bytes": p["nbytes"]}))
 
     # -- lifecycle --------------------------------------------------------------
 
     def install(self) -> None:
         if self._installed:
             raise RuntimeError("tracer already installed")
-        self._saved = {
-            "start_work": task_manager._start_work,
-            "copier_done": comm_manager._copier_done,
-            "send": network_mod.Network.send,
-        }
-        task_manager._start_work = self._wrap_start_work(task_manager._start_work)
-        comm_manager._copier_done = self._wrap_copier_done(comm_manager._copier_done)
-        network_mod.Network.send = self._wrap_send(network_mod.Network.send)
+        self._subs = self.cluster.hooks.subscribe_many({
+            "task.chunk_end": self._on_chunk_end,
+            "comm.copier_done": self._on_copier_done,
+            "net.send": self._on_net_send,
+        })
         self._installed = True
 
     def uninstall(self) -> None:
         if not self._installed:
             return
-        task_manager._start_work = self._saved["start_work"]
-        comm_manager._copier_done = self._saved["copier_done"]
-        network_mod.Network.send = self._saved["send"]
+        for sub in self._subs:
+            sub.cancel()
+        self._subs = []
         self._installed = False
 
     def __enter__(self) -> "Tracer":

@@ -95,3 +95,40 @@ class TestTracer:
         _, _, tracer = traced
         summary = tracer.busy_summary()
         assert all(v > 0 for v in summary.values())
+
+    def test_two_tracers_on_two_clusters_capture_disjoint_events(self, small_rmat):
+        """Regression: tracers are bus-scoped, not process-global — two
+        clusters traced in one process must record separate event sets."""
+        def setup():
+            cluster = make_cluster(3, 30)
+            dg = cluster.load_graph(small_rmat)
+            dg.add_property("x", init=1.0)
+            dg.add_property("t", init=0.0)
+            return cluster, dg, EdgeMapJob(name="j", spec=EdgeMapSpec(
+                direction="pull", source="x", target="t", op=ReduceOp.SUM))
+
+        c1, dg1, job1 = setup()
+        c2, dg2, job2 = setup()
+        t1, t2 = Tracer(c1), Tracer(c2)
+        t1.install()
+        t2.install()
+        try:
+            c1.run_job(dg1, job1)
+            n1_after_first = len(t1.events)
+            assert n1_after_first > 0
+            assert t2.events == []          # cluster 2 hasn't run anything
+            c2.run_job(dg2, job2)
+            assert len(t1.events) == n1_after_first  # untouched by cluster 2
+            assert len(t2.events) == n1_after_first  # identical run, own events
+        finally:
+            t1.uninstall()
+            t2.uninstall()
+
+    def test_reinstall_after_uninstall_records_again(self, traced):
+        cluster, dg, tracer = traced
+        n = len(tracer.events)
+        tracer.install()
+        cluster.run_job(dg, EdgeMapJob(name="j3", spec=EdgeMapSpec(
+            direction="pull", source="x", target="t", op=ReduceOp.SUM)))
+        tracer.uninstall()
+        assert len(tracer.events) > n

@@ -34,6 +34,36 @@ class TestJobStats:
         a.merge_from(b)
         assert a.messages == 7 and a.bytes_by_kind["x"] == 7
 
+    def test_merge_from_keeps_busy_intervals(self):
+        """Regression: merge used to drop the other side's busy intervals."""
+        a, b = make_stats((0.0, 5.0)), make_stats((5.0, 10.0))
+        a.record_busy(0, 0, 0.0, 4.0)
+        b.record_busy(0, 0, 5.0, 9.0)
+        b.record_busy(1, 2, 6.0, 8.0)
+        a.merge_from(b)
+        assert a.busy_intervals[0][0] == [(0.0, 4.0), (5.0, 9.0)]
+        assert a.busy_intervals[1][2] == [(6.0, 8.0)]
+
+    def test_merge_from_extends_end_time(self):
+        """Regression: merge used to leave end_time at the first job's end."""
+        a, b = make_stats((0.0, 5.0)), make_stats((5.0, 10.0))
+        a.merge_from(b)
+        assert a.end_time == pytest.approx(10.0)
+        assert a.elapsed == pytest.approx(10.0)
+
+    def test_merge_from_does_not_rewind_end_time(self):
+        a, b = make_stats((0.0, 10.0)), make_stats((2.0, 5.0))
+        a.merge_from(b)
+        assert a.end_time == pytest.approx(10.0)
+
+    def test_merge_from_sums_metrics_delta(self):
+        a, b = make_stats(), make_stats()
+        a.metrics_delta = {"x_total": 1.0, "y_total": 2.0}
+        b.metrics_delta = {"x_total": 3.0, "z_total": 5.0}
+        a.merge_from(b)
+        assert a.metrics_delta == {"x_total": 4.0, "y_total": 2.0,
+                                   "z_total": 5.0}
+
 
 class TestBreakdown:
     def test_fractions_sum_to_one(self):
@@ -89,6 +119,33 @@ class TestBreakdown:
         st = make_stats((0.0, 4.0))
         bd = st.breakdown(workers_per_machine=2)
         assert bd.inter_machine == pytest.approx(4.0)
+
+    def test_single_machine_tail_is_inter(self):
+        """With one machine, time after it finishes counts as inter-machine
+        (the cluster waits at the barrier with nothing running anywhere)."""
+        st = make_stats((0.0, 10.0))
+        st.record_busy(0, 0, 0.0, 6.0)
+        st.record_busy(0, 1, 0.0, 6.0)
+        bd = st.breakdown(workers_per_machine=2)
+        assert bd.fully_parallel == pytest.approx(6.0)
+        assert bd.inter_machine == pytest.approx(4.0)
+
+    def test_intervals_clipped_to_span(self):
+        """Busy intervals sticking out past the span must not inflate any
+        bucket beyond the job's wall time."""
+        st = make_stats((2.0, 8.0))
+        st.record_busy(0, 0, 0.0, 10.0)  # overhangs both ends
+        st.record_busy(0, 1, 2.0, 8.0)
+        bd = st.breakdown(workers_per_machine=2)
+        assert bd.total == pytest.approx(6.0)
+        assert bd.fully_parallel == pytest.approx(6.0)
+
+    def test_zero_span_is_empty(self):
+        st = make_stats((5.0, 5.0))
+        st.record_busy(0, 0, 5.0, 5.0)
+        bd = st.breakdown(workers_per_machine=1)
+        assert bd.total == 0.0
+        assert all(v == 0.0 for v in bd.as_fractions().values())
 
     def test_gap_then_resume_counts_as_intra(self):
         """A worker waiting for responses mid-job shows as intra-machine."""

@@ -74,3 +74,48 @@ class TestCommands:
         from repro.graph.io import load_edge_list
 
         assert load_edge_list(out_file).edge_weights is not None
+
+
+class TestObservability:
+    def test_report_pagerank_alias(self, capsys):
+        assert main(["report", "--algo", "pagerank", "--graph", "LJ",
+                     "--machines", "2", *SMALL]) == 0
+        out = capsys.readouterr().out
+        for token in ("Per-layer overheads", "task", "comm", "network",
+                      "ghost", "barrier", "total"):
+            assert token in out
+
+    def test_report_rejects_unknown_algo(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["report", "--algo", "bogus"])
+
+    def test_run_metrics_out_writes_both_formats(self, tmp_path, capsys):
+        prefix = tmp_path / "m"
+        assert main(["run", "--algorithm", "pr_pull", "--graph", "LJ",
+                     "--machines", "2", *SMALL,
+                     "--metrics-out", str(prefix)]) == 0
+        prom = (tmp_path / "m.prom").read_text()
+        assert "repro_jobs_total" in prom and "# TYPE" in prom
+        import json
+
+        doc = json.loads((tmp_path / "m.json").read_text())
+        assert "repro_jobs_total" in doc["metrics"]
+
+    def test_run_trace_out_writes_chrome_trace(self, tmp_path, capsys):
+        path = tmp_path / "t.json"
+        assert main(["run", "--algorithm", "pr_pull", "--graph", "LJ",
+                     "--machines", "2", *SMALL,
+                     "--trace-out", str(path)]) == 0
+        import json
+
+        doc = json.loads(path.read_text())
+        assert any(e.get("ph") == "X" for e in doc["traceEvents"])
+
+    def test_report_with_exports(self, tmp_path, capsys):
+        assert main(["report", "--algo", "wcc", "--graph", "LJ",
+                     "--machines", "2", *SMALL,
+                     "--metrics-out", str(tmp_path / "w"),
+                     "--trace-out", str(tmp_path / "w_trace.json")]) == 0
+        assert (tmp_path / "w.prom").exists()
+        assert (tmp_path / "w.json").exists()
+        assert (tmp_path / "w_trace.json").exists()
