@@ -1,0 +1,198 @@
+#!/usr/bin/env python
+"""Wall-clock micro-benchmark: host-side cost of the simulator's hot path.
+
+Unlike the ``bench_fig*`` suites (which report *simulated* seconds), this
+harness times the *simulator process itself* running a multi-iteration
+PageRank on a generated RMAT graph, with the PR's performance layer off
+(pre-PR baseline: no routing-plan cache, no write combining) versus on.
+Results land in ``BENCH_wallclock.json`` — the first entry of the repo's
+wall-clock performance trajectory.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_wallclock.py            # full run
+    PYTHONPATH=src python benchmarks/bench_wallclock.py --tiny     # CI smoke
+    PYTHONPATH=src python benchmarks/bench_wallclock.py --check BENCH_wallclock.json
+
+``--check`` validates an existing result file against the schema and exits
+non-zero on mismatch (the CI smoke step).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+SCHEMA = "repro-bench-wallclock/v1"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def build_cluster(machines: int, plan_cache: bool, combine: bool,
+                  chunk_size: int):
+    from repro import ClusterConfig, PgxdCluster
+    cfg = ClusterConfig(num_machines=machines).with_engine(
+        routing_plan_cache=plan_cache, combine_writes=combine,
+        chunk_size=chunk_size, ghost_threshold=64)
+    return PgxdCluster(cfg)
+
+
+def time_pagerank(graph, machines: int, iterations: int, chunk_size: int,
+                  variant: str, plan_cache: bool, combine: bool,
+                  repeats: int = 1):
+    """Best-of-``repeats`` wall-clock run (fresh cluster per repeat)."""
+    import gc
+    from repro.algorithms import pagerank
+    elapsed = None
+    for _ in range(max(1, repeats)):
+        cluster = build_cluster(machines, plan_cache, combine, chunk_size)
+        dg = cluster.load_graph(graph)
+        gc.collect()
+        t0 = time.perf_counter()
+        res = pagerank(cluster, dg, variant=variant,
+                       max_iterations=iterations)
+        took = time.perf_counter() - t0
+        elapsed = took if elapsed is None else min(elapsed, took)
+    hit_rate = (sum(m.plan_cache.hits for m in dg.machines)
+                / max(1, sum(m.plan_cache.hits + m.plan_cache.misses
+                             for m in dg.machines)))
+    flat = cluster.metrics.counters_flat()
+    c_in = flat.get('repro_comm_combine_items_total{stage="in"}', 0)
+    c_out = flat.get('repro_comm_combine_items_total{stage="out"}', 0)
+    combine_ratio = (1.0 - c_out / c_in) if c_in else 0.0
+    return {
+        "wallclock_seconds": elapsed,
+        "simulated_seconds": res.total_time,
+        "values": res.values["pr"],
+        "plan_cache_hit_rate": hit_rate,
+        "write_combine_ratio": combine_ratio,
+    }
+
+
+def bench_entry(name: str, graph, machines: int, iterations: int,
+                chunk_size: int, variant: str, repeats: int = 1) -> dict:
+    import numpy as np
+    base = time_pagerank(graph, machines, iterations, chunk_size, variant,
+                         plan_cache=False, combine=False, repeats=repeats)
+    opt = time_pagerank(graph, machines, iterations, chunk_size, variant,
+                        plan_cache=True, combine=True, repeats=repeats)
+    if variant == "pull":
+        identical = bool(np.array_equal(base["values"], opt["values"]))
+    else:  # float SUM combining reassociates additions across messages
+        identical = bool(np.allclose(base["values"], opt["values"],
+                                     rtol=1e-12, atol=1e-15))
+    return {
+        "name": name,
+        "variant": variant,
+        "iterations": iterations,
+        "machines": machines,
+        "baseline_seconds": round(base["wallclock_seconds"], 4),
+        "optimized_seconds": round(opt["wallclock_seconds"], 4),
+        "speedup": round(base["wallclock_seconds"]
+                         / opt["wallclock_seconds"], 3),
+        "results_match": identical,
+        "plan_cache_hit_rate": round(opt["plan_cache_hit_rate"], 4),
+        "write_combine_ratio": round(opt["write_combine_ratio"], 4),
+        "simulated_seconds_baseline": base["simulated_seconds"],
+        "simulated_seconds_optimized": opt["simulated_seconds"],
+    }
+
+
+REQUIRED_ENTRY_KEYS = frozenset({
+    "name", "variant", "iterations", "machines", "baseline_seconds",
+    "optimized_seconds", "speedup", "results_match",
+    "plan_cache_hit_rate", "write_combine_ratio",
+})
+
+
+def check_schema(path: Path) -> list[str]:
+    """Validate a result file; returns a list of problems (empty = ok)."""
+    problems = []
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, ValueError) as e:
+        return [f"cannot read {path}: {e}"]
+    if doc.get("schema") != SCHEMA:
+        problems.append(f"schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+    entries = doc.get("entries")
+    if not isinstance(entries, list) or not entries:
+        return problems + ["entries must be a non-empty list"]
+    for i, e in enumerate(entries):
+        missing = REQUIRED_ENTRY_KEYS - set(e)
+        if missing:
+            problems.append(f"entry {i} missing keys: {sorted(missing)}")
+            continue
+        for key in ("baseline_seconds", "optimized_seconds", "speedup"):
+            if not (isinstance(e[key], (int, float)) and e[key] > 0):
+                problems.append(f"entry {i}: {key} must be positive")
+        if not e["results_match"]:
+            problems.append(f"entry {i} ({e['name']}): results diverged")
+    return problems
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--nodes", type=int, default=200_000)
+    ap.add_argument("--edges", type=int, default=3_000_000)
+    ap.add_argument("--iterations", type=int, default=20)
+    ap.add_argument("--machines", type=int, default=4)
+    ap.add_argument("--chunk-size", type=int, default=65_536)
+    ap.add_argument("--repeats", type=int, default=3,
+                    help="repeat each timing and keep the best")
+    ap.add_argument("--seed", type=int, default=7)
+    ap.add_argument("--tiny", action="store_true",
+                    help="small graph / few iterations (CI smoke)")
+    ap.add_argument("--out", type=Path,
+                    default=REPO_ROOT / "BENCH_wallclock.json")
+    ap.add_argument("--check", type=Path, metavar="JSON",
+                    help="validate an existing result file and exit")
+    args = ap.parse_args(argv)
+
+    if args.check:
+        problems = check_schema(args.check)
+        for p in problems:
+            print(f"SCHEMA ERROR: {p}", file=sys.stderr)
+        print(f"{args.check}: {'FAIL' if problems else 'ok'}")
+        return 1 if problems else 0
+
+    if args.tiny:
+        args.nodes, args.edges = 2_000, 20_000
+        args.iterations = 3
+        args.chunk_size = 4_096
+        args.repeats = 1
+
+    from repro import rmat
+    graph = rmat(args.nodes, args.edges, seed=args.seed)
+
+    entries = [
+        bench_entry("pagerank_pull", graph, args.machines, args.iterations,
+                    args.chunk_size, "pull", repeats=args.repeats),
+        bench_entry("pagerank_push", graph, args.machines, args.iterations,
+                    args.chunk_size, "push", repeats=args.repeats),
+    ]
+    doc = {
+        "schema": SCHEMA,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "graph": {"kind": "rmat", "nodes": args.nodes, "edges": args.edges,
+                  "seed": args.seed},
+        "config": {"machines": args.machines, "iterations": args.iterations,
+                   "chunk_size": args.chunk_size, "repeats": args.repeats,
+                   "tiny": args.tiny},
+        "entries": entries,
+    }
+    args.out.write_text(json.dumps(doc, indent=2) + "\n")
+    for e in entries:
+        print(f"{e['name']:>14}: {e['baseline_seconds']:.2f}s -> "
+              f"{e['optimized_seconds']:.2f}s  ({e['speedup']:.2f}x, "
+              f"hit_rate={e['plan_cache_hit_rate']:.2f}, "
+              f"combine={e['write_combine_ratio']:.2f}, "
+              f"match={e['results_match']})")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -138,7 +138,13 @@ def _process_message(exc: "JobExecution", machine: "Machine",
             atomic = n
         tally = WorkTally(cpu_ops=n * per_item_ops, atomic_ops=atomic,
                           seq_bytes=n * 2 * VALUE_BYTES)
-        tally.add_bytes(n * 2 * VALUE_BYTES, COPIER_WRITE_LOCALITY)
+        # Same cache-residency discount as the WRITE_REQ branch: pre-sync
+        # scatters into the ghost columns, post-sync into the owner's rows.
+        ws_bytes = (machine.ghosts.num_ghosts if msg.ghost_pre
+                    else machine.n_local) * VALUE_BYTES
+        loc = cache_adjusted_locality(COPIER_WRITE_LOCALITY, ws_bytes,
+                                      machine.machine_config)
+        tally.add_bytes(n * 2 * VALUE_BYTES, loc)
         return tally
     if msg.kind is MsgKind.RMI_REQ:
         fn = exc.cluster.rmi.lookup(msg.rmi_fn)

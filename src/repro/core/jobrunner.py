@@ -51,6 +51,9 @@ class JobExecution:
         self.task_dispatch_time = ecfg.task_dispatch_time
         self.chunk_dispatch_time = ecfg.chunk_dispatch_time
         self.cpu_op_time = mcfg.cpu_op_time
+        self.plan_cache_enabled = ecfg.routing_plan_cache
+        self.combine_writes = ecfg.combine_writes
+        self.combine_per_item = ecfg.combine_per_item
 
         self.stats = JobStats(start_time=self.sim.now)
         self.ghosts_active = dgraph.num_ghosts > 0

@@ -22,6 +22,7 @@ from ..runtime.config import ClusterConfig
 from ..runtime.cpu import MachineCpu
 from .ghost import MachineGhosts
 from .properties import PropertyStore
+from .routing_plan import RoutingPlanCache
 
 
 @dataclass
@@ -114,6 +115,10 @@ class Machine:
         self.request_queue: deque = deque()
         #: chunk queue for the current job (filled by the Task Manager)
         self.chunk_queue: deque = deque()
+        #: memoized edge-map routing plans (both CSRs are immutable after
+        #: load, so plans stay valid for the machine's lifetime)
+        self.plan_cache = RoutingPlanCache(
+            max_bytes=config.engine.plan_cache_max_bytes)
 
     def csr(self, direction: str) -> LocalCsr:
         if direction == "in":

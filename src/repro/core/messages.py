@@ -127,6 +127,13 @@ class ReadBuffer:
 
     def append(self, offsets: np.ndarray, rows: np.ndarray,
                weights: Optional[np.ndarray] = None) -> None:
+        # Weights are all-or-nothing per buffer: a mix would make drain()
+        # concatenate a weights array shorter than offsets, silently
+        # misaligning per-request edge data with its rows.
+        if self.offsets and (weights is not None) != bool(self.weights):
+            raise ValueError(
+                "mixed weighted and unweighted appends to one ReadBuffer; "
+                "weights must be provided for every batch or for none")
         self.offsets.append(offsets)
         self.rows.append(rows)
         if weights is not None:
@@ -167,12 +174,18 @@ class WriteBuffer:
     def empty(self) -> bool:
         return not self.offsets
 
-    def drain(self) -> tuple[np.ndarray, np.ndarray]:
+    def drain(self, combine: Optional[ReduceOp] = None
+              ) -> tuple[np.ndarray, np.ndarray]:
+        """Concatenate the buffered batches; with ``combine`` set, collapse
+        duplicate offsets through :meth:`ReduceOp.segment_reduce` first so
+        each target travels (and is atomically applied) once per flush."""
         offsets = np.concatenate(self.offsets)
         values = np.concatenate(self.values)
         self.offsets.clear()
         self.values.clear()
         self.nbytes = 0.0
+        if combine is not None and len(offsets):
+            offsets, values = combine.segment_reduce(offsets, values)
         return offsets, values
 
 

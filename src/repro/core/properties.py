@@ -80,6 +80,38 @@ class ReduceOp(enum.Enum):
             return b
         raise AssertionError(self)
 
+    def segment_reduce(self, offsets: np.ndarray,
+                       values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Collapse duplicate ``offsets`` to one element each, reducing their
+        ``values`` with this operator (sender-side write combining).
+
+        Equivalent to ``apply_at`` into a bottom-initialized scratch target:
+        exact for MIN/MAX/AND/OR/OVERWRITE and integer SUM; float SUM keeps
+        the within-group accumulation order (stable sort), so it differs from
+        the uncombined path only by rounding association across messages.
+        """
+        offsets = np.asarray(offsets)
+        values = np.asarray(values)
+        if len(offsets) == 0:
+            return offsets, values
+        if self is ReduceOp.SUM and values.dtype == np.float64:
+            # bincount adds group members sequentially in arrival order,
+            # matching np.add.at on a scratch array.
+            uniq, inv = np.unique(offsets, return_inverse=True)
+            return uniq, np.bincount(inv, weights=values, minlength=len(uniq))
+        order = np.argsort(offsets, kind="stable")
+        sorted_off = offsets[order]
+        sorted_vals = values[order]
+        uniq, starts = np.unique(sorted_off, return_index=True)
+        if self is ReduceOp.OVERWRITE:
+            # last writer per group; stable sort keeps arrival order
+            ends = np.concatenate([starts[1:], [len(sorted_off)]]) - 1
+            return uniq, sorted_vals[ends]
+        ufunc = {ReduceOp.SUM: np.add, ReduceOp.MIN: np.minimum,
+                 ReduceOp.MAX: np.maximum, ReduceOp.AND: np.logical_and,
+                 ReduceOp.OR: np.logical_or}[self]
+        return uniq, ufunc.reduceat(sorted_vals, starts)
+
     def scalar(self, a, b):
         """Scalar combine (scalar RTC task path)."""
         if self is ReduceOp.SUM:

@@ -1,0 +1,165 @@
+"""Iteration-invariant routing plans for the vectorized edge-map path.
+
+The hot loop of :func:`repro.core.vector_kernels.execute_edge_map_chunk`
+re-derives, for every chunk of every superstep, work that depends only on the
+immutable CSR: the ``np.repeat`` edge expansion, the owner/ghost/remote
+classification masks, and the owner-stable sort + per-destination bounds that
+route remote requests.  PGX.D's whole point (Sections 3.2-3.4) is keeping
+that path at memory-bandwidth speed; re-deriving invariants every iteration
+is pure overhead for multi-superstep algorithms (PageRank, SSSP, WCC run the
+same chunks tens of times).
+
+A :class:`RoutingPlanCache` lives on each :class:`~repro.core.machine.Machine`
+and memoizes one :class:`ChunkPlan` per ``(csr direction, chunk range, ghost
+visibility)``.  Plans are host-side only — consuming a cached plan performs
+the *same* logical reads/writes/traffic and produces bit-identical results
+and identical simulated times; only the wall clock of the simulator process
+improves.  The active-vertex filter is applied as a mask *on top* of the
+cached plan, so vertex deactivation keeps working (and stays bit-identical:
+stable sorting commutes with subsetting).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .machine import LocalCsr
+
+
+class ChunkPlan:
+    """Precomputed routing of one chunk ``[lo, hi)`` of one CSR direction.
+
+    Arrays are grouped per destination class, pre-subset and (for the remote
+    class) pre-sorted by owner, so a cached chunk execution is pure
+    gather/scatter plus buffer appends.
+    """
+
+    __slots__ = (
+        "lo", "hi", "es", "ee", "n_nodes", "n_edges", "degrees", "rows",
+        "is_local", "is_ghost", "is_remote", "n_local", "n_ghost", "n_remote",
+        "local_idx", "local_rows", "local_offsets",
+        "ghost_idx", "ghost_rows", "ghost_slots",
+        "remote_idx", "remote_offsets", "remote_rows", "bounds",
+        "_weight_cache", "nbytes",
+    )
+
+    def __init__(self, csr: "LocalCsr", lo: int, hi: int, ghost_ok: bool,
+                 machine_index: int, num_machines: int):
+        starts = csr.starts
+        self.lo, self.hi = lo, hi
+        self.es, self.ee = int(starts[lo]), int(starts[hi])
+        self.n_nodes = hi - lo
+        self.degrees = np.diff(starts[lo:hi + 1])
+        rows = np.repeat(np.arange(lo, hi, dtype=np.int64), self.degrees)
+        self.rows = rows
+        self.n_edges = len(rows)
+
+        owners = csr.nbr_owner[self.es:self.ee]
+        offsets = csr.nbr_offset[self.es:self.ee]
+        gslots = csr.nbr_ghost_slot[self.es:self.ee]
+
+        is_local = owners == machine_index
+        if ghost_ok:
+            is_ghost = (~is_local) & (gslots >= 0)
+        else:
+            is_ghost = np.zeros(self.n_edges, dtype=bool)
+        is_remote = ~(is_local | is_ghost)
+        self.is_local, self.is_ghost, self.is_remote = is_local, is_ghost, is_remote
+
+        self.local_idx = np.nonzero(is_local)[0]
+        self.ghost_idx = np.nonzero(is_ghost)[0]
+        rem = np.nonzero(is_remote)[0]
+        self.n_local = len(self.local_idx)
+        self.n_ghost = len(self.ghost_idx)
+        self.n_remote = len(rem)
+
+        self.local_rows = rows[self.local_idx]
+        self.local_offsets = offsets[self.local_idx]
+        self.ghost_rows = rows[self.ghost_idx]
+        self.ghost_slots = gslots[self.ghost_idx]
+
+        # Stable owner sort: identical permutation to sorting the remote
+        # subset directly, so buffered request order (and therefore every
+        # downstream message and reduction) matches the uncached path.
+        order = np.argsort(owners[rem], kind="stable")
+        self.remote_idx = rem[order]
+        remote_owners = owners[self.remote_idx]
+        self.remote_offsets = offsets[self.remote_idx]
+        self.remote_rows = rows[self.remote_idx]
+        self.bounds = np.searchsorted(remote_owners,
+                                      np.arange(num_machines + 1))
+
+        self._weight_cache: dict = {}
+        self.nbytes = sum(
+            getattr(self, name).nbytes for name in (
+                "degrees", "rows", "is_local", "is_ghost", "is_remote",
+                "local_idx", "local_rows", "local_offsets",
+                "ghost_idx", "ghost_rows", "ghost_slots",
+                "remote_idx", "remote_offsets", "remote_rows", "bounds"))
+
+    def weight_split(self, key, edge_data: np.ndarray):
+        """Per-class subsets ``(local, ghost, remote-sorted)`` of one edge
+        data column, memoized under ``key`` (the spec's edge-prop name, or
+        ``None`` for the weight column)."""
+        entry = self._weight_cache.get(key)
+        if entry is None:
+            w = edge_data[self.es:self.ee]
+            entry = (w[self.local_idx], w[self.ghost_idx], w[self.remote_idx])
+            self._weight_cache[key] = entry
+            self.nbytes += sum(a.nbytes for a in entry)
+        return entry
+
+
+class RoutingPlanCache:
+    """Per-machine memo of :class:`ChunkPlan` objects.
+
+    Keyed by ``(iter direction, lo, hi, ghost_ok)`` — a machine has exactly
+    one immutable CSR per direction, and the ghost masks additionally depend
+    on whether the accessed property participates in the job's ghost
+    read/write set.  ``max_bytes`` is a soft cap: plans past it are built
+    but not retained (counted under ``rejected``).
+    """
+
+    __slots__ = ("_plans", "hits", "misses", "rejected", "nbytes", "max_bytes")
+
+    def __init__(self, max_bytes: int = 1 << 30):
+        self._plans: dict[tuple, ChunkPlan] = {}
+        self.hits = 0
+        self.misses = 0
+        self.rejected = 0
+        self.nbytes = 0
+        self.max_bytes = max_bytes
+
+    def lookup(self, csr: "LocalCsr", direction: str, lo: int, hi: int,
+               ghost_ok: bool, machine_index: int,
+               num_machines: int) -> tuple[ChunkPlan, bool]:
+        """The plan for one chunk, built and (capacity permitting) retained
+        on first use.  Returns ``(plan, was_cache_hit)``."""
+        key = (direction, lo, hi, bool(ghost_ok))
+        plan = self._plans.get(key)
+        if plan is not None:
+            self.hits += 1
+            return plan, True
+        self.misses += 1
+        plan = ChunkPlan(csr, lo, hi, ghost_ok, machine_index, num_machines)
+        if self.nbytes + plan.nbytes <= self.max_bytes:
+            self._plans[key] = plan
+            self.nbytes += plan.nbytes
+        else:
+            self.rejected += 1
+        return plan, False
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        self._plans.clear()
+        self.nbytes = 0

@@ -54,6 +54,9 @@ class WorkerState:
         self.done = False
         #: atomic ops recorded by the scalar Data Manager since last chunk
         self.pending_atomics = 0
+        #: cpu ops incurred mid-chunk (write combining) and priced with the
+        #: enclosing work slice
+        self.deferred_cpu_ops = 0.0
 
     # -- buffer accessors ----------------------------------------------------
 
@@ -184,7 +187,13 @@ class WorkerState:
 
     def _flush_write(self, dst: int, prop: str, buf: WriteBuffer,
                      op: ReduceOp) -> None:
-        offsets, values = buf.drain()
+        exc = self.exc
+        if exc.combine_writes:
+            items_in = int(sum(len(o) for o in buf.offsets))
+            offsets, values = buf.drain(combine=op)
+            self._account_combine(dst, prop, items_in, len(offsets))
+        else:
+            offsets, values = buf.drain()
         self.exc.hooks.emit("comm.flush", machine=self.machine.index,
                             worker=self.windex, dst=dst, prop=prop,
                             kind="write_req", items=len(offsets),
@@ -197,12 +206,28 @@ class WorkerState:
             self.exc.write_outstanding += 1
             self.exc.send_request(msg, kind="write_req")
 
+    def _account_combine(self, dst: int, prop: str, items_in: int,
+                         items_out: int) -> None:
+        """Price the sender-side combine (sort + segmented reduction) and
+        report its effect; the cost lands on this worker's current slice."""
+        exc = self.exc
+        self.deferred_cpu_ops += items_in * (exc.combine_per_item
+                                             / exc.cpu_op_time)
+        exc.hooks.emit("comm.combine", machine=self.machine.index, dst=dst,
+                       prop=prop, items_in=items_in, items_out=items_out,
+                       time=exc.sim.now)
+
     def _flush_scalar_write(self, dst: int, prop: str, buf: ScalarWriteBuffer,
                             op: ReduceOp) -> None:
+        exc = self.exc
         offsets = np.asarray(buf.offsets, dtype=np.int64)
         values = np.asarray(buf.values)
         buf.offsets.clear()
         buf.values.clear()
+        if exc.combine_writes and len(offsets):
+            items_in = len(offsets)
+            offsets, values = op.segment_reduce(offsets, values)
+            self._account_combine(dst, prop, items_in, len(offsets))
         self.exc.hooks.emit("comm.flush", machine=self.machine.index,
                             worker=self.windex, dst=dst, prop=prop,
                             kind="write_req", items=len(offsets),
@@ -277,6 +302,9 @@ def _start_work(exc: "JobExecution", ws: WorkerState, fn,
                    kind=kind, time=t0)
     m.cpu.thread_started()
     tally = fn()
+    if ws.deferred_cpu_ops:
+        tally.cpu_ops += ws.deferred_cpu_ops
+        ws.deferred_cpu_ops = 0.0
     if chunk_overhead:
         tally.cpu_ops += exc.chunk_dispatch_time / exc.cpu_op_time
     dur = m.cpu.mixed_duration(tally.cpu_ops, tally.atomic_ops,

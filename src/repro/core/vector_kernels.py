@@ -20,6 +20,7 @@ from .tasks import EdgeMapSpec
 if TYPE_CHECKING:  # pragma: no cover
     from .jobrunner import JobExecution
     from .machine import Machine
+    from .routing_plan import ChunkPlan
     from .task_manager import WorkerState
 
 #: Bytes of CSR metadata the worker streams per edge (neighbor id + resolved
@@ -72,16 +73,33 @@ COPIER_WRITE_LOCALITY = 0.35
 def execute_edge_map_chunk(exc: "JobExecution", machine: "Machine",
                            ws: "WorkerState", spec: EdgeMapSpec,
                            lo: int, hi: int) -> WorkTally:
-    """Run the declarative edge-map kernel over local nodes [lo, hi)."""
+    """Run the declarative edge-map kernel over local nodes [lo, hi).
+
+    When the routing-plan cache is enabled, the iteration-invariant part of
+    this function (edge expansion, owner/ghost classification, owner-stable
+    remote sort) comes from a memoized :class:`ChunkPlan`; the active-vertex
+    filter, when present, is applied as a mask on top of the cached plan.
+    Either way the counted work, emitted traffic and results are identical.
+    """
     cfg = machine.config.engine
     csr = machine.csr(spec.iter_kind)
     tally = WorkTally()
 
-    starts = csr.starts
-    es, ee = int(starts[lo]), int(starts[hi])
-    degrees = np.diff(starts[lo:hi + 1])
     n_nodes = hi - lo
     tally.cpu_ops += n_nodes * (cfg.task_dispatch_time / machine.machine_config.cpu_op_time)
+
+    if spec.direction == "pull":
+        ghost_ok = spec.source in exc.ghost_read_set
+    else:
+        ghost_ok = spec.target in exc.ghost_write_set
+
+    plan: Optional["ChunkPlan"] = None
+    if exc.plan_cache_enabled and n_nodes > 0:
+        plan, hit = machine.plan_cache.lookup(csr, spec.iter_kind, lo, hi,
+                                              ghost_ok, machine.index,
+                                              exc.num_machines)
+        exc.hooks.emit("task.plan_cache", machine=machine.index, hit=hit,
+                       time=exc.sim.now)
 
     # Vertex filter (deactivation): drop the edges of inactive rows but still
     # pay the per-node filter check — this is exactly why framework overhead
@@ -90,15 +108,25 @@ def execute_edge_map_chunk(exc: "JobExecution", machine: "Machine",
         act = machine.props[spec.active][lo:hi].astype(bool)
         tally.tasks = int(act.sum())
         if not act.all():
+            degrees = (plan.degrees if plan is not None
+                       else np.diff(csr.starts[lo:hi + 1]))
             edge_mask = np.repeat(act, degrees)
         else:
             edge_mask = None
     else:
-        act = None
         tally.tasks = n_nodes
         edge_mask = None
 
-    rows = np.repeat(np.arange(lo, hi, dtype=np.int64), degrees)
+    if plan is not None and edge_mask is None:
+        return _execute_planned(exc, machine, ws, spec, csr, plan, tally)
+
+    starts = csr.starts
+    es, ee = int(starts[lo]), int(starts[hi])
+    if plan is not None:
+        rows = plan.rows
+    else:
+        rows = np.repeat(np.arange(lo, hi, dtype=np.int64),
+                         np.diff(starts[lo:hi + 1]))
     owners = csr.nbr_owner[es:ee]
     offsets = csr.nbr_offset[es:ee]
     gslots = csr.nbr_ghost_slot[es:ee]
@@ -118,13 +146,15 @@ def execute_edge_map_chunk(exc: "JobExecution", machine: "Machine",
     tally.seq_bytes += n_edges * CSR_BYTES_PER_EDGE
     tally.cpu_ops += n_edges * 2.0  # loop + transform arithmetic
 
-    is_local = owners == machine.index
-    if spec.direction == "pull":
-        ghost_ok = spec.source in exc.ghost_read_set
+    if plan is not None:
+        # Stable classification masks subset exactly like the raw arrays.
+        is_local = plan.is_local[edge_mask] if edge_mask is not None else plan.is_local
+        is_ghost = plan.is_ghost[edge_mask] if edge_mask is not None else plan.is_ghost
+        is_remote = plan.is_remote[edge_mask] if edge_mask is not None else plan.is_remote
     else:
-        ghost_ok = spec.target in exc.ghost_write_set
-    is_ghost = (~is_local) & (gslots >= 0) if ghost_ok else np.zeros(n_edges, dtype=bool)
-    is_remote = ~(is_local | is_ghost)
+        is_local = owners == machine.index
+        is_ghost = (~is_local) & (gslots >= 0) if ghost_ok else np.zeros(n_edges, dtype=bool)
+        is_remote = ~(is_local | is_ghost)
 
     mode = "read" if spec.direction == "pull" else "write"
     n_ghost = int(is_ghost.sum())
@@ -145,6 +175,131 @@ def execute_edge_map_chunk(exc: "JobExecution", machine: "Machine",
         _push(exc, machine, ws, spec, tally, rows, offsets, gslots, owners,
               weights, is_local, is_ghost, is_remote)
     return tally
+
+
+def _execute_planned(exc: "JobExecution", machine: "Machine",
+                     ws: "WorkerState", spec: EdgeMapSpec, csr,
+                     plan: "ChunkPlan", tally: WorkTally) -> WorkTally:
+    """Unfiltered chunk over a cached plan: pure gather/scatter + buffering.
+
+    Mirrors the generic path operation for operation (same counted work, same
+    hook emissions, same reduction order), skipping only the re-derivation of
+    the plan's iteration-invariant arrays.
+    """
+    n_edges = plan.n_edges
+    tally.edges = n_edges
+    exc.stats.edges_processed += n_edges
+    tally.seq_bytes += n_edges * CSR_BYTES_PER_EDGE
+    tally.cpu_ops += n_edges * 2.0  # loop + transform arithmetic
+
+    mode = "read" if spec.direction == "pull" else "write"
+    hook_prop = spec.source if mode == "read" else spec.target
+    if plan.n_ghost:
+        exc.hooks.emit("ghost.hit", machine=machine.index, prop=hook_prop,
+                       mode=mode, count=plan.n_ghost, time=exc.sim.now)
+    if plan.n_remote:
+        exc.hooks.emit("ghost.miss", machine=machine.index, prop=hook_prop,
+                       mode=mode, count=plan.n_remote, time=exc.sim.now)
+
+    edge_data = csr.edge_data(spec.edge_prop) if spec.use_weights else None
+    if spec.direction == "pull":
+        _pull_planned(exc, machine, ws, spec, tally, plan, edge_data)
+    else:
+        _push_planned(exc, machine, ws, spec, tally, plan, edge_data)
+    return tally
+
+
+def _pull_planned(exc, machine, ws, spec, tally, plan: "ChunkPlan",
+                  edge_data) -> None:
+    target = machine.props[spec.target]
+    if edge_data is not None:
+        w_local, w_ghost, w_remote = plan.weight_split(spec.edge_prop, edge_data)
+    else:
+        w_local = w_ghost = w_remote = None
+
+    for sel_rows, sel, from_ghost, w in (
+            (plan.local_rows, plan.local_offsets, False, w_local),
+            (plan.ghost_rows, plan.ghost_slots, True, w_ghost)):
+        n = len(sel_rows)
+        if not n:
+            continue
+        if from_ghost:
+            vals = machine.ghosts.arrays[spec.source][sel]
+            ws_bytes = machine.ghosts.num_ghosts * VALUE_BYTES
+        else:
+            vals = machine.props[spec.source][sel]
+            ws_bytes = machine.n_local * VALUE_BYTES
+        vals = spec.apply_transform(vals, w)
+        spec.op.apply_at(target, sel_rows, vals)
+        exc.stats.local_reads += n
+        loc = cache_adjusted_locality(GATHER_LOCALITY, ws_bytes,
+                                      machine.machine_config)
+        tally.add_bytes(n * VALUE_BYTES, loc)
+        tally.add_bytes(n * VALUE_BYTES, SCATTER_LOCALITY)
+
+    n = plan.n_remote
+    if n:
+        exc.stats.remote_reads += n
+        tally.cpu_ops += n * (exc.marshal_per_item / exc.cpu_op_time)
+        tally.seq_bytes += n * 2 * VALUE_BYTES  # marshal into the buffer
+        bounds = plan.bounds
+        for dst in range(exc.num_machines):
+            b0, b1 = bounds[dst], bounds[dst + 1]
+            if b1 <= b0:
+                continue
+            buf = ws.read_buf(dst, spec.source)
+            buf.append(plan.remote_offsets[b0:b1], plan.remote_rows[b0:b1],
+                       w_remote[b0:b1] if w_remote is not None else None)
+            ws.maybe_flush_reads(dst, spec.source)
+
+
+def _push_planned(exc, machine, ws, spec, tally, plan: "ChunkPlan",
+                  edge_data) -> None:
+    weights = edge_data[plan.es:plan.ee] if edge_data is not None else None
+    src_vals = machine.props[spec.source][plan.rows]
+    src_vals = spec.apply_transform(src_vals, weights)
+    tally.add_bytes(plan.n_edges * VALUE_BYTES, PUSH_SRC_LOCALITY)
+
+    if plan.n_local:
+        n = plan.n_local
+        spec.op.apply_at(machine.props[spec.target], plan.local_offsets,
+                         src_vals[plan.local_idx])
+        exc.stats.local_writes += n
+        tally.atomic_ops += n
+        exc.stats.atomic_ops += n
+        loc = cache_adjusted_locality(PUSH_DST_LOCALITY,
+                                      machine.n_local * VALUE_BYTES,
+                                      machine.machine_config)
+        tally.add_bytes(n * VALUE_BYTES, loc)
+
+    if plan.n_ghost:
+        n = plan.n_ghost
+        exc.stats.local_writes += n
+        gvals = src_vals[plan.ghost_idx]
+        if exc.privatize and spec.target in machine.ghosts.private:
+            col = machine.ghosts.private[spec.target][ws.windex]
+            spec.op.apply_at(col, plan.ghost_slots, gvals)
+        else:
+            spec.op.apply_at(machine.ghosts.arrays[spec.target],
+                             plan.ghost_slots, gvals)
+            tally.atomic_ops += n
+            exc.stats.atomic_ops += n
+        tally.add_bytes(n * VALUE_BYTES, PUSH_DST_LOCALITY)
+
+    if plan.n_remote:
+        n = plan.n_remote
+        rem_vals = src_vals[plan.remote_idx]
+        exc.stats.remote_writes += n
+        tally.cpu_ops += n * (exc.marshal_per_item / exc.cpu_op_time)
+        tally.seq_bytes += n * 2 * VALUE_BYTES
+        bounds = plan.bounds
+        for dst in range(exc.num_machines):
+            b0, b1 = bounds[dst], bounds[dst + 1]
+            if b1 <= b0:
+                continue
+            buf = ws.write_buf(dst, spec.target, spec.op)
+            buf.append(plan.remote_offsets[b0:b1], rem_vals[b0:b1])
+            ws.maybe_flush_writes(dst, spec.target)
 
 
 def _pull(exc, machine, ws, spec, tally, rows, offsets, gslots, owners,

@@ -31,6 +31,8 @@ KNOWN_HOOKS = (
     "comm.flush",          # machine, worker, dst, prop, kind, items, time
     "comm.queue_depth",    # machine, depth, time
     "comm.copier_done",    # machine, copier, kind, items, start, duration
+    "comm.combine",        # machine, dst, prop, items_in, items_out, time
+    "task.plan_cache",     # machine, hit, time
     "net.send",            # src, dst, nbytes, kind, time, deliver
     "net.deliver",         # src, dst, nbytes, kind, time
     "ghost.hit",           # machine, prop, mode, count, time

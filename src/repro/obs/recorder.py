@@ -69,6 +69,24 @@ class MetricsRecorder:
             "repro_ghost_misses_total",
             "Non-local accesses that had to go remote", ("mode",))
 
+        self.plan_cache_requests = r.counter(
+            "repro_plan_cache_requests_total",
+            "Routing-plan cache lookups", ("result",))
+        self.plan_cache_hit_ratio = r.gauge(
+            "repro_plan_cache_hit_ratio",
+            "Fraction of plan lookups served from the cache")
+        self.combine_items = r.counter(
+            "repro_comm_combine_items_total",
+            "Write elements through the sender-side combine step", ("stage",))
+        self.write_combine_ratio = r.gauge(
+            "repro_comm_write_combine_ratio",
+            "Fraction of buffered write elements eliminated by combining "
+            "(1 - out/in)")
+        self._plan_hits = 0
+        self._plan_lookups = 0
+        self._combine_in = 0
+        self._combine_out = 0
+
         self.phase_seconds = r.counter(
             "repro_job_phase_seconds_total",
             "Wall time spent per job phase", ("phase",))
@@ -92,6 +110,8 @@ class MetricsRecorder:
             "net.send": self._on_net_send,
             "ghost.hit": self._on_ghost_hit,
             "ghost.miss": self._on_ghost_miss,
+            "task.plan_cache": self._on_plan_cache,
+            "comm.combine": self._on_combine,
             "job.phase_end": self._on_phase_end,
             "barrier.exit": self._on_barrier_exit,
         })
@@ -136,6 +156,22 @@ class MetricsRecorder:
 
     def _on_ghost_miss(self, p: dict) -> None:
         self.ghost_misses.labels(mode=p["mode"]).inc(p.get("count", 1))
+
+    def _on_plan_cache(self, p: dict) -> None:
+        result = "hit" if p["hit"] else "miss"
+        self.plan_cache_requests.labels(result=result).inc()
+        self._plan_lookups += 1
+        self._plan_hits += 1 if p["hit"] else 0
+        self.plan_cache_hit_ratio.set(self._plan_hits / self._plan_lookups)
+
+    def _on_combine(self, p: dict) -> None:
+        self.combine_items.labels(stage="in").inc(p["items_in"])
+        self.combine_items.labels(stage="out").inc(p["items_out"])
+        self._combine_in += p["items_in"]
+        self._combine_out += p["items_out"]
+        if self._combine_in:
+            self.write_combine_ratio.set(
+                1.0 - self._combine_out / self._combine_in)
 
     def _on_phase_end(self, p: dict) -> None:
         phase = p["phase"]

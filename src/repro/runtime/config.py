@@ -130,6 +130,29 @@ class EngineConfig:
     #: address translation), on top of the DRAM access itself.
     copier_per_item: float = 5.0e-9
 
+    #: Memoize the iteration-invariant routing work of the vectorized
+    #: edge-map path (edge expansion, owner/ghost classification, per-
+    #: destination sort) per machine.  The CSR is immutable after load, so
+    #: every superstep after the first reuses the plan.  Purely a host-side
+    #: (wall-clock) optimization: counted work, traffic and results are
+    #: identical with the cache on or off.
+    routing_plan_cache: bool = True
+
+    #: Soft capacity of one machine's routing-plan cache in bytes; plans
+    #: that would exceed it are rebuilt on every chunk instead of stored.
+    plan_cache_max_bytes: int = 1 << 30
+
+    #: Combine duplicate targets in a write buffer before it goes on the
+    #: wire (sender-side message reduction a la Yan et al. / Pregelix
+    #: combiners).  Shrinks modeled wire bytes and copier atomics; float
+    #: SUM reductions may differ from the uncombined path by rounding
+    #: association (MIN/MAX/AND/OR/OVERWRITE and integer SUM are exact).
+    combine_writes: bool = False
+
+    #: CPU time per buffered element for the sender-side combine step
+    #: (sort + segmented reduction), charged only when it runs.
+    combine_per_item: float = 3.0e-9
+
 
 @dataclass(frozen=True)
 class ClusterConfig:

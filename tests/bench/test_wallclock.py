@@ -1,0 +1,78 @@
+"""The wall-clock micro-harness: tiny end-to-end run and schema validation."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+import bench_wallclock  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def tiny_result(tmp_path_factory):
+    out = tmp_path_factory.mktemp("bench") / "BENCH_wallclock.json"
+    rc = bench_wallclock.main(["--tiny", "--out", str(out)])
+    assert rc == 0
+    return out
+
+
+class TestTinyRun:
+    def test_writes_valid_schema(self, tiny_result):
+        assert bench_wallclock.check_schema(tiny_result) == []
+
+    def test_entries_cover_both_variants(self, tiny_result):
+        doc = json.loads(tiny_result.read_text())
+        assert doc["schema"] == bench_wallclock.SCHEMA
+        variants = {e["variant"] for e in doc["entries"]}
+        assert variants == {"pull", "push"}
+
+    def test_results_match_and_plans_hit(self, tiny_result):
+        doc = json.loads(tiny_result.read_text())
+        for e in doc["entries"]:
+            assert e["results_match"]
+            assert e["plan_cache_hit_rate"] > 0
+
+    def test_check_mode_passes(self, tiny_result, capsys):
+        assert bench_wallclock.main(["--check", str(tiny_result)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+
+class TestSchemaCheck:
+    def test_rejects_missing_file(self, tmp_path):
+        assert bench_wallclock.check_schema(tmp_path / "nope.json")
+
+    def test_rejects_wrong_schema_tag(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text(json.dumps({"schema": "other/v0", "entries": []}))
+        problems = bench_wallclock.check_schema(p)
+        assert any("schema" in x for x in problems)
+        assert any("entries" in x for x in problems)
+
+    def test_rejects_incomplete_entry(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text(json.dumps({
+            "schema": bench_wallclock.SCHEMA,
+            "entries": [{"name": "x"}]}))
+        problems = bench_wallclock.check_schema(p)
+        assert any("missing keys" in x for x in problems)
+        assert bench_wallclock.main(["--check", str(p)]) == 1
+
+    def test_rejects_nonpositive_seconds(self, tmp_path):
+        entry = {k: 1 for k in bench_wallclock.REQUIRED_ENTRY_KEYS}
+        entry["results_match"] = True
+        entry["baseline_seconds"] = 0
+        p = tmp_path / "bad.json"
+        p.write_text(json.dumps({
+            "schema": bench_wallclock.SCHEMA, "entries": [entry]}))
+        problems = bench_wallclock.check_schema(p)
+        assert any("baseline_seconds" in x for x in problems)
+
+    def test_committed_result_file_is_valid(self):
+        committed = REPO_ROOT / "BENCH_wallclock.json"
+        if not committed.exists():
+            pytest.skip("no committed BENCH_wallclock.json")
+        assert bench_wallclock.check_schema(committed) == []

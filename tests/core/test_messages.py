@@ -64,6 +64,29 @@ class TestReadBuffer:
         _, _, weights = buf.drain()
         assert weights.tolist() == [0.5]
 
+    def test_mixed_weighted_then_unweighted_rejected(self):
+        # Regression: a mix used to drain a weights array shorter than
+        # offsets, silently misaligning edge data with its rows.
+        buf = ReadBuffer()
+        buf.append(np.array([1]), np.array([0]), np.array([0.5]))
+        with pytest.raises(ValueError, match="mixed weighted"):
+            buf.append(np.array([2]), np.array([1]))
+
+    def test_mixed_unweighted_then_weighted_rejected(self):
+        buf = ReadBuffer()
+        buf.append(np.array([1]), np.array([0]))
+        with pytest.raises(ValueError, match="mixed weighted"):
+            buf.append(np.array([2]), np.array([1]), np.array([0.5]))
+
+    def test_consistent_appends_still_fine_after_drain(self):
+        buf = ReadBuffer()
+        buf.append(np.array([1]), np.array([0]), np.array([0.5]))
+        buf.drain()
+        # a drained buffer may switch modes — it is empty again
+        buf.append(np.array([2]), np.array([1]))
+        offsets, rows, weights = buf.drain()
+        assert offsets.tolist() == [2] and weights is None
+
 
 class TestWriteBuffer:
     def test_accumulates_16b_per_item(self):
@@ -77,6 +100,29 @@ class TestWriteBuffer:
         offsets, values = buf.drain()
         assert offsets.tolist() == [7] and values.tolist() == [1.5]
         assert buf.empty
+
+    def test_drain_with_combine_collapses_duplicates(self):
+        buf = WriteBuffer()
+        buf.append(np.array([3, 1, 3]), np.array([1.0, 2.0, 4.0]))
+        buf.append(np.array([1]), np.array([8.0]))
+        offsets, values = buf.drain(combine=ReduceOp.SUM)
+        assert offsets.tolist() == [1, 3]
+        assert values.tolist() == [10.0, 5.0]
+        assert buf.empty
+
+    def test_drain_with_combine_min(self):
+        buf = WriteBuffer()
+        buf.append(np.array([0, 0, 2]), np.array([5.0, 3.0, 7.0]))
+        offsets, values = buf.drain(combine=ReduceOp.MIN)
+        assert offsets.tolist() == [0, 2]
+        assert values.tolist() == [3.0, 7.0]
+
+    def test_drain_without_combine_preserves_duplicates(self):
+        buf = WriteBuffer()
+        buf.append(np.array([3, 1, 3]), np.array([1.0, 2.0, 4.0]))
+        offsets, values = buf.drain()
+        assert offsets.tolist() == [3, 1, 3]
+        assert values.tolist() == [1.0, 2.0, 4.0]
 
 
 class TestRmiRegistry:

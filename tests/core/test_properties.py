@@ -74,6 +74,113 @@ class TestApplyAt:
                 np.array([3.0]), np.array([5.0]))[0]
 
 
+ALL_OPS = (ReduceOp.SUM, ReduceOp.MIN, ReduceOp.MAX, ReduceOp.AND,
+           ReduceOp.OR, ReduceOp.OVERWRITE)
+
+
+def _values_for(op, rng, n):
+    if op in (ReduceOp.AND, ReduceOp.OR):
+        return rng.random(n) < 0.5
+    return rng.standard_normal(n)
+
+
+def _target_for(op, size):
+    if op in (ReduceOp.AND, ReduceOp.OR):
+        return np.full(size, op.bottom(np.bool_), dtype=np.bool_)
+    return np.full(size, op.bottom(np.float64), dtype=np.float64)
+
+
+class TestApplyAtDuplicates:
+    """Duplicate indices must reduce, not last-write-win (except OVERWRITE)."""
+
+    idx = np.array([2, 0, 2, 2, 0])
+
+    def test_sum(self):
+        arr = np.zeros(3)
+        ReduceOp.SUM.apply_at(arr, self.idx, np.array([1.0, 2.0, 3.0, 4.0, 5.0]))
+        assert arr.tolist() == [7.0, 0.0, 8.0]
+
+    def test_min(self):
+        arr = np.full(3, np.inf)
+        ReduceOp.MIN.apply_at(arr, self.idx, np.array([5.0, 9.0, 3.0, 4.0, 8.0]))
+        assert arr.tolist() == [8.0, np.inf, 3.0]
+
+    def test_max(self):
+        arr = np.full(3, -np.inf)
+        ReduceOp.MAX.apply_at(arr, self.idx, np.array([5.0, 9.0, 3.0, 4.0, 8.0]))
+        assert arr.tolist() == [9.0, -np.inf, 5.0]
+
+    def test_and(self):
+        arr = np.array([True, True, True])
+        ReduceOp.AND.apply_at(arr, self.idx,
+                              np.array([True, True, False, True, True]))
+        assert arr.tolist() == [True, True, False]
+
+    def test_or(self):
+        arr = np.array([False, False, False])
+        ReduceOp.OR.apply_at(arr, self.idx,
+                             np.array([False, False, True, False, False]))
+        assert arr.tolist() == [False, False, True]
+
+    def test_overwrite_keeps_last(self):
+        # numpy fancy assignment: the last duplicate wins.
+        arr = np.zeros(3)
+        ReduceOp.OVERWRITE.apply_at(arr, self.idx,
+                                    np.array([1.0, 2.0, 3.0, 4.0, 5.0]))
+        assert arr.tolist() == [5.0, 0.0, 4.0]
+
+
+class TestSegmentReduce:
+    @pytest.mark.parametrize("op", ALL_OPS, ids=lambda o: o.value)
+    def test_agrees_with_apply_at_on_duplicate_heavy_input(self, op):
+        rng = np.random.default_rng(42)
+        for trial in range(5):
+            n, size = 500, 40  # ~12 duplicates per target on average
+            offsets = rng.integers(0, size, n)
+            values = _values_for(op, rng, n)
+            uniq, reduced = op.segment_reduce(offsets, values)
+            assert np.array_equal(uniq, np.unique(offsets))
+            via_apply = _target_for(op, size)
+            op.apply_at(via_apply, offsets, values)
+            if op is ReduceOp.SUM:
+                # combining reorders float additions across groups
+                np.testing.assert_allclose(reduced, via_apply[uniq],
+                                           rtol=1e-12)
+            else:
+                assert np.array_equal(reduced, via_apply[uniq])
+
+    def test_no_duplicates_is_identity_up_to_sort(self):
+        offsets = np.array([7, 3, 5])
+        values = np.array([1.0, 2.0, 3.0])
+        uniq, reduced = ReduceOp.MIN.segment_reduce(offsets, values)
+        assert uniq.tolist() == [3, 5, 7]
+        assert reduced.tolist() == [2.0, 3.0, 1.0]
+
+    def test_empty_input(self):
+        offsets = np.array([], dtype=np.int64)
+        values = np.array([])
+        uniq, reduced = ReduceOp.SUM.segment_reduce(offsets, values)
+        assert len(uniq) == 0 and len(reduced) == 0
+
+    def test_overwrite_takes_last_arrival_per_group(self):
+        offsets = np.array([4, 1, 4, 1, 4])
+        values = np.array([10.0, 20.0, 30.0, 40.0, 50.0])
+        uniq, reduced = ReduceOp.OVERWRITE.segment_reduce(offsets, values)
+        assert uniq.tolist() == [1, 4]
+        assert reduced.tolist() == [40.0, 50.0]
+
+    def test_float_sum_matches_sequential_group_accumulation(self):
+        # bincount adds group members in arrival order — same result as
+        # np.add.at into a zeroed scratch array, bit for bit.
+        rng = np.random.default_rng(7)
+        offsets = rng.integers(0, 16, 300)
+        values = rng.standard_normal(300)
+        uniq, reduced = ReduceOp.SUM.segment_reduce(offsets, values)
+        scratch = np.zeros(16)
+        np.add.at(scratch, offsets, values)
+        assert np.array_equal(reduced, scratch[uniq])
+
+
 class TestPropertyStore:
     def test_add_and_read(self):
         ps = PropertyStore(4)

@@ -1,0 +1,185 @@
+"""Routing-plan cache: plan correctness, hit accounting, and the guarantee
+that caching is invisible to results, modeled work, and simulated time."""
+
+import numpy as np
+import pytest
+
+from repro import with_uniform_weights
+from repro.algorithms import pagerank, sssp, wcc
+from repro.core.routing_plan import ChunkPlan, RoutingPlanCache
+from tests.conftest import make_cluster
+
+
+def run_pagerank(graph, plan_cache, iterations=4, variant="pull"):
+    cluster = make_cluster(3, 30, routing_plan_cache=plan_cache)
+    dg = cluster.load_graph(graph)
+    res = pagerank(cluster, dg, variant=variant, max_iterations=iterations)
+    return cluster, dg, res
+
+
+class TestChunkPlanFields:
+    @pytest.fixture
+    def machine(self, small_rmat):
+        cluster = make_cluster(3, 30)
+        dg = cluster.load_graph(small_rmat)
+        return dg.machines[0]
+
+    def test_plan_matches_direct_computation(self, machine):
+        csr = machine.out_csr
+        lo, hi = 0, machine.n_local
+        plan = ChunkPlan(csr, lo, hi, ghost_ok=True,
+                         machine_index=machine.index, num_machines=3)
+        es, ee = int(csr.starts[lo]), int(csr.starts[hi])
+        rows = np.repeat(np.arange(lo, hi), np.diff(csr.starts[lo:hi + 1]))
+        assert np.array_equal(plan.rows, rows)
+        owners = csr.nbr_owner[es:ee]
+        is_local = owners == machine.index
+        is_ghost = (~is_local) & (csr.nbr_ghost_slot[es:ee] >= 0)
+        assert np.array_equal(plan.is_local, is_local)
+        assert np.array_equal(plan.is_ghost, is_ghost)
+        assert np.array_equal(plan.is_remote, ~(is_local | is_ghost))
+        assert plan.n_local + plan.n_ghost + plan.n_remote == plan.n_edges
+
+    def test_remote_order_is_stable_owner_sort(self, machine):
+        csr = machine.out_csr
+        plan = ChunkPlan(csr, 0, machine.n_local, ghost_ok=False,
+                         machine_index=machine.index, num_machines=3)
+        es, ee = int(csr.starts[0]), int(csr.starts[machine.n_local])
+        owners = csr.nbr_owner[es:ee]
+        rem = np.nonzero(owners != machine.index)[0]
+        expected = rem[np.argsort(owners[rem], kind="stable")]
+        assert np.array_equal(plan.remote_idx, expected)
+        # per-destination bounds slice a sorted-by-owner array
+        sorted_owners = owners[plan.remote_idx]
+        for dst in range(3):
+            b0, b1 = plan.bounds[dst], plan.bounds[dst + 1]
+            assert (sorted_owners[b0:b1] == dst).all()
+
+    def test_ghost_ok_false_has_no_ghost_class(self, machine):
+        plan = ChunkPlan(machine.out_csr, 0, machine.n_local, ghost_ok=False,
+                         machine_index=machine.index, num_machines=3)
+        assert plan.n_ghost == 0
+        assert not plan.is_ghost.any()
+
+    def test_weight_split_memoizes(self, machine):
+        csr = machine.out_csr
+        data = np.arange(csr.num_edges, dtype=np.float64)
+        plan = ChunkPlan(csr, 0, machine.n_local, ghost_ok=True,
+                         machine_index=machine.index, num_machines=3)
+        first = plan.weight_split("k", data)
+        assert plan.weight_split("k", data) is first
+        w_local, _, w_remote = first
+        assert np.array_equal(w_local, data[plan.es:plan.ee][plan.local_idx])
+        assert np.array_equal(w_remote, data[plan.es:plan.ee][plan.remote_idx])
+
+
+class TestCacheBehavior:
+    def test_lookup_hits_after_miss(self, small_rmat):
+        cluster = make_cluster(3, 30)
+        dg = cluster.load_graph(small_rmat)
+        m = dg.machines[0]
+        cache = RoutingPlanCache()
+        p1, hit1 = cache.lookup(m.out_csr, "out", 0, 10, True, m.index, 3)
+        p2, hit2 = cache.lookup(m.out_csr, "out", 0, 10, True, m.index, 3)
+        assert (hit1, hit2) == (False, True)
+        assert p2 is p1
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_distinct_keys_do_not_collide(self, small_rmat):
+        cluster = make_cluster(3, 30)
+        m = cluster.load_graph(small_rmat).machines[0]
+        cache = RoutingPlanCache()
+        cache.lookup(m.out_csr, "out", 0, 10, True, m.index, 3)
+        _, hit = cache.lookup(m.out_csr, "out", 0, 10, False, m.index, 3)
+        assert not hit
+        _, hit = cache.lookup(m.in_csr, "in", 0, 10, True, m.index, 3)
+        assert not hit
+        assert len(cache) == 3
+
+    def test_max_bytes_zero_rejects_but_still_serves(self, small_rmat):
+        cluster = make_cluster(3, 30)
+        m = cluster.load_graph(small_rmat).machines[0]
+        cache = RoutingPlanCache(max_bytes=0)
+        plan, hit = cache.lookup(m.out_csr, "out", 0, 10, True, m.index, 3)
+        assert plan is not None and not hit
+        assert cache.rejected == 1 and len(cache) == 0
+        _, hit = cache.lookup(m.out_csr, "out", 0, 10, True, m.index, 3)
+        assert not hit  # rebuilt, never stored
+
+    def test_engine_populates_machine_caches(self, small_rmat):
+        cluster, dg, _ = run_pagerank(small_rmat, plan_cache=True)
+        for m in dg.machines:
+            assert m.plan_cache.hits > 0
+            assert len(m.plan_cache) > 0
+
+    def test_cache_disabled_stays_empty(self, small_rmat):
+        cluster, dg, _ = run_pagerank(small_rmat, plan_cache=False)
+        for m in dg.machines:
+            assert m.plan_cache.hits == 0 and m.plan_cache.misses == 0
+
+
+class TestCacheIsInvisible:
+    """The tentpole guarantee: identical results AND identical simulated
+    behavior with the cache on or off — it is wall-clock-only."""
+
+    def test_pagerank_pull_bit_identical(self, small_rmat):
+        _, _, on = run_pagerank(small_rmat, True)
+        _, _, off = run_pagerank(small_rmat, False)
+        assert np.array_equal(on.values["pr"], off.values["pr"])
+        assert on.total_time == off.total_time
+        assert on.per_iteration == off.per_iteration
+
+    def test_pagerank_push_bit_identical(self, small_rmat):
+        _, _, on = run_pagerank(small_rmat, True, variant="push")
+        _, _, off = run_pagerank(small_rmat, False, variant="push")
+        assert np.array_equal(on.values["pr"], off.values["pr"])
+        assert on.total_time == off.total_time
+
+    def test_sssp_active_filter_bit_identical(self, small_rmat_weighted):
+        def run(flag):
+            cluster = make_cluster(3, 30, routing_plan_cache=flag)
+            dg = cluster.load_graph(small_rmat_weighted)
+            return sssp(cluster, dg, root=0, max_iterations=30)
+        on, off = run(True), run(False)
+        assert np.array_equal(on.values["dist"], off.values["dist"])
+        assert on.total_time == off.total_time
+
+    def test_wcc_bit_identical(self, small_rmat):
+        def run(flag):
+            cluster = make_cluster(3, 30, routing_plan_cache=flag)
+            dg = cluster.load_graph(small_rmat)
+            return wcc(cluster, dg, max_iterations=50)
+        on, off = run(True), run(False)
+        assert np.array_equal(on.values["component"], off.values["component"])
+        assert on.total_time == off.total_time
+
+    def test_weighted_pull_bit_identical(self, small_rmat_weighted):
+        _, _, on = run_pagerank(small_rmat_weighted, True)
+        _, _, off = run_pagerank(small_rmat_weighted, False)
+        assert np.array_equal(on.values["pr"], off.values["pr"])
+        assert on.total_time == off.total_time
+
+
+class TestPlanCacheMetrics:
+    def test_requests_counter_and_hit_ratio_exported(self, small_rmat):
+        cluster, _, _ = run_pagerank(small_rmat, True)
+        flat = cluster.metrics.counters_flat()
+        hits = flat.get('repro_plan_cache_requests_total{result="hit"}', 0)
+        misses = flat.get('repro_plan_cache_requests_total{result="miss"}', 0)
+        assert hits > 0 and misses > 0
+        gauge = cluster.metrics.get("repro_plan_cache_hit_ratio")
+        assert gauge.value == pytest.approx(hits / (hits + misses))
+
+    def test_prometheus_export_contains_metric(self, small_rmat):
+        from repro.obs.exporters import to_prometheus
+        cluster, _, _ = run_pagerank(small_rmat, True)
+        text = to_prometheus(cluster.metrics)
+        assert "repro_plan_cache_requests_total" in text
+        assert "repro_plan_cache_hit_ratio" in text
+
+    def test_no_lookups_recorded_when_disabled(self, small_rmat):
+        cluster, _, _ = run_pagerank(small_rmat, False)
+        flat = cluster.metrics.counters_flat()
+        assert not any(k.startswith("repro_plan_cache_requests_total")
+                       for k in flat)
