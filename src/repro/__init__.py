@@ -15,6 +15,9 @@ The package provides:
 """
 
 from .core.engine import DistributedGraph, LocalView, PgxdCluster
+from .core.faults import (EngineStallError, FaultPlan, MachineCrash,
+                          MachineCrashError, MachineSlowdown,
+                          RetryExhaustedError)
 from .core.job import EdgeMapJob, NodeKernelJob, TaskJob
 from .core.properties import ReduceOp
 from .core.tasks import (EdgeMapSpec, InNbrIterTask, NodeIterTask,
@@ -35,5 +38,7 @@ __all__ = [
     "Graph", "from_edges", "rmat", "uniform_random", "grid_graph",
     "paper_graph", "with_uniform_weights",
     "ClusterConfig", "EngineConfig", "MachineConfig", "NetworkConfig",
+    "FaultPlan", "MachineSlowdown", "MachineCrash",
+    "EngineStallError", "MachineCrashError", "RetryExhaustedError",
     "__version__",
 ]

@@ -9,6 +9,7 @@ Examples::
     python -m repro report --algo pagerank --graph TWT --machines 8
     python -m repro compare --algorithm pr_push --graph TWT --machines 2,8,32
     python -m repro generate --graph LJ --scale 1e-3 --format binary --out lj.bin
+    python -m repro chaos --graph LJ --scale 1e-4 --machines 2 --seed 7
 """
 
 from __future__ import annotations
@@ -162,6 +163,74 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    """Run PageRank under each fault class; verify bit-identical results."""
+    import os
+    import tempfile
+
+    import numpy as np
+
+    from .algorithms.pagerank import pagerank
+    from .core.faults import FaultPlan, MachineCrash, MachineSlowdown
+    from .obs.report import fault_summary
+
+    g = paper_graph(args.graph, scale=args.scale)
+
+    def run(plan, ckpt=None):
+        cfg = scaled_cluster_config(args.machines, args.scale)
+        if plan is not None:
+            cfg = cfg.with_fault_plan(plan)
+        cluster = PgxdCluster(cfg)
+        dg = cluster.load_graph(g)
+        if ckpt is not None:
+            cluster.enable_auto_checkpoint(dg, ckpt, every=1, recover=True)
+        res = pagerank(cluster, dg, max_iterations=args.iterations,
+                       tolerance=0.0)
+        return res.values["pr"], cluster
+
+    base, base_cluster = run(None)
+    elapsed = base_cluster.now
+    s = args.seed
+    scenarios = [
+        ("drop+dup+delay",
+         FaultPlan(seed=s, drop_prob=0.03, dup_prob=0.05, delay_prob=0.05),
+         False),
+        ("copier-stalls", FaultPlan(seed=s, copier_stall_prob=0.2), False),
+        ("slowdown",
+         FaultPlan(seed=s, slowdowns=(
+             MachineSlowdown(machine=0, start=0.2 * elapsed,
+                             duration=0.3 * elapsed, factor=3.0),)),
+         False),
+        ("crash+recover",
+         FaultPlan(seed=s, crashes=(
+             MachineCrash(machine=args.machines - 1, at=0.5 * elapsed),)),
+         True),
+    ]
+    print(f"chaos: pr_pull on {args.graph} (scale {args.scale:g}, "
+          f"{args.machines} machines, seed {s}, "
+          f"{args.iterations} iterations)")
+    print(f"  {'baseline':15s} elapsed {elapsed:.6f} s")
+    failures = 0
+    with tempfile.TemporaryDirectory() as td:
+        for name, plan, use_ckpt in scenarios:
+            ckpt = os.path.join(td, f"{name}.npz") if use_ckpt else None
+            vals, cluster = run(plan, ckpt)
+            fs = fault_summary(cluster.metrics)
+            ok = np.array_equal(base, vals) and fs["faults_injected"] > 0
+            if use_ckpt:
+                ok = ok and fs["recoveries"] >= 1
+            failures += 0 if ok else 1
+            verdict = "bit-identical" if ok else "MISMATCH"
+            print(f"  {name:15s} {verdict:13s} "
+                  f"faults {fs['faults_injected']:.0f}  "
+                  f"retries {fs['retries']:.0f}  "
+                  f"dedup {fs['dedup_drops']:.0f}  "
+                  f"recoveries {fs['recoveries']:.0f}")
+    print("chaos: OK" if failures == 0
+          else f"chaos: {failures} scenario(s) diverged")
+    return 0 if failures == 0 else 1
+
+
 def cmd_generate(args) -> int:
     g = paper_graph(args.graph, scale=args.scale, weighted=args.weighted)
     if args.format == "binary":
@@ -210,6 +279,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--machines", default="2,8,32",
                        help="comma-separated machine counts")
     p_cmp.set_defaults(fn=cmd_compare)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="run PageRank under injected faults (drops, dups, "
+                      "delays, stalls, slowdowns, a crash) and verify the "
+                      "results stay bit-identical to a fault-free run")
+    _add_graph_args(p_chaos)
+    p_chaos.add_argument("--machines", type=int, default=4)
+    p_chaos.add_argument("--seed", type=int, default=7,
+                         help="FaultPlan RNG seed")
+    p_chaos.add_argument("--iterations", type=int, default=5,
+                         help="PageRank iterations per scenario")
+    p_chaos.set_defaults(fn=cmd_chaos)
 
     p_gen = sub.add_parser("generate", help="write a dataset stand-in to disk")
     _add_graph_args(p_gen)

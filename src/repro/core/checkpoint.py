@@ -4,8 +4,15 @@ The long-running server of Section 6.2 needs durable state: a client's
 loaded graph plus every property column it has computed.  A checkpoint
 captures the graph structure, the partitioning pivots, the ghost table and
 all user property columns into one ``.npz`` archive; ``restore`` rebuilds
-the distributed state on a fresh cluster (the cluster shape may differ —
-properties are re-partitioned to the new pivots).
+the distributed state on a fresh cluster.  When the target cluster has the
+same machine count as the one that saved, the archived pivots and ghost
+table are reused verbatim — no re-partitioning, no ghost re-selection;
+otherwise the graph is re-partitioned to the new shape and all saved
+property columns redistributed.
+
+:func:`restore_properties` additionally restores property columns *in
+place* onto an already-loaded graph — the rollback primitive behind
+checkpoint-based job recovery (``docs/robustness.md``).
 """
 
 from __future__ import annotations
@@ -16,6 +23,7 @@ from typing import Union
 import numpy as np
 
 from ..graph.csr import Graph, from_edges
+from ..graph.partition import Partitioning
 from .engine import DistributedGraph, PgxdCluster
 
 _FORMAT_VERSION = 1
@@ -46,37 +54,84 @@ def save_checkpoint(dg: DistributedGraph, path: Union[str, Path]) -> None:
     np.savez(Path(path), **arrays)
 
 
+def _check_version(data) -> None:
+    version = int(data["__version"][0])
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported checkpoint version {version}")
+
+
 def restore_checkpoint(cluster: PgxdCluster, path: Union[str, Path],
                        ) -> DistributedGraph:
     """Rebuild a DistributedGraph from a checkpoint on ``cluster``.
 
-    The target cluster may have a different machine count; the graph is
-    re-partitioned with the cluster's configured strategy and all saved
-    property columns are redistributed.
+    If ``cluster`` has the same machine count as the saver, the archived
+    partitioning pivots and ghost table are adopted directly (fast path —
+    no re-partitioning).  Otherwise the graph is re-partitioned with the
+    cluster's configured strategy and all saved property columns are
+    redistributed to the new pivots.
     """
-    data = np.load(Path(path))
-    version = int(data["__version"][0])
-    if version != _FORMAT_VERSION:
-        raise ValueError(f"unsupported checkpoint version {version}")
-    n = int(data["__num_nodes"][0])
-    out_starts = data["__out_starts"]
-    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(out_starts))
-    weights = data["__edge_weights"] if "__edge_weights" in data else None
-    graph = from_edges(src, data["__out_nbrs"], num_nodes=n, weights=weights)
-    for key in data.files:
-        if key.startswith("__edge_prop__"):
-            graph.add_edge_property(key[len("__edge_prop__"):], data[key])
+    # Materialize everything inside the context manager: NpzFile members are
+    # lazy zip reads, and the archive must be closed (not leaked) on return.
+    with np.load(Path(path)) as data:
+        _check_version(data)
+        n = int(data["__num_nodes"][0])
+        out_starts = data["__out_starts"]
+        src = np.repeat(np.arange(n, dtype=np.int64), np.diff(out_starts))
+        weights = data["__edge_weights"] if "__edge_weights" in data else None
+        graph = from_edges(src, data["__out_nbrs"], num_nodes=n,
+                           weights=weights)
+        for key in data.files:
+            if key.startswith("__edge_prop__"):
+                graph.add_edge_property(key[len("__edge_prop__"):], data[key])
+        starts = np.asarray(data["__starts"], dtype=np.int64)
+        ghost_gids = np.asarray(data["__ghost_gids"])
+        props = {key[len("prop__"):]: data[key]
+                 for key in data.files if key.startswith("prop__")}
 
-    dg = cluster.load_graph(graph)
-    for key in data.files:
-        if key.startswith("prop__"):
+    if len(starts) - 1 == cluster.config.num_machines:
+        dg = DistributedGraph(cluster, graph, Partitioning(starts=starts),
+                              ghost_gids)
+        dg.load_time = 0.0
+    else:
+        dg = cluster.load_graph(graph)
+    for name, values in sorted(props.items()):
+        dg.add_property(name, dtype=values.dtype, from_global=values)
+    return dg
+
+
+def restore_properties(dg: DistributedGraph,
+                       path: Union[str, Path]) -> list[str]:
+    """Restore the saved property columns in place onto a loaded graph.
+
+    The graph structure in the archive must match ``dg`` (node count is
+    verified).  Columns present in the archive overwrite the live ones;
+    columns created after the checkpoint are left untouched.  Returns the
+    restored property names.  This is the rollback step of crash recovery:
+    it rewinds mutable state without rebuilding the partitioning.
+    """
+    with np.load(Path(path)) as data:
+        _check_version(data)
+        n = int(data["__num_nodes"][0])
+        if n != dg.num_nodes:
+            raise ValueError(
+                f"checkpoint holds a different graph ({n} nodes, "
+                f"live graph has {dg.num_nodes})")
+        restored = []
+        for key in data.files:
+            if not key.startswith("prop__"):
+                continue
             name = key[len("prop__"):]
             values = data[key]
-            dg.add_property(name, dtype=values.dtype, from_global=values)
-    return dg
+            if dg.has_property(name):
+                dg.set_from_global(name, values)
+            else:
+                dg.add_property(name, dtype=values.dtype, from_global=values)
+            restored.append(name)
+    return sorted(restored)
 
 
 def checkpoint_properties(path: Union[str, Path]) -> list[str]:
     """List the user property columns stored in a checkpoint."""
-    data = np.load(Path(path))
-    return sorted(k[len("prop__"):] for k in data.files if k.startswith("prop__"))
+    with np.load(Path(path)) as data:
+        return sorted(k[len("prop__"):] for k in data.files
+                      if k.startswith("prop__"))

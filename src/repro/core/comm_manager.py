@@ -37,6 +37,18 @@ class CopierState:
 
 def deliver_request(exc: "JobExecution", msg: Message) -> None:
     """Network delivery callback for request-side messages."""
+    rel = exc.reliability
+    if (rel is not None
+            and msg.kind in (MsgKind.WRITE_REQ, MsgKind.GHOST_SYNC)
+            and not rel.first_delivery(msg.request_id)):
+        # Exactly-once application for non-idempotent kinds: a duplicated or
+        # retried write/sync that already got through is discarded here.
+        # READ_REQ is deliberately *not* deduplicated — re-serving a read is
+        # idempotent, and the re-serve is what recovers a lost READ_RESP.
+        exc.hooks.emit("comm.dedup_drop", machine=msg.dst,
+                       kind=msg.kind.value, request_id=msg.request_id,
+                       time=exc.sim.now)
+        return
     machine = exc.machines[msg.dst]
     machine.request_queue.append(msg)
     depth = len(machine.request_queue)
@@ -71,7 +83,11 @@ def copier_loop(exc: "JobExecution", cs: CopierState) -> None:
     tally = _process_message(exc, machine, msg)
     dur = machine.cpu.mixed_duration(tally.cpu_ops, tally.atomic_ops,
                                      tally.random_bytes, tally.seq_bytes)
-    exc.sim.schedule(dur, _copier_done, exc, cs, msg, dur)
+    stall = 0.0
+    if exc.faults is not None:
+        dur *= exc.faults.work_scale(machine.index, exc.sim.now)
+        stall = exc.faults.copier_stall(machine.index)
+    exc.sim.schedule(dur + stall, _copier_done, exc, cs, msg, dur)
 
 
 def _copier_done(exc: "JobExecution", cs: CopierState, msg: Message,
@@ -86,9 +102,16 @@ def _copier_done(exc: "JobExecution", cs: CopierState, msg: Message,
         resp = msg._response  # built in _process_message
         exc.send_response(resp)
     elif msg.kind in (MsgKind.WRITE_REQ,):
+        # The write is applied: acknowledge it (stops any retry timer).
+        # Duplicates were filtered in deliver_request, so the outstanding
+        # counter decrements exactly once per original request.
+        if exc.reliability is not None:
+            exc.reliability.ack(msg.request_id)
         exc.write_outstanding -= 1
         exc.check_main_done()
     elif msg.kind is MsgKind.GHOST_SYNC:
+        if exc.reliability is not None:
+            exc.reliability.ack(msg.request_id)
         exc.sync_outstanding -= 1
         exc.check_sync_done()
     elif msg.kind is MsgKind.RMI_REQ:

@@ -18,6 +18,7 @@ Typical use (the Figure 2 application shape)::
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Callable, Optional, Sequence, Union
 
 import numpy as np
@@ -31,6 +32,7 @@ from ..runtime.simulator import Simulator
 from ..runtime.stats import JobStats
 from . import barrier as barrier_mod
 from .data_manager import DataManager
+from .faults import EngineStallError, FaultController, MachineCrashError
 from .ghost import select_ghosts
 from .job import Job
 from .jobrunner import JobExecution
@@ -140,10 +142,25 @@ class PgxdCluster:
         self.hooks = HookBus()
         self.metrics = MetricsRegistry()
         self.recorder = MetricsRecorder(self.metrics, self.hooks)
+        #: deterministic fault injector, or None when no plan is configured
+        #: (None keeps every fault check a single ``is None`` test — the
+        #: fault layer is fully pay-for-play)
+        plan = self.config.engine.fault_plan
+        self.faults = (FaultController(plan, self.sim, self.hooks)
+                       if plan is not None else None)
         self.network = Network(self.sim, self.config.num_machines,
-                               self.config.network, hooks=self.hooks)
+                               self.config.network, hooks=self.hooks,
+                               faults=self.faults)
         self.rmi = RmiRegistry()
         self.job_log: list[tuple[str, JobStats]] = []
+        #: crash-recovery state (see enable_auto_checkpoint / run_job)
+        self.auto_recover = False
+        self.max_recoveries = 3
+        self._ckpt_dgraph: Optional[DistributedGraph] = None
+        self._ckpt_path: Optional[Path] = None
+        self._ckpt_every = 1
+        self._ckpt_countdown = 1
+        self._last_checkpoint: Optional[Path] = None
 
     # -- graph loading --------------------------------------------------------
 
@@ -184,26 +201,53 @@ class PgxdCluster:
     # -- execution -------------------------------------------------------------
 
     def run_job(self, dgraph: DistributedGraph, job: Job,
-                force_scalar: bool = False) -> JobStats:
+                force_scalar: bool = False,
+                recover: Optional[bool] = None) -> JobStats:
         """Execute one parallel region to completion; returns its stats.
 
         ``force_scalar`` runs EdgeMapJobs on the general per-edge RTC path
         instead of the vectorized scheduler fast path (results identical).
+
+        ``recover`` controls what happens when an injected machine crash
+        (:class:`~repro.core.faults.MachineCrashError`) aborts the region:
+        ``True`` restores the last checkpoint written by
+        :meth:`enable_auto_checkpoint` (if any) and reruns the job, up to
+        ``max_recoveries`` times; ``False`` re-raises; ``None`` (default)
+        uses the cluster's ``auto_recover`` setting.  A drained event queue
+        with the job unfinished raises a structured
+        :class:`~repro.core.faults.EngineStallError` carrying per-worker
+        parked/in-flight diagnostics.
         """
+        if recover is None:
+            recover = self.auto_recover
         before = self.metrics.counters_flat()
-        exc = JobExecution(self, dgraph, job, force_scalar=force_scalar)
-        exc.start()
-        while not exc.done:
-            if not self.sim.step():
-                raise RuntimeError(
-                    f"simulation deadlock in job {job.name!r} "
-                    f"(phase={exc.phase}, workers={exc.workers_remaining}, "
-                    f"writes={exc.write_outstanding}, sync={exc.sync_outstanding})")
+        recoveries = 0
+        while True:
+            exc = JobExecution(self, dgraph, job, force_scalar=force_scalar)
+            crash_events = (self.faults.arm_crashes()
+                            if self.faults is not None else [])
+            try:
+                exc.start()
+                while not exc.done:
+                    if not self.sim.step():
+                        raise EngineStallError(job.name,
+                                               exc.stall_diagnostics())
+            except MachineCrashError:
+                if not recover or recoveries >= self.max_recoveries:
+                    raise
+                recoveries += 1
+                self._recover_after_crash(dgraph, job)
+                continue
+            finally:
+                for ev in crash_events:
+                    Simulator.cancel(ev)
+            break
         self.metrics.counter("repro_jobs_total", labelnames=("kind",)).labels(
             kind=type(job).__name__).inc()
         self.metrics.histogram("repro_job_seconds").observe(exc.stats.elapsed)
         exc.stats.metrics_delta = self.metrics.delta_since(before)
         self.job_log.append((job.name, exc.stats))
+        self._maybe_auto_checkpoint(dgraph)
         return exc.stats
 
     def run_jobs(self, dgraph: DistributedGraph, jobs: Sequence[Job]) -> JobStats:
@@ -214,6 +258,82 @@ class PgxdCluster:
             merged.merge_from(stats)
         merged.end_time = self.sim.now
         return merged
+
+    # -- checkpointing and crash recovery ----------------------------------
+
+    def enable_auto_checkpoint(self, dgraph: DistributedGraph,
+                               path: Union[str, Path], every: int = 1,
+                               recover: Optional[bool] = None) -> None:
+        """Write property checkpoints of ``dgraph`` every ``every`` jobs.
+
+        A baseline checkpoint is written immediately; afterwards the archive
+        at ``path`` is refreshed after every ``every``-th completed job, and
+        a crashed job restarted with ``recover=True`` restores it before
+        rerunning.  Exact recovery needs ``every=1`` (the default): a crash
+        then rewinds precisely to the state at the start of the failed job.
+        Coarser cadences rewind further back, which is only correct if the
+        driver replays the intervening jobs itself.  ``recover`` (if given)
+        also sets the cluster-wide ``auto_recover`` default so algorithm
+        drivers pick recovery up without threading a flag through.
+        """
+        from .checkpoint import save_checkpoint
+
+        self._ckpt_dgraph = dgraph
+        self._ckpt_path = Path(path)
+        self._ckpt_every = max(1, int(every))
+        self._ckpt_countdown = self._ckpt_every
+        if recover is not None:
+            self.auto_recover = bool(recover)
+        save_checkpoint(dgraph, self._ckpt_path)
+        self._last_checkpoint = self._ckpt_path
+        self.hooks.emit("job.checkpoint", path=str(self._ckpt_path),
+                        time=self.sim.now)
+
+    def disable_auto_checkpoint(self) -> None:
+        """Stop periodic checkpoints (the archive on disk is kept)."""
+        self._ckpt_dgraph = None
+        self._ckpt_path = None
+        self._last_checkpoint = None
+
+    def _maybe_auto_checkpoint(self, dgraph: DistributedGraph) -> None:
+        if self._ckpt_path is None or dgraph is not self._ckpt_dgraph:
+            return
+        self._ckpt_countdown -= 1
+        if self._ckpt_countdown > 0:
+            return
+        self._ckpt_countdown = self._ckpt_every
+        from .checkpoint import save_checkpoint
+
+        save_checkpoint(dgraph, self._ckpt_path)
+        self._last_checkpoint = self._ckpt_path
+        self.hooks.emit("job.checkpoint", path=str(self._ckpt_path),
+                        time=self.sim.now)
+
+    def _recover_after_crash(self, dgraph: DistributedGraph, job: Job) -> None:
+        """Reset live execution state and roll back to the last checkpoint.
+
+        The crashed execution's events are abandoned wholesale (they must
+        not fire into the restarted job), per-machine queues and thread
+        accounting are cleared, property columns are restored from the last
+        auto-checkpoint when one exists, and the clock advances by the
+        plan's ``restart_delay`` to model detection + restart.
+        """
+        self.sim.clear_pending()
+        for m in dgraph.machines:
+            m.request_queue.clear()
+            m.chunk_queue.clear()
+            m.cpu.reset_threads()
+        ckpt = self._last_checkpoint
+        if ckpt is not None and self._ckpt_dgraph is dgraph:
+            from .checkpoint import restore_properties
+
+            restore_properties(dgraph, ckpt)
+        else:
+            ckpt = None
+        if self.faults is not None:
+            self.advance(self.faults.plan.restart_delay)
+        self.hooks.emit("job.recover", job=job.name, time=self.sim.now,
+                        checkpoint=str(ckpt) if ckpt is not None else "")
 
     # -- sequential-region primitives -------------------------------------------
 

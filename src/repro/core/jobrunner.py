@@ -16,6 +16,7 @@ phases on the simulator:
 
 from __future__ import annotations
 
+import itertools
 from typing import Optional
 
 import numpy as np
@@ -23,6 +24,7 @@ import numpy as np
 from ..graph.chunking import make_chunks, node_chunks
 from ..runtime.stats import JobStats
 from .comm_manager import CopierState, deliver_request, deliver_response
+from .faults import ReliabilityLayer
 from .job import EdgeMapJob, Job, NodeKernelJob, TaskJob
 from .messages import Message, MsgKind
 from .properties import ReduceOp
@@ -54,6 +56,17 @@ class JobExecution:
         self.plan_cache_enabled = ecfg.routing_plan_cache
         self.combine_writes = ecfg.combine_writes
         self.combine_per_item = ecfg.combine_per_item
+
+        #: per-execution request-id source: id sequences restart at 0 for
+        #: every region, making traces and golden tests independent of what
+        #: else ran in the process (the module-global counter in messages.py
+        #: remains only as a fallback for ad-hoc Message construction).
+        self._request_ids = itertools.count()
+        #: fault injection + the reliability defenses (both None => the
+        #: engine behaves bit-identically to one without a fault layer)
+        self.faults = cluster.faults
+        self.reliability = (ReliabilityLayer(self, self.faults.plan)
+                            if self.faults is not None else None)
 
         self.stats = JobStats(start_time=self.sim.now)
         self.ghosts_active = dgraph.num_ghosts > 0
@@ -109,6 +122,17 @@ class JobExecution:
         self.sync_outstanding = 0
         self._postsync_pending = 0
 
+        #: per-machine staging of remote read-response contributions for the
+        #: vectorized path.  Responses are *priced* when they arrive (their
+        #: work still lands on the worker's timeline) but their values are
+        #: applied once, in a canonical content order, when the main phase
+        #: ends — so the numeric result is independent of response arrival
+        #: order.  That is what lets retried/duplicated/delayed traffic
+        #: reproduce the fault-free run bit for bit despite float SUM being
+        #: non-associative.
+        self._staged_remote: Optional[list[list]] = (
+            [[] for _ in self.machines] if self.spec is not None else None)
+
     # ------------------------------------------------------------------
     # lookup helpers used by workers/copiers
     # ------------------------------------------------------------------
@@ -125,7 +149,26 @@ class JobExecution:
     # message plumbing
     # ------------------------------------------------------------------
 
+    def next_request_id(self) -> int:
+        """Deterministic per-execution request id (satellite of PR 3)."""
+        return next(self._request_ids)
+
     def send_request(self, msg: Message, kind: str) -> None:
+        nbytes = msg.wire_bytes()
+        self.stats.bytes_by_kind[kind] += nbytes if msg.src != msg.dst else 0.0
+        self.stats.messages += 1
+        self.network.send(msg.src, msg.dst, nbytes, deliver_request, self, msg,
+                          kind=kind)
+        if self.reliability is not None:
+            self.reliability.track(msg, kind)
+
+    def resend_request(self, msg: Message, kind: str) -> None:
+        """Retransmit a tracked request (reliability layer timer path).
+
+        Unlike :meth:`send_request` this does not touch the outstanding
+        counters — the original send already did — and does not re-arm
+        tracking (the caller owns the timer).
+        """
         nbytes = msg.wire_bytes()
         self.stats.bytes_by_kind[kind] += nbytes if msg.src != msg.dst else 0.0
         self.stats.messages += 1
@@ -141,7 +184,7 @@ class JobExecution:
 
     def send_rmi(self, src: int, dst: int, fn_id: int, args: tuple) -> None:
         msg = Message(MsgKind.RMI_REQ, src=src, dst=dst, rmi_fn=fn_id,
-                      rmi_args=args)
+                      rmi_args=args, request_id=self.next_request_id())
         self.rmi_outstanding += 1
         self.send_request(msg, kind="rmi")
 
@@ -198,7 +241,8 @@ class JobExecution:
                         continue
                     msg = Message(MsgKind.GHOST_SYNC, src=owner.index,
                                   dst=dst.index, prop=prop,
-                                  offsets=slots, values=values, ghost_pre=True)
+                                  offsets=slots, values=values, ghost_pre=True,
+                                  request_id=self.next_request_id())
                     self.sync_outstanding += 1
                     self.send_request(msg, kind="ghost_sync")
 
@@ -243,7 +287,34 @@ class JobExecution:
                 and self.write_outstanding == 0 and self.rmi_outstanding == 0):
             self._phase_postsync()
 
+    def stage_remote(self, machine_index: int, rows: np.ndarray,
+                     vals: np.ndarray) -> None:
+        """Record a remote read-response contribution for end-of-main apply."""
+        self._staged_remote[machine_index].append((rows, vals))
+
+    def _apply_staged_responses(self) -> None:
+        """Apply staged remote contributions in canonical content order.
+
+        Sorting by (row, value) makes the reduction order a function of the
+        *data*, not of message timing: a run whose responses were delayed,
+        reordered or retried produces the same floating-point result as the
+        fault-free run.  Purely host-side — the apply work was already
+        priced on the worker timeline when each response arrived.
+        """
+        if self._staged_remote is None:
+            return
+        spec = self.spec
+        for m, batches in zip(self.machines, self._staged_remote):
+            if not batches:
+                continue
+            rows = np.concatenate([r for r, _ in batches])
+            vals = np.concatenate([v for _, v in batches])
+            order = np.lexsort((vals, rows))
+            spec.op.apply_at(m.props[spec.target], rows[order], vals[order])
+            batches.clear()
+
     def _phase_postsync(self) -> None:
+        self._apply_staged_responses()
         self._set_phase("postsync")
         if not self.ghost_write_props:
             self._phase_barrier()
@@ -259,6 +330,8 @@ class JobExecution:
             dur = m.cpu.mixed_duration(cpu_ops=elements * 1.0, atomic_ops=0,
                                        random_bytes=0.0,
                                        seq_bytes=elements * 8.0)
+            if self.faults is not None:
+                dur *= self.faults.work_scale(m.index, self.sim.now)
             self.sim.schedule(dur, self._postsync_machine_done, m)
 
     def _postsync_machine_done(self, m) -> None:
@@ -275,7 +348,8 @@ class JobExecution:
                     continue
                 msg = Message(MsgKind.GHOST_SYNC, src=m.index, dst=owner.index,
                               prop=prop, offsets=offsets, values=values, op=op,
-                              ghost_pre=False)
+                              ghost_pre=False,
+                              request_id=self.next_request_id())
                 self.sync_outstanding += 1
                 self.send_request(msg, kind="ghost_sync")
         self._postsync_pending -= 1
@@ -289,6 +363,42 @@ class JobExecution:
         latency = barrier_mod.barrier_latency(self.num_machines,
                                               self.cluster.config.network)
         self.sim.schedule(latency, self._finalize)
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+
+    def stall_diagnostics(self) -> dict:
+        """Per-worker parked/in-flight state for :class:`EngineStallError`."""
+        workers = []
+        for mw in self.workers:
+            for ws in mw:
+                if ws.done and not ws.parked and not ws.outstanding_reads:
+                    continue
+                workers.append({
+                    "machine": ws.machine.index,
+                    "worker": ws.windex,
+                    "done": ws.done,
+                    "scheduled": ws.scheduled,
+                    "outstanding_reads": ws.outstanding_reads,
+                    "parked": len(ws.parked),
+                    "pending_responses": len(ws.pending_resp),
+                    "inflight_by_dst": dict(ws.inflight_by_dst),
+                })
+        return {
+            "job": self.job.name,
+            "phase": self.phase,
+            "workers_remaining": self.workers_remaining,
+            "chunks_remaining": self.chunks_remaining,
+            "write_outstanding": self.write_outstanding,
+            "sync_outstanding": self.sync_outstanding,
+            "rmi_outstanding": self.rmi_outstanding,
+            "queued_requests": {m.index: len(m.request_queue)
+                                for m in self.machines},
+            "retry_pending": (self.reliability.pending_count
+                              if self.reliability is not None else 0),
+            "workers": workers,
+        }
 
     def _finalize(self) -> None:
         start = self._phase_started_at

@@ -32,6 +32,10 @@ READ_RESP_ITEM_BYTES = 8
 #: Bytes per write-request element: 8-byte address + 8-byte value.
 WRITE_REQ_ITEM_BYTES = 16
 
+# Fallback id source for messages constructed outside a JobExecution (tests,
+# ad-hoc tools).  Engine paths pass request_id=exc.next_request_id() so id
+# sequences are per-execution and deterministic regardless of what else ran
+# in the process (same fix as PR 1's instance-scoped Tracer).
 _msg_ids = itertools.count()
 
 

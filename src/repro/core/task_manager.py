@@ -146,7 +146,8 @@ class WorkerState:
         for i in range(0, len(offsets), step):
             msg = Message(MsgKind.READ_REQ, src=self.machine.index, dst=dst,
                           prop=prop, offsets=offsets[i:i + step],
-                          worker=self.windex)
+                          worker=self.windex,
+                          request_id=self.exc.next_request_id())
             side = SideStructure(request_id=msg.request_id, prop=prop,
                                  rows=rows[i:i + step],
                                  weights=None if weights is None
@@ -166,7 +167,8 @@ class WorkerState:
         for i in range(0, len(offsets), step):
             msg = Message(MsgKind.READ_REQ, src=self.machine.index, dst=dst,
                           prop=prop, offsets=offsets[i:i + step],
-                          worker=self.windex)
+                          worker=self.windex,
+                          request_id=self.exc.next_request_id())
             side = SideStructure(request_id=msg.request_id, prop=prop,
                                  tasks=sides[i:i + step])
             self._dispatch_read(msg, side)
@@ -202,7 +204,8 @@ class WorkerState:
         for i in range(0, len(offsets), step):
             msg = Message(MsgKind.WRITE_REQ, src=self.machine.index, dst=dst,
                           prop=prop, offsets=offsets[i:i + step],
-                          values=values[i:i + step], op=op, worker=self.windex)
+                          values=values[i:i + step], op=op, worker=self.windex,
+                          request_id=self.exc.next_request_id())
             self.exc.write_outstanding += 1
             self.exc.send_request(msg, kind="write_req")
 
@@ -236,14 +239,26 @@ class WorkerState:
         for i in range(0, len(offsets), step):
             msg = Message(MsgKind.WRITE_REQ, src=self.machine.index, dst=dst,
                           prop=prop, offsets=offsets[i:i + step],
-                          values=values[i:i + step], op=op, worker=self.windex)
+                          values=values[i:i + step], op=op, worker=self.windex,
+                          request_id=self.exc.next_request_id())
             self.exc.write_outstanding += 1
             self.exc.send_request(msg, kind="write_req")
 
     # -- response intake --------------------------------------------------------
 
     def response_arrived(self, msg: Message) -> None:
-        side = self.side_structs.pop(msg.request_id)
+        side = self.side_structs.pop(msg.request_id, None)
+        if side is None:
+            # Stale or duplicate response: the request was already answered
+            # (a duplicated READ_RESP, or the original finally arriving after
+            # a retry already got an answer).  Drop it — applying twice would
+            # double-count the contribution.
+            self.exc.hooks.emit("comm.dedup_drop", machine=self.machine.index,
+                                kind="read_resp", request_id=msg.request_id,
+                                time=self.exc.sim.now)
+            return
+        if self.exc.reliability is not None:
+            self.exc.reliability.ack(msg.request_id)
         self.outstanding_reads -= 1
         self.inflight_by_dst[msg.src] -= 1
         # A freed in-flight slot lets a parked message go out.
@@ -309,6 +324,8 @@ def _start_work(exc: "JobExecution", ws: WorkerState, fn,
         tally.cpu_ops += exc.chunk_dispatch_time / exc.cpu_op_time
     dur = m.cpu.mixed_duration(tally.cpu_ops, tally.atomic_ops,
                                tally.random_bytes, tally.seq_bytes)
+    if exc.faults is not None:
+        dur *= exc.faults.work_scale(m.index, t0)
     exc.stats.record_busy(m.index, ws.windex, t0, t0 + dur)
     ws.scheduled = True
     exc.sim.schedule(dur, _end_work, exc, ws, dur, kind, t0)
@@ -347,10 +364,14 @@ def _process_response(exc: "JobExecution", ws: WorkerState,
     tally = WorkTally(cpu_ops=n * 2.0, seq_bytes=n * VALUE_BYTES)
     tally.add_bytes(n * 2 * VALUE_BYTES, RESPONSE_APPLY_LOCALITY)
     if side.rows is not None:
-        # Vectorized continuation: reduce fetched values into the targets.
+        # Vectorized continuation: transform now, but *stage* the reduction
+        # — the job runner applies all remote contributions in canonical
+        # content order at end of main phase, so the float result does not
+        # depend on response arrival order (see JobExecution
+        # ._apply_staged_responses).  The apply cost stays on this slice.
         spec = exc.spec
         vals = spec.apply_transform(values, side.weights if spec.use_weights else None)
-        spec.op.apply_at(m.props[spec.target], side.rows, vals)
+        exc.stage_remote(m.index, side.rows, vals)
     else:
         ctx = ws.ctx
         for (task, node_g, nbr_g, w, tag), value in zip(side.tasks, values):

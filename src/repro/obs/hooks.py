@@ -41,6 +41,11 @@ KNOWN_HOOKS = (
     "job.phase_end",       # job, phase, start, duration
     "barrier.enter",       # job, machines, time
     "barrier.exit",        # job, machines, start, duration
+    "fault.inject",        # fault, time, + fault-specific fields
+    "comm.retry",          # kind, request_id, src, dst, attempt, time
+    "comm.dedup_drop",     # machine, kind, request_id, time
+    "job.checkpoint",      # path, time
+    "job.recover",         # job, checkpoint, time
 )
 
 

@@ -87,6 +87,22 @@ class MetricsRecorder:
         self._combine_in = 0
         self._combine_out = 0
 
+        self.faults_injected = r.counter(
+            "repro_faults_injected_total",
+            "Faults injected by the active FaultPlan", ("fault",))
+        self.retries = r.counter(
+            "repro_retries_total",
+            "Reliable-request retransmissions (timeout/backoff resends)",
+            ("kind",))
+        self.dedup_drops = r.counter(
+            "repro_dedup_drops_total",
+            "Duplicate or stale deliveries discarded by receivers", ("kind",))
+        self.checkpoints = r.counter(
+            "repro_checkpoints_total", "Automatic property checkpoints written")
+        self.recoveries = r.counter(
+            "repro_job_recoveries_total",
+            "Job restarts after injected machine crashes")
+
         self.phase_seconds = r.counter(
             "repro_job_phase_seconds_total",
             "Wall time spent per job phase", ("phase",))
@@ -114,6 +130,11 @@ class MetricsRecorder:
             "comm.combine": self._on_combine,
             "job.phase_end": self._on_phase_end,
             "barrier.exit": self._on_barrier_exit,
+            "fault.inject": self._on_fault_inject,
+            "comm.retry": self._on_retry,
+            "comm.dedup_drop": self._on_dedup_drop,
+            "job.checkpoint": self._on_checkpoint,
+            "job.recover": self._on_recover,
         })
 
     def close(self) -> None:
@@ -181,3 +202,18 @@ class MetricsRecorder:
     def _on_barrier_exit(self, p: dict) -> None:
         self.barriers.inc()
         self.barrier_seconds.inc(p["duration"])
+
+    def _on_fault_inject(self, p: dict) -> None:
+        self.faults_injected.labels(fault=p["fault"]).inc()
+
+    def _on_retry(self, p: dict) -> None:
+        self.retries.labels(kind=p["kind"]).inc()
+
+    def _on_dedup_drop(self, p: dict) -> None:
+        self.dedup_drops.labels(kind=p["kind"]).inc()
+
+    def _on_checkpoint(self, p: dict) -> None:
+        self.checkpoints.inc()
+
+    def _on_recover(self, p: dict) -> None:
+        self.recoveries.inc()

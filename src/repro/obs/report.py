@@ -82,6 +82,18 @@ def ghost_hit_rate(registry: MetricsRegistry) -> tuple[float, float]:
             _family_sum(registry, "repro_ghost_misses_total"))
 
 
+def fault_summary(registry: MetricsRegistry) -> dict[str, float]:
+    """Faults / retries / dedup drops / recoveries, zero-suppressed."""
+    return {
+        "faults_injected": _family_sum(registry,
+                                       "repro_faults_injected_total"),
+        "retries": _family_sum(registry, "repro_retries_total"),
+        "dedup_drops": _family_sum(registry, "repro_dedup_drops_total"),
+        "recoveries": _family_sum(registry, "repro_job_recoveries_total"),
+        "checkpoints": _family_sum(registry, "repro_checkpoints_total"),
+    }
+
+
 def _table(title: str, headers: list[str], rows: list[list[str]]) -> str:
     widths = [max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
               for i, h in enumerate(headers)]
@@ -119,4 +131,12 @@ def render_overhead_report(registry: MetricsRegistry, title: str = "",
     jobs = _family_sum(registry, "repro_jobs_total")
     barriers = _family_sum(registry, "repro_barriers_total")
     parts.append(f"jobs: {jobs:.0f}  barriers: {barriers:.0f}")
+    fs = fault_summary(registry)
+    if any(fs.values()):
+        parts.append(
+            f"faults: {fs['faults_injected']:.0f} injected; "
+            f"retries: {fs['retries']:.0f}; "
+            f"dedup drops: {fs['dedup_drops']:.0f}; "
+            f"recoveries: {fs['recoveries']:.0f}; "
+            f"checkpoints: {fs['checkpoints']:.0f}")
     return "\n".join(parts)

@@ -10,6 +10,10 @@ simulated seconds.  See ``repro.bench.calibration`` for the derivations.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.faults import FaultPlan
 
 
 @dataclass(frozen=True)
@@ -153,6 +157,12 @@ class EngineConfig:
     #: (sort + segmented reduction), charged only when it runs.
     combine_per_item: float = 3.0e-9
 
+    #: Optional deterministic fault-injection schedule
+    #: (:class:`repro.core.faults.FaultPlan`).  ``None`` disables the fault
+    #: layer entirely — no injection, no retry timers, no dedup bookkeeping —
+    #: leaving simulated times and metrics untouched.
+    fault_plan: "FaultPlan | None" = None
+
 
 @dataclass(frozen=True)
 class ClusterConfig:
@@ -202,3 +212,7 @@ class ClusterConfig:
     def with_machine(self, **kwargs) -> "ClusterConfig":
         """Return a copy with machine hardware parameters overridden."""
         return replace(self, machine=replace(self.machine, **kwargs))
+
+    def with_fault_plan(self, plan: "FaultPlan | None") -> "ClusterConfig":
+        """Return a copy with the fault-injection plan set (or cleared)."""
+        return self.with_engine(fault_plan=plan)

@@ -37,6 +37,16 @@ class MachineCpu:
         self.active_threads -= 1
         self._busy_time += duration
 
+    def reset_threads(self) -> None:
+        """Forget in-flight thread accounting (crash recovery only).
+
+        A machine crash abandons events mid-flight, so their balancing
+        ``thread_finished`` calls never run; without this the restarted job
+        would inherit phantom oversubscription.  Accumulated busy time is
+        kept — the crashed attempt's work really happened.
+        """
+        self.active_threads = 0
+
     @property
     def busy_time(self) -> float:
         return self._busy_time

@@ -22,6 +22,9 @@ from ..obs.hooks import HookBus
 from .config import NetworkConfig
 from .simulator import Simulator
 
+if False:  # pragma: no cover - type-only import, avoids a runtime cycle
+    from ..core.faults import FaultController
+
 
 class _Port:
     """A serial resource timeline (one NIC direction, or the poller)."""
@@ -59,13 +62,16 @@ class Network:
     """The cluster fabric connecting ``num_machines`` simulated machines."""
 
     def __init__(self, sim: Simulator, num_machines: int, config: NetworkConfig,
-                 hooks: Optional[HookBus] = None):
+                 hooks: Optional[HookBus] = None,
+                 faults: "Optional[FaultController]" = None):
         self.sim = sim
         self.num_machines = num_machines
         self.config = config
         #: instrumentation bus; the owning cluster passes its own so network
         #: events land on the same stream as the engine's.
         self.hooks = hooks if hooks is not None else HookBus()
+        #: optional fault injector consulted per fabric message
+        self.faults = faults
         self._tx = [_Port() for _ in range(num_machines)]
         self._rx = [_Port() for _ in range(num_machines)]
         # The poller is one thread, but its outbound service happens at send
@@ -103,13 +109,32 @@ class Network:
         self.stats.bytes_by_kind[kind] += nbytes
         self.stats.messages += 1
 
+        action, extra_delay = ("deliver", 0.0)
+        if self.faults is not None:
+            action, extra_delay = self.faults.message_action(src, dst, kind)
+
         depart = self._poller_out[src].occupy(now, cfg.poller_per_message)
         tx_done = self._tx[src].occupy(
             depart, nbytes / cfg.link_bw + cfg.per_message_overhead)
-        arrive = tx_done + cfg.link_latency
+        arrive = tx_done + cfg.link_latency + extra_delay
+        if action == "drop":
+            # The sender paid for the transmit; the fabric loses the message
+            # before the receive side, so no rx/poller-in work happens and
+            # the callback never fires.
+            self.hooks.emit("net.send", src=src, dst=dst, nbytes=nbytes,
+                            kind=kind, time=now, deliver=arrive)
+            return arrive
         rx_done = self._rx[dst].occupy(arrive, nbytes / cfg.link_bw)
         deliver = self._poller_in[dst].occupy(rx_done, cfg.poller_per_message)
         self.sim.schedule_at(deliver, callback, *args)
+        if action == "dup":
+            # A fabric-level duplicate: the same payload surfaces a second
+            # time after another receive pass (retransmit-ambiguity model).
+            dup_rx = self._rx[dst].occupy(deliver + cfg.link_latency,
+                                          nbytes / cfg.link_bw)
+            dup_deliver = self._poller_in[dst].occupy(dup_rx,
+                                                      cfg.poller_per_message)
+            self.sim.schedule_at(dup_deliver, callback, *args)
         self.hooks.emit("net.send", src=src, dst=dst, nbytes=nbytes, kind=kind,
                         time=now, deliver=deliver)
         if self.hooks.has("net.deliver"):

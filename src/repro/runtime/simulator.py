@@ -77,6 +77,17 @@ class Simulator:
         """Cancel a pending event (no-op if it already ran)."""
         event.cancelled = True
 
+    def clear_pending(self) -> int:
+        """Drop every not-yet-run event; the clock stays where it is.
+
+        Used by crash recovery to abandon a dead execution wholesale: the
+        events of the crashed job must not fire into the restarted one.
+        Returns the number of events discarded.
+        """
+        dropped = sum(1 for ev in self._heap if not ev.cancelled)
+        self._heap.clear()
+        return dropped
+
     # -- execution ---------------------------------------------------------
 
     def step(self) -> bool:

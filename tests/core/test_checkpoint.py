@@ -6,7 +6,7 @@ import pytest
 from repro import rmat, with_uniform_weights
 from repro.algorithms import pagerank, wcc
 from repro.core.checkpoint import (checkpoint_properties, restore_checkpoint,
-                                   save_checkpoint)
+                                   restore_properties, save_checkpoint)
 from tests.conftest import make_cluster
 
 
@@ -87,3 +87,111 @@ class TestRoundTrip:
         np.savez(path, **data)
         with pytest.raises(ValueError):
             restore_checkpoint(make_cluster(), path)
+
+
+class TestFileHandles:
+    """restore/inspect must close the .npz archive (the old code leaked the
+    NpzFile, pinning the checkpoint open for the process lifetime)."""
+
+    def _spy_load(self, monkeypatch):
+        opened = []
+        orig = np.load
+
+        def spy(*args, **kwargs):
+            f = orig(*args, **kwargs)
+            opened.append(f)
+            return f
+
+        monkeypatch.setattr(np, "load", spy)
+        return opened
+
+    def test_restore_closes_archive(self, ranked_dg, tmp_path, monkeypatch):
+        cluster, dg = ranked_dg
+        path = tmp_path / "ck.npz"
+        save_checkpoint(dg, path)
+        opened = self._spy_load(monkeypatch)
+        restore_checkpoint(make_cluster(), path)
+        assert opened
+        assert all(f.zip is None and f.fid is None for f in opened)
+        path.unlink()  # a closed archive is deletable/replaceable
+
+    def test_inspect_and_restore_properties_close(self, ranked_dg, tmp_path,
+                                                  monkeypatch):
+        cluster, dg = ranked_dg
+        path = tmp_path / "ck.npz"
+        save_checkpoint(dg, path)
+        opened = self._spy_load(monkeypatch)
+        checkpoint_properties(path)
+        restore_properties(dg, path)
+        assert len(opened) == 2
+        assert all(f.zip is None and f.fid is None for f in opened)
+
+
+class TestSameShapeFastPath:
+    """Restoring onto a same-sized cluster reuses the archived pivots and
+    ghost table instead of re-partitioning from scratch."""
+
+    def test_same_machine_count_skips_load_graph(self, ranked_dg, tmp_path,
+                                                 monkeypatch):
+        cluster, dg = ranked_dg
+        path = tmp_path / "ck.npz"
+        save_checkpoint(dg, path)
+        target = make_cluster()  # same machine count as the saver
+        calls = []
+        orig = target.load_graph
+        monkeypatch.setattr(
+            target, "load_graph",
+            lambda g, **kw: calls.append(g) or orig(g, **kw))
+        dg2 = restore_checkpoint(target, path)
+        assert not calls, "fast path must not re-partition"
+        assert dg2.load_time == 0.0
+        assert np.array_equal(dg2.partitioning.starts,
+                              dg.partitioning.starts)
+        assert np.array_equal(dg2.ghost_gids, dg.ghost_gids)
+        assert np.allclose(dg2.gather("pr"), dg.gather("pr"))
+
+    def test_different_machine_count_repartitions(self, ranked_dg, tmp_path,
+                                                  monkeypatch):
+        cluster, dg = ranked_dg
+        path = tmp_path / "ck.npz"
+        save_checkpoint(dg, path)
+        target = make_cluster(num_machines=7)
+        calls = []
+        orig = target.load_graph
+        monkeypatch.setattr(
+            target, "load_graph",
+            lambda g, **kw: calls.append(g) or orig(g, **kw))
+        dg2 = restore_checkpoint(target, path)
+        assert len(calls) == 1
+        assert len(dg2.machines) == 7
+
+
+class TestRestoreProperties:
+    def test_in_place_rollback(self, ranked_dg, tmp_path):
+        cluster, dg = ranked_dg
+        path = tmp_path / "ck.npz"
+        save_checkpoint(dg, path)
+        before = dg.gather("pr").copy()
+        dg.set_from_global("pr", np.zeros(dg.num_nodes))
+        restored = restore_properties(dg, path)
+        assert "pr" in restored
+        assert np.array_equal(dg.gather("pr"), before)
+
+    def test_missing_property_recreated(self, ranked_dg, tmp_path):
+        cluster, dg = ranked_dg
+        path = tmp_path / "ck.npz"
+        save_checkpoint(dg, path)
+        cluster2 = make_cluster()
+        dg2 = cluster2.load_graph(dg.graph)
+        assert not dg2.has_property("pr")
+        restore_properties(dg2, path)
+        assert np.array_equal(dg2.gather("pr"), dg.gather("pr"))
+        assert dg2.gather("flag").dtype == np.bool_
+
+    def test_graph_mismatch_rejected(self, ranked_dg, tmp_path):
+        cluster, dg = ranked_dg
+        path = tmp_path / "ck.npz"
+        save_checkpoint(dg, path)
+        other = make_cluster().load_graph(rmat(50, 200, seed=1))
+        with pytest.raises(ValueError, match="different graph"):
+            restore_properties(other, path)

@@ -1,0 +1,293 @@
+"""Chaos regression suite: injected faults must not change results.
+
+Each fault class (message drop / duplicate / delay, copier stall, machine
+slowdown, machine crash) runs PageRank and BFS under a seeded
+:class:`~repro.core.faults.FaultPlan` and asserts the results are
+bit-identical to a fault-free run — and that the retry/dedup/recovery
+metrics are nonzero exactly when faults were injected.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (EngineStallError, FaultPlan, MachineCrash,
+                   MachineCrashError, MachineSlowdown, RetryExhaustedError)
+from repro.algorithms import hop_dist, pagerank
+from repro.core.faults import FaultController
+from repro.obs.report import fault_summary
+from tests.conftest import make_cluster
+
+
+def _run_pagerank(small_rmat, plan=None, iterations=5, ckpt=None,
+                  machines=4):
+    cluster = make_cluster(num_machines=machines, fault_plan=plan)
+    dg = cluster.load_graph(small_rmat)
+    if ckpt is not None:
+        cluster.enable_auto_checkpoint(dg, ckpt, every=1, recover=True)
+    r = pagerank(cluster, dg, "pull", max_iterations=iterations,
+                 tolerance=0.0)
+    return r.values["pr"], cluster
+
+
+def _run_hop_dist(small_rmat, plan=None):
+    cluster = make_cluster(fault_plan=plan)
+    dg = cluster.load_graph(small_rmat)
+    r = hop_dist(cluster, dg, root=0)
+    return r.values["hops"], cluster
+
+
+class TestFaultPlanValidation:
+    def test_prob_out_of_range(self):
+        with pytest.raises(ValueError):
+            FaultPlan(drop_prob=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(dup_prob=-0.1)
+
+    def test_probs_sum_above_one(self):
+        with pytest.raises(ValueError):
+            FaultPlan(drop_prob=0.5, dup_prob=0.4, delay_prob=0.2)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            FaultPlan(kinds=("rmi",))
+
+    def test_bad_retry_knobs(self):
+        with pytest.raises(ValueError):
+            FaultPlan(retry_backoff=0.5)
+        with pytest.raises(ValueError):
+            FaultPlan(max_attempts=0)
+
+    def test_injects_message_faults_property(self):
+        assert not FaultPlan().injects_message_faults
+        assert FaultPlan(drop_prob=0.1).injects_message_faults
+
+
+class TestMessageFaults:
+    """Drops, duplicates and delays leave results bit-identical."""
+
+    def test_drops_are_retried(self, small_rmat):
+        base, _ = _run_pagerank(small_rmat)
+        vals, cluster = _run_pagerank(small_rmat,
+                                      FaultPlan(seed=3, drop_prob=0.05))
+        assert np.array_equal(base, vals)
+        fs = fault_summary(cluster.metrics)
+        assert fs["faults_injected"] > 0
+        assert fs["retries"] > 0
+
+    def test_duplicates_apply_once(self, small_rmat):
+        base, _ = _run_pagerank(small_rmat)
+        vals, cluster = _run_pagerank(small_rmat,
+                                      FaultPlan(seed=3, dup_prob=0.1))
+        assert np.array_equal(base, vals)
+        fs = fault_summary(cluster.metrics)
+        assert fs["faults_injected"] > 0
+        assert fs["dedup_drops"] > 0
+
+    def test_delays_beyond_timeout(self, small_rmat):
+        # delay_seconds (2 ms) exceeds the initial 1 ms retry timeout, so
+        # delayed messages force the resend path *and* the late original
+        # still arrives — both recovery mechanisms fire together.
+        base, _ = _run_pagerank(small_rmat)
+        vals, cluster = _run_pagerank(small_rmat,
+                                      FaultPlan(seed=3, delay_prob=0.1))
+        assert np.array_equal(base, vals)
+        fs = fault_summary(cluster.metrics)
+        assert fs["faults_injected"] > 0
+        assert fs["retries"] > 0
+
+    def test_all_message_faults_twenty_iterations(self, small_rmat):
+        """The PR's acceptance scenario: a 20-iteration PageRank under
+        drops + dups + delays completes bit-identical to fault-free."""
+        base, _ = _run_pagerank(small_rmat, iterations=20)
+        plan = FaultPlan(seed=7, drop_prob=0.03, dup_prob=0.05,
+                         delay_prob=0.05)
+        vals, cluster = _run_pagerank(small_rmat, plan, iterations=20)
+        assert np.array_equal(base, vals)
+        fs = fault_summary(cluster.metrics)
+        assert fs["faults_injected"] > 0
+        assert fs["retries"] > 0
+        assert fs["dedup_drops"] > 0
+
+    def test_hop_dist_under_message_faults(self, small_rmat):
+        base, _ = _run_hop_dist(small_rmat)
+        plan = FaultPlan(seed=11, drop_prob=0.03, dup_prob=0.05,
+                         delay_prob=0.05)
+        vals, cluster = _run_hop_dist(small_rmat, plan)
+        assert np.array_equal(base, vals)
+        assert fault_summary(cluster.metrics)["faults_injected"] > 0
+
+
+class TestMachineFaults:
+    def test_copier_stalls(self, small_rmat):
+        base, _ = _run_pagerank(small_rmat)
+        vals, cluster = _run_pagerank(small_rmat,
+                                      FaultPlan(seed=5,
+                                                copier_stall_prob=0.2))
+        assert np.array_equal(base, vals)
+        assert fault_summary(cluster.metrics)["faults_injected"] > 0
+
+    def test_machine_slowdown(self, small_rmat):
+        base, base_cluster = _run_pagerank(small_rmat)
+        window = MachineSlowdown(machine=1, start=0.0,
+                                 duration=base_cluster.now, factor=4.0)
+        vals, cluster = _run_pagerank(small_rmat,
+                                      FaultPlan(seed=5,
+                                                slowdowns=(window,)))
+        assert np.array_equal(base, vals)
+        assert fault_summary(cluster.metrics)["faults_injected"] > 0
+        # Slowing one machine stretches the run.
+        assert cluster.now > base_cluster.now
+
+
+class TestPayForPlay:
+    def test_no_plan_means_zero_fault_metrics(self, small_rmat):
+        _, cluster = _run_pagerank(small_rmat)
+        fs = fault_summary(cluster.metrics)
+        assert all(v == 0.0 for v in fs.values())
+
+    def test_zero_probability_plan_changes_nothing(self, small_rmat):
+        """A plan that never fires must not perturb timing or metrics:
+        retry timers are armed but cancelled before they can advance the
+        clock."""
+        base, base_cluster = _run_pagerank(small_rmat)
+        vals, cluster = _run_pagerank(small_rmat, FaultPlan(seed=1))
+        assert np.array_equal(base, vals)
+        assert cluster.now == base_cluster.now
+        assert (cluster.metrics.counters_flat()
+                == base_cluster.metrics.counters_flat())
+
+
+class TestCrashRecovery:
+    def test_crash_without_recovery_raises(self, small_rmat):
+        plan = FaultPlan(seed=2, crashes=(MachineCrash(machine=1, at=1e-6),))
+        with pytest.raises(MachineCrashError):
+            _run_pagerank(small_rmat, plan)
+
+    def test_crash_recovers_from_checkpoint(self, small_rmat, tmp_path):
+        base, base_cluster = _run_pagerank(small_rmat)
+        crash_at = 0.5 * base_cluster.now
+        plan = FaultPlan(seed=2,
+                         crashes=(MachineCrash(machine=2, at=crash_at),))
+        vals, cluster = _run_pagerank(small_rmat, plan,
+                                      ckpt=tmp_path / "ck.npz")
+        assert np.array_equal(base, vals)
+        fs = fault_summary(cluster.metrics)
+        assert fs["recoveries"] >= 1
+        assert fs["checkpoints"] >= 1
+
+    def test_idle_crash_fires_at_next_job(self, small_rmat, tmp_path):
+        """A crash point that lands between jobs (driver compute) is
+        discovered at the start of the next job, not silently skipped."""
+        plan = FaultPlan(seed=2, crashes=(MachineCrash(machine=0, at=0.0),))
+        vals, cluster = _run_pagerank(small_rmat, plan,
+                                      ckpt=tmp_path / "ck.npz")
+        base, _ = _run_pagerank(small_rmat)
+        assert np.array_equal(base, vals)
+        assert fault_summary(cluster.metrics)["recoveries"] >= 1
+
+
+class TestRetryExhaustion:
+    def test_total_loss_gives_up(self, small_rmat):
+        plan = FaultPlan(seed=4, drop_prob=1.0, max_attempts=2)
+        with pytest.raises(RetryExhaustedError) as ei:
+            _run_pagerank(small_rmat, plan)
+        assert ei.value.attempts == 2
+        assert ei.value.kind in ("read_req", "write_req", "ghost_sync")
+
+
+class TestEngineStall:
+    def test_lost_request_reports_diagnostics(self, small_rmat):
+        """A genuinely lost message (no fault layer, no retries) must now
+        surface as a structured EngineStallError, not a bare RuntimeError."""
+        cluster = make_cluster()
+        dg = cluster.load_graph(small_rmat)
+        stolen = []
+
+        def steal(payload):
+            if not stolen and payload["kind"] == "read_req":
+                stolen.append(
+                    dg.machines[payload["machine"]].request_queue.pop())
+
+        cluster.hooks.subscribe("comm.enqueue", steal)
+        with pytest.raises(EngineStallError) as ei:
+            pagerank(cluster, dg, "pull", max_iterations=1)
+        assert stolen, "test never captured a read request"
+        err = ei.value
+        assert "deadlock" in str(err)
+        assert err.job_name == err.diagnostics["job"]
+        d = err.diagnostics
+        assert set(d) >= {"phase", "workers_remaining", "queued_requests",
+                          "workers", "retry_pending"}
+        # The worker that issued the stolen read is visibly stuck.
+        assert any(w["outstanding_reads"] or w["parked"]
+                   for w in d["workers"])
+
+
+class TestRequestIds:
+    def test_ids_restart_per_execution(self, small_rmat, monkeypatch):
+        """Request-id sequences are per-JobExecution: a region's ids do not
+        depend on what ran earlier in the process (the old module-global
+        counter made them drift)."""
+        from repro.core import jobrunner
+
+        captured = []
+        orig = jobrunner.JobExecution.send_request
+
+        def spy(self, msg, kind):
+            captured.append((kind, msg.request_id))
+            return orig(self, msg, kind)
+
+        monkeypatch.setattr(jobrunner.JobExecution, "send_request", spy)
+
+        def ids(warmup_runs):
+            cluster = make_cluster()
+            dg = cluster.load_graph(small_rmat)
+            for _ in range(warmup_runs):
+                pagerank(cluster, dg, "pull", max_iterations=1)
+            captured.clear()
+            pagerank(cluster, dg, "pull", max_iterations=1)
+            return list(captured)
+
+        fresh = ids(0)
+        warmed = ids(2)
+        assert fresh
+        assert fresh == warmed
+
+    def test_deterministic_fault_sequence(self, small_rmat):
+        """Same seed, same workload => identical injected-fault counts."""
+        plan = FaultPlan(seed=9, drop_prob=0.03, dup_prob=0.05)
+        _, c1 = _run_pagerank(small_rmat, plan)
+        _, c2 = _run_pagerank(small_rmat, plan)
+        assert (fault_summary(c1.metrics) == fault_summary(c2.metrics))
+        assert c1.now == c2.now
+
+
+class TestControllerUnits:
+    def test_single_draw_per_message(self):
+        """Enabling more fault classes must not consume extra randomness."""
+        from repro.obs.hooks import HookBus
+        from repro.runtime.simulator import Simulator
+
+        def actions(plan, n=200):
+            ctl = FaultController(plan, Simulator(), HookBus())
+            return [ctl.message_action(0, 1, "read_req")[0]
+                    for _ in range(n)]
+
+        drops_only = actions(FaultPlan(seed=13, drop_prob=0.1))
+        combined = actions(FaultPlan(seed=13, drop_prob=0.1, dup_prob=0.2))
+        # Wherever the drop-only plan dropped, the combined plan (same seed,
+        # same drop band) must drop too.
+        assert all(b == "drop" for a, b in zip(drops_only, combined)
+                   if a == "drop")
+
+    def test_work_scale_outside_window(self):
+        from repro.obs.hooks import HookBus
+        from repro.runtime.simulator import Simulator
+
+        sd = MachineSlowdown(machine=0, start=1.0, duration=1.0, factor=3.0)
+        ctl = FaultController(FaultPlan(slowdowns=(sd,)), Simulator(),
+                              HookBus())
+        assert ctl.work_scale(0, 0.5) == 1.0
+        assert ctl.work_scale(0, 1.5) == 3.0
+        assert ctl.work_scale(1, 1.5) == 1.0
+        assert ctl.work_scale(0, 2.5) == 1.0
