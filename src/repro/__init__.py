@@ -20,6 +20,9 @@ from .core.faults import (EngineStallError, FaultPlan, MachineCrash,
                           RetryExhaustedError)
 from .core.job import EdgeMapJob, NodeKernelJob, TaskJob
 from .core.properties import ReduceOp
+from .core.scheduler import (AdmissionError, JobScheduler, JobTicket,
+                             QueueFullError, QuotaExceededError,
+                             SchedulerConfig, SchedulerError)
 from .core.tasks import (EdgeMapSpec, InNbrIterTask, NodeIterTask,
                          OutNbrIterTask, Task)
 from .graph.csr import Graph, from_edges
@@ -40,5 +43,8 @@ __all__ = [
     "ClusterConfig", "EngineConfig", "MachineConfig", "NetworkConfig",
     "FaultPlan", "MachineSlowdown", "MachineCrash",
     "EngineStallError", "MachineCrashError", "RetryExhaustedError",
+    "JobScheduler", "SchedulerConfig", "JobTicket",
+    "SchedulerError", "AdmissionError", "QuotaExceededError",
+    "QueueFullError",
     "__version__",
 ]

@@ -1,0 +1,127 @@
+"""Static job streams: whole algorithms as submittable job lists.
+
+The interactive algorithms in this package are *drivers*: Python loops that
+run a job, read a reduction, and decide what to run next.  A multi-tenant
+scheduler wants the opposite shape — the full sequence of parallel regions
+known up front, so a session can :meth:`~repro.server.Session.submit_jobs`
+an entire analysis and let admission/fair-share order it against other
+tenants.
+
+These builders unroll fixed-iteration variants of PageRank and SSSP into
+``list[Job]``.  Driver-side scalar logic (damping bases, convergence
+checks) moves into the node kernels; early exit is traded for a fixed
+iteration count.  The per-session FIFO of the scheduler preserves each
+stream's internal order, while streams of *different* sessions (on their
+own graph instances) interleave freely — and, by the engine's canonical
+reduction-ordering invariant, produce bit-identical results either way.
+
+Each builder creates the properties it needs on the graph at build time
+(property creation is a driver action, not a job) and prefixes job names,
+so dispatch logs stay readable with several tenants in flight.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.engine import DistributedGraph, LocalView
+from ..core.job import EdgeMapJob, Job, NodeKernelJob
+from ..core.properties import ReduceOp
+from ..core.tasks import EdgeMapSpec
+
+
+def pagerank_stream(dg: DistributedGraph, iterations: int = 5,
+                    variant: str = "pull", damping: float = 0.85,
+                    prop: str = "pr", prefix: str = "pr") -> list[Job]:
+    """Fixed-iteration PageRank as a static job stream.
+
+    Equivalent to power iteration without dangling-mass redistribution or
+    early exit (both need driver-side reductions between regions): each
+    iteration is prepare -> edge map (pull or push SUM) -> apply.  The
+    final ranks land in property ``prop``.
+    """
+    if variant not in ("pull", "push"):
+        raise ValueError(f"variant must be 'pull' or 'push', got {variant!r}")
+    if iterations < 1:
+        raise ValueError("iterations must be >= 1")
+    n = dg.num_nodes
+    tmp, nxt = f"{prop}_tmp", f"{prop}_nxt"
+    dg.add_property(prop, init=1.0 / n)
+    dg.add_property(tmp, init=0.0)
+    dg.add_property(nxt, init=0.0)
+    base = (1.0 - damping) / n
+
+    def prepare(view: LocalView, lo: int, hi: int) -> None:
+        outdeg = view.out_degrees()[lo:hi]
+        pr = view[prop][lo:hi]
+        view[tmp][lo:hi] = np.where(outdeg > 0,
+                                    pr / np.maximum(outdeg, 1.0), 0.0)
+        view[nxt][lo:hi] = 0.0
+
+    def apply(view: LocalView, lo: int, hi: int) -> None:
+        view[prop][lo:hi] = base + damping * view[nxt][lo:hi]
+
+    jobs: list[Job] = []
+    for it in range(iterations):
+        jobs.append(NodeKernelJob(
+            name=f"{prefix}_prepare_{it}", kernel=prepare, reads=(prop,),
+            writes=((tmp, ReduceOp.OVERWRITE), (nxt, ReduceOp.OVERWRITE)),
+            ops_per_node=4, bytes_per_node=24))
+        jobs.append(EdgeMapJob(
+            name=f"{prefix}_{variant}_{it}",
+            spec=EdgeMapSpec(direction=variant, source=tmp, target=nxt,
+                             op=ReduceOp.SUM)))
+        jobs.append(NodeKernelJob(
+            name=f"{prefix}_apply_{it}", kernel=apply, reads=(nxt,),
+            writes=((prop, ReduceOp.OVERWRITE),),
+            ops_per_node=3, bytes_per_node=16))
+    return jobs
+
+
+def sssp_stream(dg: DistributedGraph, root: int = 0, rounds: int = 5,
+                prop: str = "dist", prefix: str = "sssp") -> list[Job]:
+    """Fixed-round Bellman-Ford SSSP as a static job stream.
+
+    Each round relaxes active nodes (push MIN over weighted edges) then
+    absorbs improvements; with ``rounds`` >= the graph's hop diameter from
+    ``root`` the result equals the converged driver version.  Distances
+    land in property ``prop``.
+    """
+    if dg.graph.edge_weights is None:
+        raise ValueError("sssp_stream requires edge weights "
+                         "(see graph.generators.with_uniform_weights)")
+    if rounds < 1:
+        raise ValueError("rounds must be >= 1")
+    n = dg.num_nodes
+    nxt, active = f"{prop}_nxt", f"{prop}_active"
+    init_dist = np.full(n, np.inf)
+    init_dist[root] = 0.0
+    dg.add_property(prop, from_global=init_dist)
+    dg.add_property(nxt, from_global=init_dist)
+    active0 = np.zeros(n, dtype=bool)
+    active0[root] = True
+    dg.add_property(active, dtype=np.bool_, from_global=active0)
+
+    def absorb(view: LocalView, lo: int, hi: int) -> None:
+        dist = view[prop][lo:hi]
+        new = view[nxt][lo:hi]
+        improved = new < dist
+        view[prop][lo:hi] = np.minimum(dist, new)
+        view[active][lo:hi] = improved
+        view[nxt][lo:hi] = view[prop][lo:hi]
+
+    jobs: list[Job] = []
+    for rd in range(rounds):
+        jobs.append(EdgeMapJob(
+            name=f"{prefix}_relax_{rd}",
+            spec=EdgeMapSpec(direction="push", source=prop, target=nxt,
+                             op=ReduceOp.MIN,
+                             transform=lambda vals, w: vals + w,
+                             use_weights=True, active=active)))
+        jobs.append(NodeKernelJob(
+            name=f"{prefix}_absorb_{rd}", kernel=absorb, reads=(nxt,),
+            writes=((prop, ReduceOp.OVERWRITE),
+                    (active, ReduceOp.OVERWRITE),
+                    (nxt, ReduceOp.OVERWRITE)),
+            ops_per_node=5, bytes_per_node=40))
+    return jobs

@@ -231,6 +231,71 @@ def cmd_chaos(args) -> int:
     return 0 if failures == 0 else 1
 
 
+def cmd_serve(args) -> int:
+    """Replay a synthetic multi-tenant trace through the job scheduler."""
+    from .algorithms.streams import pagerank_stream, sssp_stream
+    from .core.scheduler import SchedulerConfig
+    from .obs.report import scheduler_summary
+    from .server import PgxdServer
+
+    cluster = PgxdCluster(scaled_cluster_config(args.machines, args.scale))
+    server = PgxdServer(cluster, fair_share_window=1.5,
+                        scheduler_config=SchedulerConfig(
+                            max_concurrent_jobs=args.max_concurrent))
+    g_plain = paper_graph(args.graph, scale=args.scale)
+    g_weighted = paper_graph(args.graph, scale=args.scale, weighted=True)
+    print(f"serve: {args.workload} trace on {args.graph} "
+          f"(scale {args.scale:g}, {args.machines} machines, "
+          f"{args.sessions} sessions x {args.jobs_per_session} units, "
+          f"seed {args.seed})")
+    for i in range(args.sessions):
+        name = f"tenant{i}"
+        s = server.create_session(name)
+        # The skewed trace gives tenant0 a 4x-deeper stream — the hog the
+        # fair-share check should flag; balanced gives everyone equal work.
+        hog = args.workload == "skewed" and i == 0
+        units = args.jobs_per_session * (4 if hog else 1)
+        if i % 2 == 1:
+            dg = s.load_graph("g", g_weighted)
+            jobs = sssp_stream(dg, root=args.seed % dg.num_nodes,
+                               rounds=units, prefix=f"{name}_sssp")
+        else:
+            dg = s.load_graph("g", g_plain)
+            jobs = pagerank_stream(dg, iterations=units,
+                                   prefix=f"{name}_pr")
+        s.submit_jobs("g", jobs)
+    server.drain()
+    log = server.scheduler.dispatch_log
+    shown = log if len(log) <= 40 else log[:40]
+    for idx, t, sess, jobname, prio, wait in shown:
+        print(f"  [{idx:3d}] t={t:.6f} {sess:10s} {prio:6s} "
+              f"wait={wait:.6f} {jobname}")
+    if len(log) > len(shown):
+        print(f"  ... {len(log) - len(shown)} more dispatches")
+    print("per-session usage:")
+    for nm in server.session_names():
+        u = server.usage_report()[nm]
+        print(f"  {nm:10s} jobs={u.jobs_run:3d} "
+              f"seconds={u.simulated_seconds:.6f} "
+              f"bytes={u.bytes_moved / 1e6:.2f}MB")
+    print("fair-share deficits: " + ", ".join(
+        f"{nm}={d:+.6f}" for nm, d in sorted(server.deficits().items())))
+    over = server.over_fair_share()
+    print(f"over fair share: {', '.join(over) if over else '(none)'}")
+    ss = scheduler_summary(cluster.metrics)
+    print(f"scheduler: {ss['admitted']:.0f} admitted, "
+          f"{ss['dispatched']:.0f} dispatched, "
+          f"{ss['preemptions']:.0f} preemptions, "
+          f"{ss['completed']:.0f} completed")
+    if args.metrics_out:
+        from .obs.exporters import write_metrics
+
+        prom_path, json_path = write_metrics(cluster.metrics,
+                                             args.metrics_out)
+        print(f"  metrics: {prom_path} + {json_path}")
+    return 0
+
+
 def cmd_generate(args) -> int:
     g = paper_graph(args.graph, scale=args.scale, weighted=args.weighted)
     if args.format == "binary":
@@ -291,6 +356,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--iterations", type=int, default=5,
                          help="PageRank iterations per scenario")
     p_chaos.set_defaults(fn=cmd_chaos)
+
+    p_srv = sub.add_parser(
+        "serve", help="replay a synthetic multi-tenant job trace through "
+                      "the fair-share scheduler (balanced or skewed)")
+    _add_graph_args(p_srv)
+    p_srv.add_argument("--workload", choices=["balanced", "skewed"],
+                       default="balanced",
+                       help="balanced: equal streams per tenant; skewed: "
+                            "tenant0 submits a 4x-deeper stream")
+    p_srv.add_argument("--sessions", type=int, default=3)
+    p_srv.add_argument("--jobs-per-session", type=int, default=2,
+                       help="work units per session (PageRank iterations / "
+                            "SSSP rounds)")
+    p_srv.add_argument("--machines", type=int, default=2)
+    p_srv.add_argument("--seed", type=int, default=7)
+    p_srv.add_argument("--max-concurrent", type=int, default=4,
+                       help="scheduler job-slot count")
+    p_srv.add_argument("--metrics-out", default=None, metavar="PREFIX",
+                       help="write PREFIX.prom and PREFIX.json after the "
+                            "trace drains")
+    p_srv.set_defaults(fn=cmd_serve)
 
     p_gen = sub.add_parser("generate", help="write a dataset stand-in to disk")
     _add_graph_args(p_gen)

@@ -139,7 +139,14 @@ def _process_message(exc: "JobExecution", machine: "Machine",
         return tally
     if msg.kind is MsgKind.WRITE_REQ:
         n = msg.item_count
-        msg.op.apply_at(machine.props[msg.prop], msg.offsets, msg.values)
+        # Stage rather than apply: the values land in canonical content
+        # order when the main phase ends (JobExecution._apply_staged_group),
+        # so the reduction result is independent of delivery order — the
+        # invariant that lets jobs interleave with other tenants and still
+        # reproduce their standalone results bit for bit.  The copier still
+        # pays the apply cost here, on its own timeline.
+        exc.stage_write(machine.index, msg.prop, msg.op, msg.offsets,
+                        msg.values)
         exc.stats.atomic_ops += n
         tally = WorkTally(cpu_ops=n * per_item_ops, atomic_ops=n,
                           seq_bytes=n * 2 * VALUE_BYTES)
@@ -156,8 +163,12 @@ def _process_message(exc: "JobExecution", machine: "Machine",
             col[msg.offsets] = msg.values
             atomic = 0
         else:
-            # Post-sync: reduce partials into the owner's property column.
-            msg.op.apply_at(machine.props[msg.prop], msg.offsets, msg.values)
+            # Post-sync: reduce partials into the owner's property column —
+            # staged like WRITE_REQ and applied in canonical order when the
+            # post-sync phase completes (arrival order varies under shared-
+            # fabric contention; content does not).
+            exc.stage_ghost_reduce(machine.index, msg.prop, msg.op,
+                                   msg.offsets, msg.values)
             atomic = n
         tally = WorkTally(cpu_ops=n * per_item_ops, atomic_ops=atomic,
                           seq_bytes=n * 2 * VALUE_BYTES)

@@ -153,6 +153,10 @@ class PgxdCluster:
                                faults=self.faults)
         self.rmi = RmiRegistry()
         self.job_log: list[tuple[str, JobStats]] = []
+        #: multi-tenant front end; attach with JobScheduler(cluster).  When
+        #: set, run_job routes through the scheduler so queued background
+        #: tenants interleave with synchronous driver jobs.
+        self.scheduler = None
         #: crash-recovery state (see enable_auto_checkpoint / run_job)
         self.auto_recover = False
         self.max_recoveries = 3
@@ -217,7 +221,16 @@ class PgxdCluster:
         with the job unfinished raises a structured
         :class:`~repro.core.faults.EngineStallError` carrying per-worker
         parked/in-flight diagnostics.
+
+        With a :class:`~repro.core.scheduler.JobScheduler` attached, the
+        call delegates to :meth:`JobScheduler.run_inline`: it still blocks
+        until this job completes, but queued background jobs of other
+        sessions advance in the same event loop.
         """
+        if self.scheduler is not None:
+            return self.scheduler.run_inline(dgraph, job,
+                                             force_scalar=force_scalar,
+                                             recover=recover)
         if recover is None:
             recover = self.auto_recover
         before = self.metrics.counters_flat()
@@ -228,10 +241,8 @@ class PgxdCluster:
                             if self.faults is not None else [])
             try:
                 exc.start()
-                while not exc.done:
-                    if not self.sim.step():
-                        raise EngineStallError(job.name,
-                                               exc.stall_diagnostics())
+                if not self.sim.step_while(lambda: not exc.done):
+                    raise EngineStallError(job.name, exc.stall_diagnostics())
             except MachineCrashError:
                 if not recover or recoveries >= self.max_recoveries:
                     raise
@@ -250,11 +261,20 @@ class PgxdCluster:
         self._maybe_auto_checkpoint(dgraph)
         return exc.stats
 
-    def run_jobs(self, dgraph: DistributedGraph, jobs: Sequence[Job]) -> JobStats:
-        """Run jobs back-to-back; returns merged stats spanning all of them."""
+    def run_jobs(self, dgraph: DistributedGraph, jobs: Sequence[Job],
+                 force_scalar: bool = False,
+                 recover: Optional[bool] = None) -> JobStats:
+        """Run jobs back-to-back; returns merged stats spanning all of them.
+
+        ``force_scalar`` and ``recover`` apply to every job, with the same
+        semantics as :meth:`run_job` (they used to be silently dropped, so
+        a crash mid-sequence ignored the caller's recovery request).  The
+        merged stats sum each job's ``metrics_delta`` series-wise.
+        """
         merged = JobStats(start_time=self.sim.now)
         for job in jobs:
-            stats = self.run_job(dgraph, job)
+            stats = self.run_job(dgraph, job, force_scalar=force_scalar,
+                                 recover=recover)
             merged.merge_from(stats)
         merged.end_time = self.sim.now
         return merged
@@ -319,21 +339,33 @@ class PgxdCluster:
         plan's ``restart_delay`` to model detection + restart.
         """
         self.sim.clear_pending()
+        self._reset_dgraph_state(dgraph)
+        ckpt = self._restore_last_checkpoint(dgraph)
+        if self.faults is not None:
+            self.advance(self.faults.plan.restart_delay)
+        self.hooks.emit("job.recover", job=job.name, time=self.sim.now,
+                        checkpoint=str(ckpt) if ckpt is not None else "")
+
+    def _reset_dgraph_state(self, dgraph: DistributedGraph) -> None:
+        """Clear per-machine queues and thread accounting after a crash."""
         for m in dgraph.machines:
             m.request_queue.clear()
             m.chunk_queue.clear()
             m.cpu.reset_threads()
+
+    def _restore_last_checkpoint(self, dgraph: DistributedGraph) -> Optional[Path]:
+        """Restore ``dgraph`` from the auto-checkpoint archive, if it has one.
+
+        Returns the checkpoint path actually restored, or ``None`` when the
+        graph has no checkpoint (the caller then restarts from live state).
+        """
         ckpt = self._last_checkpoint
         if ckpt is not None and self._ckpt_dgraph is dgraph:
             from .checkpoint import restore_properties
 
             restore_properties(dgraph, ckpt)
-        else:
-            ckpt = None
-        if self.faults is not None:
-            self.advance(self.faults.plan.restart_delay)
-        self.hooks.emit("job.recover", job=job.name, time=self.sim.now,
-                        checkpoint=str(ckpt) if ckpt is not None else "")
+            return ckpt
+        return None
 
     # -- sequential-region primitives -------------------------------------------
 

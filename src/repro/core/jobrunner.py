@@ -35,13 +35,22 @@ from . import barrier as barrier_mod
 class JobExecution:
     """Execution state of one parallel region across the cluster."""
 
-    def __init__(self, cluster, dgraph, job: Job, force_scalar: bool = False):
+    def __init__(self, cluster, dgraph, job: Job, force_scalar: bool = False,
+                 scope=None):
         self.cluster = cluster
         self.dgraph = dgraph
         self.job = job
         self.sim = cluster.sim
         self.network = cluster.network
-        self.hooks = cluster.hooks
+        #: observability scope: standalone runs emit straight on the cluster
+        #: bus; scheduled runs get a :class:`~repro.obs.hooks.ScopedHookBus`
+        #: that tags every payload with session/ticket and mirrors it to a
+        #: private per-job recorder (see repro.core.scheduler.JobScope).
+        self.scope = scope
+        self.hooks = scope.hooks if scope is not None else cluster.hooks
+        #: invoked (with this execution) right after the region finishes —
+        #: the scheduler's event-driven completion signal.
+        self.on_done = None
         self.machines = dgraph.machines
         self.num_machines = len(self.machines)
 
@@ -132,6 +141,17 @@ class JobExecution:
         #: non-associative.
         self._staged_remote: Optional[list[list]] = (
             [[] for _ in self.machines] if self.spec is not None else None)
+        #: remote WRITE_REQ and post-sync GHOST_SYNC payloads, staged by the
+        #: receiving copier and applied in canonical content order at the
+        #: next phase boundary (same trick as ``_staged_remote``).  This is
+        #: what keeps a job's float reductions bit-identical when another
+        #: tenant's traffic perturbs message arrival order on the shared
+        #: fabric ports: the *content* of the contributions is timing-
+        #: independent, so sorting by (row, value) fixes the apply order.
+        #: Keyed (machine, prop, op-name) so distinct reductions never mix.
+        self._staged_writes: dict[tuple[int, str, str], list] = {}
+        self._staged_ghost: dict[tuple[int, str, str], list] = {}
+        self._staged_ops: dict[str, ReduceOp] = {}
 
     # ------------------------------------------------------------------
     # lookup helpers used by workers/copiers
@@ -158,7 +178,7 @@ class JobExecution:
         self.stats.bytes_by_kind[kind] += nbytes if msg.src != msg.dst else 0.0
         self.stats.messages += 1
         self.network.send(msg.src, msg.dst, nbytes, deliver_request, self, msg,
-                          kind=kind)
+                          kind=kind, hooks=self.hooks)
         if self.reliability is not None:
             self.reliability.track(msg, kind)
 
@@ -173,14 +193,14 @@ class JobExecution:
         self.stats.bytes_by_kind[kind] += nbytes if msg.src != msg.dst else 0.0
         self.stats.messages += 1
         self.network.send(msg.src, msg.dst, nbytes, deliver_request, self, msg,
-                          kind=kind)
+                          kind=kind, hooks=self.hooks)
 
     def send_response(self, msg: Message) -> None:
         nbytes = msg.wire_bytes()
         self.stats.bytes_by_kind["read_resp"] += nbytes if msg.src != msg.dst else 0.0
         self.stats.messages += 1
         self.network.send(msg.src, msg.dst, nbytes, deliver_response, self, msg,
-                          kind="read_resp")
+                          kind="read_resp", hooks=self.hooks)
 
     def send_rmi(self, src: int, dst: int, fn_id: int, args: tuple) -> None:
         msg = Message(MsgKind.RMI_REQ, src=src, dst=dst, rmi_fn=fn_id,
@@ -292,6 +312,41 @@ class JobExecution:
         """Record a remote read-response contribution for end-of-main apply."""
         self._staged_remote[machine_index].append((rows, vals))
 
+    def stage_write(self, machine_index: int, prop: str, op: ReduceOp,
+                    offsets: np.ndarray, values: np.ndarray) -> None:
+        """Record a remote WRITE_REQ payload for end-of-main apply."""
+        key = (machine_index, prop, op.name)
+        self._staged_ops[op.name] = op
+        self._staged_writes.setdefault(key, []).append((offsets, values))
+
+    def stage_ghost_reduce(self, machine_index: int, prop: str, op: ReduceOp,
+                           offsets: np.ndarray, values: np.ndarray) -> None:
+        """Record a post-sync ghost partial for end-of-postsync apply."""
+        key = (machine_index, prop, op.name)
+        self._staged_ops[op.name] = op
+        self._staged_ghost.setdefault(key, []).append((offsets, values))
+
+    def _apply_staged_group(self, staged: dict) -> None:
+        """Apply a staged (machine, prop, op) group set in canonical order.
+
+        Group iteration is sorted by key and each group's contributions are
+        sorted by (offset, value), so the reduction order is a function of
+        the data alone — independent of delivery order, of which copier
+        processed which message, and of any co-running tenant's traffic.
+        The apply work was already priced on the copier timeline when each
+        message was processed.
+        """
+        for key in sorted(staged):
+            machine_index, prop, op_name = key
+            batches = staged[key]
+            offs = np.concatenate([o for o, _ in batches])
+            vals = np.concatenate([v for _, v in batches])
+            order = np.lexsort((vals, offs))
+            op = self._staged_ops[op_name]
+            op.apply_at(self.machines[machine_index].props[prop],
+                        offs[order], vals[order])
+        staged.clear()
+
     def _apply_staged_responses(self) -> None:
         """Apply staged remote contributions in canonical content order.
 
@@ -315,6 +370,7 @@ class JobExecution:
 
     def _phase_postsync(self) -> None:
         self._apply_staged_responses()
+        self._apply_staged_group(self._staged_writes)
         self._set_phase("postsync")
         if not self.ghost_write_props:
             self._phase_barrier()
@@ -357,6 +413,7 @@ class JobExecution:
             self.check_sync_done()
 
     def _phase_barrier(self) -> None:
+        self._apply_staged_group(self._staged_ghost)
         self._set_phase("barrier")
         self.hooks.emit("barrier.enter", job=self.job.name,
                         machines=self.num_machines, time=self.sim.now)
@@ -408,3 +465,5 @@ class JobExecution:
         self._set_phase("done")
         self.stats.end_time = self.sim.now
         self.done = True
+        if self.on_done is not None:
+            self.on_done(self)

@@ -1,0 +1,541 @@
+"""Cluster-level multi-tenant job scheduler (Section 6.2's server story).
+
+The paper's closing discussion asks what happens when PGX.D stops being a
+batch engine and serves "multiple client sessions in an interactive manner"
+— that raises three problems this module answers:
+
+* **Admission**: sessions :meth:`~JobScheduler.submit` into per-priority
+  queues guarded by per-session quotas and a global depth cap; violations
+  surface as typed exceptions (:class:`QuotaExceededError`,
+  :class:`QueueFullError`) so clients can apply backpressure.
+* **Fairness**: the next runnable job is chosen by a deficit-weighted
+  fair-share policy — among dispatchable sessions, the one with the least
+  weight-normalized consumed service wins; :meth:`~JobScheduler.deficits`
+  exposes the (zero-sum) deficit ledger.
+* **Concurrency**: multiple :class:`~repro.core.jobrunner.JobExecution`
+  instances advance in the *same* simulator event loop (one per distinct
+  :class:`~repro.core.engine.DistributedGraph`; same-graph jobs serialize
+  on a graph lock because they share machine state).  Each execution gets
+  a :class:`JobScope` — a tagging/mirroring hook bus plus a private
+  metrics registry — so chunks, messages and ``JobStats`` stay
+  attributable per job and per session even while interleaved.
+
+The load-bearing invariant (enforced by ``tests/core/test_scheduler.py``):
+a job's numeric results are **bit-identical** whether it ran alone or
+interleaved with other tenants, and a fixed seed yields a bit-identical
+dispatch schedule.  Cross-tenant contention on the shared fabric ports can
+reorder message arrivals, but never their content — and the engine applies
+all remote reduction payloads in canonical content order at phase
+boundaries (see ``JobExecution._apply_staged_group``), so arrival order is
+immaterial to the numbers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Callable, Optional, Sequence
+
+from ..obs import HookBus, MetricsRecorder, MetricsRegistry
+from ..obs.hooks import ScopedHookBus
+from .faults import EngineStallError, MachineCrashError
+from .job import Job
+from .jobrunner import JobExecution
+from ..runtime.simulator import Simulator
+from ..runtime.stats import JobStats
+
+
+class SchedulerError(RuntimeError):
+    """A scheduler invariant was violated (misconfiguration or deadlock)."""
+
+
+class AdmissionError(SchedulerError):
+    """Base for typed admission rejections (the backpressure signal)."""
+
+    reason = "rejected"
+
+    def __init__(self, session: str, job_name: str, detail: str):
+        super().__init__(
+            f"session {session!r} job {job_name!r} rejected: {detail}")
+        self.session = session
+        self.job_name = job_name
+        self.detail = detail
+
+
+class QuotaExceededError(AdmissionError):
+    """The session already has its full quota of queued jobs."""
+
+    reason = "quota"
+
+
+class QueueFullError(AdmissionError):
+    """The cluster-wide admission queue is at capacity."""
+
+    reason = "queue_full"
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Knobs of one :class:`JobScheduler`.
+
+    ``max_running_per_session=1`` gives strict per-session FIFO: a
+    session's jobs execute in submission order even when it owns several
+    graphs.  Raising it lets one session's jobs on distinct graphs overlap.
+    """
+
+    max_concurrent_jobs: int = 4
+    max_queued_per_session: int = 64
+    max_queue_depth: int = 256
+    max_running_per_session: int = 1
+    priorities: tuple[str, ...] = ("high", "normal", "low")
+    default_priority: str = "normal"
+
+
+#: Ticket lifecycle states.
+QUEUED, RUNNING, DONE = "queued", "running", "done"
+
+
+@dataclass(eq=False)
+class JobTicket:
+    """One admitted job: identity, placement and timing of its run."""
+
+    seq: int
+    session: str
+    dgraph: object
+    job: Job
+    priority: str
+    force_scalar: bool = False
+    recover: Optional[bool] = None
+    inline: bool = False
+    submit_time: float = 0.0
+    dispatch_time: Optional[float] = None
+    finish_time: Optional[float] = None
+    state: str = QUEUED
+    stats: Optional[JobStats] = None
+    execution: Optional[JobExecution] = None
+    scope: Optional["JobScope"] = None
+
+    @property
+    def wait(self) -> float:
+        """Queue wait: admission to dispatch (0 for inline jobs)."""
+        if self.dispatch_time is None:
+            return 0.0
+        return self.dispatch_time - self.submit_time
+
+    @property
+    def turnaround(self) -> float:
+        """Admission to completion."""
+        if self.finish_time is None:
+            return 0.0
+        return self.finish_time - self.submit_time
+
+
+class JobScope:
+    """Per-job observability scope for interleaved execution.
+
+    ``hooks`` is a :class:`~repro.obs.hooks.ScopedHookBus`: the cluster bus
+    still sees every event exactly once (now tagged with session/ticket),
+    while a private bus feeds a private registry whose counters become the
+    job's ``metrics_delta``.  Under co-running tenants a time-window
+    ``delta_since`` would blend everyone's activity; the scope slices by
+    causality instead of by time.
+    """
+
+    def __init__(self, cluster, ticket: JobTicket):
+        self.ticket = ticket
+        self.registry = MetricsRegistry()
+        self._bus = HookBus()
+        self._recorder = MetricsRecorder(self.registry, self._bus)
+        self.hooks = ScopedHookBus(cluster.hooks, self._bus,
+                                   tags={"session": ticket.session,
+                                         "ticket": ticket.seq})
+
+    def delta(self) -> dict[str, float]:
+        """This job's monotone metric increments (zero series dropped)."""
+        return {k: v for k, v in self.registry.counters_flat().items()
+                if v != 0.0}
+
+    def close(self) -> None:
+        self._recorder.close()
+
+
+class JobScheduler:
+    """Fair-share admission + concurrent dispatch over one cluster.
+
+    Attaching a scheduler reroutes :meth:`PgxdCluster.run_job` through
+    :meth:`run_inline`, so unmodified algorithm drivers interleave with
+    queued background work while keeping their synchronous call shape.
+    """
+
+    def __init__(self, cluster, config: Optional[SchedulerConfig] = None,
+                 weights: Optional[dict[str, float]] = None):
+        if getattr(cluster, "scheduler", None) is not None:
+            raise SchedulerError("cluster already has a scheduler attached")
+        self.cluster = cluster
+        self.config = config or SchedulerConfig()
+        if self.config.default_priority not in self.config.priorities:
+            raise SchedulerError(
+                f"default priority {self.config.default_priority!r} not in "
+                f"{self.config.priorities}")
+        #: session -> fair-share weight (unlisted sessions weigh 1.0)
+        self.weights = dict(weights or {})
+        self._queues: dict[str, deque[JobTicket]] = {
+            p: deque() for p in self.config.priorities}
+        self._running: dict[JobTicket, JobExecution] = {}
+        self._busy_dgraphs: set[int] = set()
+        self._session_running: dict[str, int] = {}
+        #: session -> weight-normalizable consumed service (simulated s)
+        self._service: dict[str, float] = {}
+        self._seq = 0
+        self._recoveries = 0
+        self._inline_session = "driver"
+        #: every ticket ever admitted or run inline, in seq order
+        self.tickets: list[JobTicket] = []
+        #: (index, time, session, job, priority, wait) per dispatch — the
+        #: deterministic schedule record the differential tests compare
+        self.dispatch_log: list[tuple[int, float, str, str, str, float]] = []
+        #: called with each finished ticket (the server's accounting hook)
+        self.on_complete: Optional[Callable[[JobTicket], None]] = None
+        cluster.scheduler = self
+
+    # -- introspection -----------------------------------------------------
+
+    def queued_count(self, session: Optional[str] = None) -> int:
+        if session is None:
+            return sum(len(q) for q in self._queues.values())
+        return sum(1 for q in self._queues.values()
+                   for t in q if t.session == session)
+
+    def running_count(self) -> int:
+        return len(self._running)
+
+    def queue_depths(self) -> dict[str, int]:
+        return {p: len(q) for p, q in self._queues.items()}
+
+    def weight(self, session: str) -> float:
+        return float(self.weights.get(session, 1.0))
+
+    def service_by_session(self) -> dict[str, float]:
+        """Consumed simulated seconds per session (the fairness ledger)."""
+        return dict(self._service)
+
+    def deficits(self) -> dict[str, float]:
+        """Weighted fair-share deficit per session.
+
+        A session's deficit is its weight-proportional entitlement of the
+        total consumed service minus what it actually consumed; positive
+        means under-served.  The ledger sums to zero by construction —
+        the conservation law the property-based tests assert.
+        """
+        if not self._service:
+            return {}
+        total = sum(self._service.values())
+        wsum = sum(self.weight(s) for s in self._service)
+        return {s: total * (self.weight(s) / wsum) - used
+                for s, used in sorted(self._service.items())}
+
+    @contextmanager
+    def session_scope(self, session: str):
+        """Attribute inline (synchronous) jobs in this block to ``session``."""
+        prev = self._inline_session
+        self._inline_session = session
+        try:
+            yield self
+        finally:
+            self._inline_session = prev
+
+    # -- admission ---------------------------------------------------------
+
+    def submit(self, session: str, dgraph, job: Job, *,
+               priority: Optional[str] = None, force_scalar: bool = False,
+               recover: Optional[bool] = None) -> JobTicket:
+        """Admit a job into the priority queues; returns its ticket.
+
+        Raises :class:`QuotaExceededError` when the session's queued-job
+        quota is exhausted and :class:`QueueFullError` when the global
+        queue is at capacity — both before anything is enqueued, so a
+        rejected submit leaves no trace beyond a ``sched.reject`` event.
+        """
+        prio = priority if priority is not None else self.config.default_priority
+        if prio not in self._queues:
+            raise SchedulerError(
+                f"unknown priority {prio!r}; configured: "
+                f"{self.config.priorities}")
+        now = self.cluster.sim.now
+        if self.queued_count(session) >= self.config.max_queued_per_session:
+            self.cluster.hooks.emit("sched.reject", session=session,
+                                    job=job.name, reason="quota", time=now)
+            raise QuotaExceededError(
+                session, job.name,
+                f"{self.config.max_queued_per_session} jobs already queued")
+        if self.queued_count() >= self.config.max_queue_depth:
+            self.cluster.hooks.emit("sched.reject", session=session,
+                                    job=job.name, reason="queue_full",
+                                    time=now)
+            raise QueueFullError(
+                session, job.name,
+                f"admission queue at capacity ({self.config.max_queue_depth})")
+        ticket = JobTicket(seq=self._next_seq(), session=session,
+                           dgraph=dgraph, job=job, priority=prio,
+                           force_scalar=force_scalar, recover=recover,
+                           submit_time=now)
+        self._queues[prio].append(ticket)
+        self.tickets.append(ticket)
+        self.cluster.hooks.emit("sched.admit", session=session, job=job.name,
+                                priority=prio, depth=len(self._queues[prio]),
+                                time=now)
+        return ticket
+
+    def submit_many(self, session: str, dgraph, jobs: Sequence[Job],
+                    **kwargs) -> list[JobTicket]:
+        """Admit a job sequence; per-session FIFO runs them in order."""
+        return [self.submit(session, dgraph, job, **kwargs) for job in jobs]
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    # -- fair-share selection ----------------------------------------------
+
+    def _dispatchable(self, ticket: JobTicket) -> bool:
+        if id(ticket.dgraph) in self._busy_dgraphs:
+            return False
+        running = self._session_running.get(ticket.session, 0)
+        return running < self.config.max_running_per_session
+
+    def _select_next(self) -> Optional[JobTicket]:
+        """Deficit-weighted pick: the dispatchable head-of-line ticket of
+        the least-served session, priority classes strictly first.
+
+        Per-session FIFO is preserved — a session whose head ticket is
+        blocked contributes nothing, rather than having a later job jump
+        its own queue.  When the pick skips over an earlier-submitted
+        ticket of a more-served session, that session was effectively
+        preempted at dispatch time and a ``sched.preempt`` event records
+        it (regions are atomic, so this is head-of-line skipping, not
+        interruption).
+        """
+        for prio in self.config.priorities:
+            heads: dict[str, JobTicket] = {}
+            blocked: set[str] = set()
+            for t in self._queues[prio]:
+                if t.session in heads or t.session in blocked:
+                    continue
+                if self._dispatchable(t):
+                    heads[t.session] = t
+                else:
+                    blocked.add(t.session)
+            if not heads:
+                continue
+            best = min(heads.values(),
+                       key=lambda t: (self._service.get(t.session, 0.0)
+                                      / self.weight(t.session), t.seq))
+            for t in heads.values():
+                if t is not best and t.seq < best.seq:
+                    self.cluster.hooks.emit(
+                        "sched.preempt", session=t.session,
+                        by=best.session, job=t.job.name,
+                        time=self.cluster.sim.now)
+            self._queues[prio].remove(best)
+            return best
+        return None
+
+    def _dispatch_ready(self) -> None:
+        while len(self._running) < self.config.max_concurrent_jobs:
+            ticket = self._select_next()
+            if ticket is None:
+                return
+            self._start(ticket)
+
+    # -- dispatch + completion ---------------------------------------------
+
+    def _start(self, ticket: JobTicket) -> None:
+        cl = self.cluster
+        scope = JobScope(cl, ticket)
+        exc = JobExecution(cl, ticket.dgraph, ticket.job,
+                           force_scalar=ticket.force_scalar, scope=scope)
+        ticket.execution = exc
+        ticket.scope = scope
+        ticket.dispatch_time = cl.sim.now
+        ticket.state = RUNNING
+        self._running[ticket] = exc
+        self._busy_dgraphs.add(id(ticket.dgraph))
+        self._session_running[ticket.session] = (
+            self._session_running.get(ticket.session, 0) + 1)
+        self.dispatch_log.append(
+            (len(self.dispatch_log), cl.sim.now, ticket.session,
+             ticket.job.name, ticket.priority, ticket.wait))
+        cl.hooks.emit("sched.dispatch", session=ticket.session,
+                      job=ticket.job.name, priority=ticket.priority,
+                      wait=ticket.wait, running=len(self._running),
+                      depth=len(self._queues[ticket.priority]),
+                      time=cl.sim.now)
+        exc.on_done = partial(self._job_finished, ticket)
+        exc.start()
+
+    def _job_finished(self, ticket: JobTicket, exc: JobExecution) -> None:
+        cl = self.cluster
+        stats = exc.stats
+        kind = type(ticket.job).__name__
+        cl.metrics.counter("repro_jobs_total",
+                           labelnames=("kind",)).labels(kind=kind).inc()
+        cl.metrics.histogram("repro_job_seconds").observe(stats.elapsed)
+        scope = ticket.scope
+        if scope is not None:
+            scope.registry.counter("repro_jobs_total",
+                                   labelnames=("kind",)).labels(kind=kind).inc()
+            scope.registry.histogram("repro_job_seconds").observe(stats.elapsed)
+            stats.metrics_delta = scope.delta()
+            scope.close()
+        ticket.stats = stats
+        ticket.finish_time = cl.sim.now
+        ticket.state = DONE
+        del self._running[ticket]
+        self._busy_dgraphs.discard(id(ticket.dgraph))
+        self._session_running[ticket.session] -= 1
+        self._service[ticket.session] = (
+            self._service.get(ticket.session, 0.0) + stats.elapsed)
+        cl.job_log.append((ticket.job.name, stats))
+        cl._maybe_auto_checkpoint(ticket.dgraph)
+        cl.hooks.emit("sched.complete", session=ticket.session,
+                      job=ticket.job.name, priority=ticket.priority,
+                      wait=ticket.wait, turnaround=ticket.turnaround,
+                      time=cl.sim.now)
+        if self.on_complete is not None:
+            self.on_complete(ticket)
+        self._dispatch_ready()
+
+    # -- execution loops ---------------------------------------------------
+
+    def drain(self) -> None:
+        """Run until every admitted job has completed.
+
+        Crash recovery mirrors the serial engine path: when every active
+        execution targets the checkpointed graph with recovery enabled, the
+        cluster rolls back, the interrupted tickets rejoin the *front* of
+        their queues in admission order, and dispatch resumes — the rest
+        of the admission queue is never reordered.
+        """
+        cl = self.cluster
+        crash_events = (cl.faults.arm_crashes()
+                        if cl.faults is not None else [])
+        try:
+            self._dispatch_ready()
+            while self._running or self.queued_count():
+                if not self._running:
+                    raise SchedulerError(
+                        f"{self.queued_count()} queued jobs but none "
+                        "dispatchable (max_concurrent_jobs="
+                        f"{self.config.max_concurrent_jobs})")
+                try:
+                    if not cl.sim.step():
+                        ticket = next(iter(self._running))
+                        raise EngineStallError(
+                            ticket.job.name,
+                            ticket.execution.stall_diagnostics())
+                except MachineCrashError:
+                    crash_events = self._recover_running(crash_events)
+        finally:
+            for ev in crash_events:
+                Simulator.cancel(ev)
+
+    def run_inline(self, dgraph, job: Job, force_scalar: bool = False,
+                   recover: Optional[bool] = None,
+                   session: Optional[str] = None) -> JobStats:
+        """Synchronously run one job while queued tenants co-run.
+
+        This is what :meth:`PgxdCluster.run_job` delegates to when a
+        scheduler is attached: the calling driver blocks until *its* job
+        finishes, but every simulator step it takes also advances any
+        background executions, and completions backfill free slots from
+        the admission queues.  Inline jobs skip admission (they are the
+        session's synchronous turn) but honor the graph lock, the
+        per-session running cap, and the fairness ledger.
+        """
+        cl = self.cluster
+        sess = session if session is not None else self._inline_session
+        ticket = JobTicket(seq=self._next_seq(), session=sess, dgraph=dgraph,
+                           job=job, priority=self.config.default_priority,
+                           force_scalar=force_scalar, recover=recover,
+                           inline=True, submit_time=cl.sim.now)
+        self.tickets.append(ticket)
+        crash_events = (cl.faults.arm_crashes()
+                        if cl.faults is not None else [])
+        try:
+            self._dispatch_ready()
+            while True:
+                try:
+                    if not cl.sim.step_while(
+                            lambda: not self._dispatchable(ticket)):
+                        raise SchedulerError(
+                            f"inline job {job.name!r} blocked on graph/"
+                            "session capacity that never frees")
+                    self._start(ticket)
+                    if not cl.sim.step_while(lambda: not ticket.execution.done):
+                        raise EngineStallError(
+                            job.name, ticket.execution.stall_diagnostics())
+                except MachineCrashError:
+                    crash_events = self._recover_running(crash_events)
+                    continue
+                break
+        finally:
+            for ev in crash_events:
+                Simulator.cancel(ev)
+        return ticket.stats
+
+    # -- crash recovery ----------------------------------------------------
+
+    def _effective_recover(self, ticket: JobTicket) -> bool:
+        if ticket.recover is not None:
+            return ticket.recover
+        return self.cluster.auto_recover
+
+    def _recover_running(self, crash_events: list) -> list:
+        """Roll every active execution back to the checkpoint and requeue.
+
+        Recovery is only possible when each active execution targets the
+        cluster's checkpointed graph with recovery enabled; otherwise the
+        crash propagates to the caller.  Interrupted queued tickets rejoin
+        the front of their priority queues in admission order; interrupted
+        inline tickets return to their owning :meth:`run_inline` loop.
+        """
+        cl = self.cluster
+        active = sorted(self._running, key=lambda t: t.seq)
+        recoverable = (
+            active
+            and self._recoveries < cl.max_recoveries
+            and cl._last_checkpoint is not None
+            and all(self._effective_recover(t) for t in active)
+            and all(t.dgraph is cl._ckpt_dgraph for t in active)
+        )
+        if not recoverable:
+            raise
+        self._recoveries += 1
+        cl.sim.clear_pending()
+        for ev in crash_events:
+            Simulator.cancel(ev)
+        for ticket in active:
+            cl._reset_dgraph_state(ticket.dgraph)
+            if ticket.scope is not None:
+                ticket.scope.close()
+                ticket.scope = None
+            ticket.execution = None
+            ticket.dispatch_time = None
+            ticket.state = QUEUED
+            del self._running[ticket]
+            self._busy_dgraphs.discard(id(ticket.dgraph))
+            self._session_running[ticket.session] -= 1
+        ckpt = cl._restore_last_checkpoint(active[0].dgraph)
+        if cl.faults is not None:
+            cl.advance(cl.faults.plan.restart_delay)
+        for ticket in active:
+            cl.hooks.emit("job.recover", job=ticket.job.name,
+                          time=cl.sim.now,
+                          checkpoint=str(ckpt) if ckpt is not None else "")
+        for ticket in reversed([t for t in active if not t.inline]):
+            self._queues[ticket.priority].appendleft(ticket)
+        fresh = cl.faults.arm_crashes() if cl.faults is not None else []
+        self._dispatch_ready()
+        return fresh

@@ -314,7 +314,7 @@ def _start_work(exc: "JobExecution", ws: WorkerState, fn,
     kind = "chunk" if chunk_overhead else "continuation/flush"
     t0 = exc.sim.now
     exc.hooks.emit("task.chunk_start", machine=m.index, worker=ws.windex,
-                   kind=kind, time=t0)
+                   kind=kind, job=exc.job.name, time=t0)
     m.cpu.thread_started()
     tally = fn()
     if ws.deferred_cpu_ops:
@@ -336,7 +336,8 @@ def _end_work(exc: "JobExecution", ws: WorkerState, dur: float,
     ws.machine.cpu.thread_finished(dur)
     ws.scheduled = False
     exc.hooks.emit("task.chunk_end", machine=ws.machine.index,
-                   worker=ws.windex, kind=kind, start=start, duration=dur)
+                   worker=ws.windex, kind=kind, job=exc.job.name,
+                   start=start, duration=dur)
     worker_loop(exc, ws)
 
 

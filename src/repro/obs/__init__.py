@@ -20,13 +20,13 @@ directly where needed.
 """
 
 from .exporters import to_json, to_prometheus, write_metrics
-from .hooks import KNOWN_HOOKS, HookBus, Subscription
+from .hooks import KNOWN_HOOKS, HookBus, ScopedHookBus, Subscription
 from .metrics import (Counter, DEFAULT_BYTE_BUCKETS, DEFAULT_TIME_BUCKETS,
                       Gauge, Histogram, MetricsRegistry)
 from .recorder import MetricsRecorder
 
 __all__ = [
-    "HookBus", "Subscription", "KNOWN_HOOKS",
+    "HookBus", "ScopedHookBus", "Subscription", "KNOWN_HOOKS",
     "MetricsRegistry", "Counter", "Gauge", "Histogram",
     "DEFAULT_TIME_BUCKETS", "DEFAULT_BYTE_BUCKETS",
     "MetricsRecorder",

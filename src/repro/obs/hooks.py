@@ -25,8 +25,8 @@ from typing import Callable, Iterable, Mapping
 
 #: The engine's built-in hook points (user hooks may use any other name).
 KNOWN_HOOKS = (
-    "task.chunk_start",    # machine, worker, kind, time
-    "task.chunk_end",      # machine, worker, kind, start, duration
+    "task.chunk_start",    # machine, worker, kind, job, time
+    "task.chunk_end",      # machine, worker, kind, job, start, duration
     "comm.enqueue",        # machine, kind, depth, time
     "comm.flush",          # machine, worker, dst, prop, kind, items, time
     "comm.queue_depth",    # machine, depth, time
@@ -46,6 +46,11 @@ KNOWN_HOOKS = (
     "comm.dedup_drop",     # machine, kind, request_id, time
     "job.checkpoint",      # path, time
     "job.recover",         # job, checkpoint, time
+    "sched.admit",         # session, job, priority, depth, time
+    "sched.reject",        # session, job, reason, time
+    "sched.dispatch",      # session, job, priority, wait, running, depth, time
+    "sched.preempt",       # session, by, job, time
+    "sched.complete",      # session, job, priority, wait, turnaround, time
 )
 
 
@@ -141,3 +146,41 @@ class HookBus:
         if name is not None:
             return len(self._subs.get(name, ()))
         return sum(len(v) for v in self._subs.values())
+
+
+class ScopedHookBus:
+    """A tagging, mirroring proxy over a cluster's :class:`HookBus`.
+
+    The scheduler hands one of these to each :class:`JobExecution` it
+    dispatches, so a region running interleaved with other tenants stays
+    attributable: every payload gains the scope's ``tags`` (session name,
+    ticket id) before reaching the shared cluster bus, and is additionally
+    mirrored onto a private ``inner`` bus whose subscribers (a per-job
+    :class:`~repro.obs.recorder.MetricsRecorder`) see *only* this job's
+    events.  Cluster-wide observers keep seeing everything exactly once.
+
+    The proxy quacks like a :class:`HookBus` for the emit-side API the
+    engine layers use (``emit``/``has``); subscription management stays on
+    the underlying buses.
+    """
+
+    __slots__ = ("outer", "inner", "tags")
+
+    def __init__(self, outer: "HookBus", inner: "HookBus | None" = None,
+                 tags: Mapping[str, object] | None = None):
+        self.outer = outer
+        self.inner = inner
+        self.tags = dict(tags or {})
+
+    def has(self, name: str) -> bool:
+        if self.outer.has(name):
+            return True
+        return self.inner is not None and self.inner.has(name)
+
+    def emit(self, name: str, **payload) -> None:
+        if self.tags:
+            for key, value in self.tags.items():
+                payload.setdefault(key, value)
+        self.outer.emit(name, **payload)
+        if self.inner is not None:
+            self.inner.emit(name, **payload)

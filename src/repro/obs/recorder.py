@@ -113,6 +113,34 @@ class MetricsRecorder:
         self.barrier_seconds = r.counter(
             "repro_barrier_seconds_total", "Wall time spent in barriers")
 
+        self.sched_admitted = r.counter(
+            "repro_sched_admitted_total",
+            "Background jobs admitted into the scheduler queues",
+            ("priority",))
+        self.sched_rejected = r.counter(
+            "repro_sched_rejected_total",
+            "Job submissions rejected at admission (backpressure)",
+            ("reason",))
+        self.sched_dispatched = r.counter(
+            "repro_sched_dispatched_total",
+            "Jobs dispatched onto the cluster", ("priority",))
+        self.sched_preemptions = r.counter(
+            "repro_sched_preemptions_total",
+            "Head-of-line tickets skipped at dispatch because their session "
+            "was over its fair share", ("session",))
+        self.sched_completed = r.counter(
+            "repro_sched_completed_total",
+            "Scheduled jobs completed", ("session",))
+        self.sched_queue_depth = r.gauge(
+            "repro_sched_queue_depth",
+            "Current admission-queue depth", ("priority",))
+        self.sched_wait = r.histogram(
+            "repro_sched_wait_seconds",
+            "Queue wait per job: admission to dispatch", ("session",))
+        self.sched_turnaround = r.histogram(
+            "repro_sched_turnaround_seconds",
+            "Turnaround per job: admission to completion", ("session",))
+
         # Updated by PgxdCluster.run_job (no hook needed — the driver knows).
         r.counter("repro_jobs_total", "Parallel regions executed", ("kind",))
         r.histogram("repro_job_seconds", "Job elapsed time distribution")
@@ -135,6 +163,11 @@ class MetricsRecorder:
             "comm.dedup_drop": self._on_dedup_drop,
             "job.checkpoint": self._on_checkpoint,
             "job.recover": self._on_recover,
+            "sched.admit": self._on_sched_admit,
+            "sched.reject": self._on_sched_reject,
+            "sched.dispatch": self._on_sched_dispatch,
+            "sched.preempt": self._on_sched_preempt,
+            "sched.complete": self._on_sched_complete,
         })
 
     def close(self) -> None:
@@ -217,3 +250,23 @@ class MetricsRecorder:
 
     def _on_recover(self, p: dict) -> None:
         self.recoveries.inc()
+
+    def _on_sched_admit(self, p: dict) -> None:
+        self.sched_admitted.labels(priority=p["priority"]).inc()
+        self.sched_queue_depth.labels(priority=p["priority"]).set(p["depth"])
+
+    def _on_sched_reject(self, p: dict) -> None:
+        self.sched_rejected.labels(reason=p["reason"]).inc()
+
+    def _on_sched_dispatch(self, p: dict) -> None:
+        self.sched_dispatched.labels(priority=p["priority"]).inc()
+        self.sched_queue_depth.labels(priority=p["priority"]).set(p["depth"])
+        self.sched_wait.labels(session=p["session"]).observe(p["wait"])
+
+    def _on_sched_preempt(self, p: dict) -> None:
+        self.sched_preemptions.labels(session=p["session"]).inc()
+
+    def _on_sched_complete(self, p: dict) -> None:
+        self.sched_completed.labels(session=p["session"]).inc()
+        self.sched_turnaround.labels(session=p["session"]).observe(
+            p["turnaround"])

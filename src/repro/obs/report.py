@@ -94,6 +94,35 @@ def fault_summary(registry: MetricsRegistry) -> dict[str, float]:
     }
 
 
+def scheduler_summary(registry: MetricsRegistry) -> dict[str, float]:
+    """Multi-tenant scheduler activity, zero-suppressed by the caller.
+
+    ``wait_seconds`` / ``turnaround_seconds`` are sums over all dispatched
+    jobs (divide by ``dispatched`` / ``completed`` for means); the per-
+    session histograms stay available in the registry for exporters.
+    """
+    return {
+        "admitted": _family_sum(registry, "repro_sched_admitted_total"),
+        "rejected": _family_sum(registry, "repro_sched_rejected_total"),
+        "dispatched": _family_sum(registry, "repro_sched_dispatched_total"),
+        "preemptions": _family_sum(registry,
+                                   "repro_sched_preemptions_total"),
+        "completed": _family_sum(registry, "repro_sched_completed_total"),
+        "wait_seconds": _histogram_sum(registry, "repro_sched_wait_seconds"),
+        "turnaround_seconds": _histogram_sum(
+            registry, "repro_sched_turnaround_seconds"),
+    }
+
+
+def _histogram_sum(registry: MetricsRegistry, name: str) -> float:
+    metric = registry.get(name)
+    if metric is None:
+        return 0.0
+    if metric.labelnames:
+        return sum(child.sum for _, child in metric.children())
+    return metric.sum
+
+
 def _table(title: str, headers: list[str], rows: list[list[str]]) -> str:
     widths = [max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
               for i, h in enumerate(headers)]
@@ -131,6 +160,18 @@ def render_overhead_report(registry: MetricsRegistry, title: str = "",
     jobs = _family_sum(registry, "repro_jobs_total")
     barriers = _family_sum(registry, "repro_barriers_total")
     parts.append(f"jobs: {jobs:.0f}  barriers: {barriers:.0f}")
+    ss = scheduler_summary(registry)
+    if any(ss.values()):
+        dispatched = ss["dispatched"] or 1.0
+        completed = ss["completed"] or 1.0
+        parts.append(
+            f"scheduler: {ss['admitted']:.0f} admitted; "
+            f"{ss['rejected']:.0f} rejected; "
+            f"{ss['dispatched']:.0f} dispatched; "
+            f"{ss['preemptions']:.0f} preemptions; "
+            f"{ss['completed']:.0f} completed; "
+            f"mean wait {ss['wait_seconds'] / dispatched:.6f} s; "
+            f"mean turnaround {ss['turnaround_seconds'] / completed:.6f} s")
     fs = fault_summary(registry)
     if any(fs.values()):
         parts.append(

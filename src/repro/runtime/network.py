@@ -87,14 +87,19 @@ class Network:
         self.stats = NetworkStats()
 
     def send(self, src: int, dst: int, nbytes: float,
-             callback: Callable, *args: Any, kind: str = "data") -> float:
+             callback: Callable, *args: Any, kind: str = "data",
+             hooks: Optional[HookBus] = None) -> float:
         """Transmit a message; ``callback(*args)`` fires at delivery.
 
         Returns the simulated delivery time.  ``kind`` tags the bytes for the
-        traffic breakdowns used by Figure 6(a).
+        traffic breakdowns used by Figure 6(a).  ``hooks`` overrides the bus
+        the send/deliver events are emitted on — the scheduler passes a
+        per-job scoped bus here so fabric traffic stays attributable when
+        several executions share the network.
         """
         if not (0 <= src < self.num_machines and 0 <= dst < self.num_machines):
             raise ValueError(f"bad endpoints {src}->{dst}")
+        bus = hooks if hooks is not None else self.hooks
         now = self.sim.now
         if src == dst:
             # Same-machine messages never touch the fabric (Section 3.3:
@@ -121,8 +126,8 @@ class Network:
             # The sender paid for the transmit; the fabric loses the message
             # before the receive side, so no rx/poller-in work happens and
             # the callback never fires.
-            self.hooks.emit("net.send", src=src, dst=dst, nbytes=nbytes,
-                            kind=kind, time=now, deliver=arrive)
+            bus.emit("net.send", src=src, dst=dst, nbytes=nbytes,
+                     kind=kind, time=now, deliver=arrive)
             return arrive
         rx_done = self._rx[dst].occupy(arrive, nbytes / cfg.link_bw)
         deliver = self._poller_in[dst].occupy(rx_done, cfg.poller_per_message)
@@ -135,11 +140,11 @@ class Network:
             dup_deliver = self._poller_in[dst].occupy(dup_rx,
                                                       cfg.poller_per_message)
             self.sim.schedule_at(dup_deliver, callback, *args)
-        self.hooks.emit("net.send", src=src, dst=dst, nbytes=nbytes, kind=kind,
-                        time=now, deliver=deliver)
-        if self.hooks.has("net.deliver"):
+        bus.emit("net.send", src=src, dst=dst, nbytes=nbytes, kind=kind,
+                 time=now, deliver=deliver)
+        if bus.has("net.deliver"):
             self.sim.schedule_at(deliver, partial(
-                self.hooks.emit, "net.deliver", src=src, dst=dst,
+                bus.emit, "net.deliver", src=src, dst=dst,
                 nbytes=nbytes, kind=kind, time=deliver))
         return deliver
 

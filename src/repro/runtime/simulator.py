@@ -104,6 +104,20 @@ class Simulator:
             return True
         return False
 
+    def step_while(self, cond: Callable[[], bool]) -> bool:
+        """Run events while ``cond()`` holds.
+
+        Returns ``True`` when ``cond()`` became false, ``False`` when the
+        queue drained with the condition still true — the engine's stall
+        signal.  Exceptions raised by event callbacks (e.g. an injected
+        :class:`~repro.core.faults.MachineCrashError`) propagate to the
+        caller with the clock already advanced to the failing event.
+        """
+        while cond():
+            if not self.step():
+                return False
+        return True
+
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
         """Drain the queue, optionally stopping at ``until`` or after
         ``max_events`` additional events."""

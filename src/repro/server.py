@@ -7,21 +7,30 @@ raising resource-fairness questions.  This module implements that layer on
 the simulated cluster:
 
 * named **sessions** own named **graph instances** (loaded once, reused);
-* jobs from all sessions funnel through the single cluster, serialized in
-  submission order (the engine's parallel regions are cluster-wide, so two
-  jobs cannot overlap — the isolation model the paper implies);
+* every server funnels jobs through a cluster-level
+  :class:`~repro.core.scheduler.JobScheduler`: synchronous
+  :meth:`Session.run_job` calls block until their job completes, while
+  :meth:`Session.submit_job` queues background work that is admitted under
+  per-session quotas, dispatched by deficit-weighted fair share, and
+  executed **concurrently** — jobs on distinct graph instances interleave
+  in the same simulated event loop (same-graph jobs still serialize on the
+  graph's machine state);
 * per-session **accounting** (simulated seconds consumed, jobs run, bytes
-  moved) supports the fairness policies the paper asks about; a simple
-  fair-share check can deprioritize heavy sessions.
+  moved, per-session metric slices) flows from the scheduler's completion
+  callback, so it stays exact even when tenants overlap; a simple
+  fair-share check (:meth:`PgxdServer.over_fair_share`) flags hogs.
+
+See ``docs/serving.md`` for the admission/fairness/backpressure contract.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 from .core.engine import DistributedGraph, PgxdCluster
 from .core.job import Job
+from .core.scheduler import JobScheduler, JobTicket, SchedulerConfig
 from .graph.csr import Graph
 from .runtime.stats import JobStats
 
@@ -71,28 +80,54 @@ class Session:
     # -- execution ----------------------------------------------------------------
 
     def run_job(self, graph_name: str, job: Job) -> JobStats:
+        """Run one job synchronously; queued background tenants co-run."""
         return self._server.submit(self, self._graphs[graph_name], job)
+
+    def submit_job(self, graph_name: str, job: Job, *,
+                   priority: Optional[str] = None, force_scalar: bool = False,
+                   recover: Optional[bool] = None) -> JobTicket:
+        """Queue one background job; raises the scheduler's typed admission
+        errors (:class:`~repro.core.scheduler.QuotaExceededError`,
+        :class:`~repro.core.scheduler.QueueFullError`) as backpressure."""
+        return self._server.submit_background(
+            self, self._graphs[graph_name], job, priority=priority,
+            force_scalar=force_scalar, recover=recover)
+
+    def submit_jobs(self, graph_name: str, jobs: Sequence[Job],
+                    **kwargs) -> list[JobTicket]:
+        """Queue a job sequence; per-session FIFO preserves its order."""
+        return [self.submit_job(graph_name, job, **kwargs) for job in jobs]
 
     def run_algorithm(self, graph_name: str, algorithm: Callable, /,
                       *args, **kwargs):
-        """Run one of ``repro.algorithms`` under this session's accounting."""
+        """Run one of ``repro.algorithms`` under this session's accounting.
+
+        Each parallel region the algorithm launches becomes one inline
+        scheduler ticket attributed to this session, so accounting and the
+        fairness ledger stay exact even while background jobs interleave.
+        """
         dg = self._graphs[graph_name]
-        t0 = self._server.cluster.now
-        before = self._server.cluster.metrics.counters_flat()
-        result = algorithm(self._server.cluster, dg, *args, **kwargs)
-        self._server._account(self, self._server.cluster.now - t0,
-                              result.stats.total_bytes, jobs=result.iterations,
-                              metrics=self._server.cluster.metrics
-                              .delta_since(before))
-        return result
+        with self._server.scheduler.session_scope(self.name):
+            return algorithm(self._server.cluster, dg, *args, **kwargs)
 
 
 class PgxdServer:
     """The multi-tenant facade over one simulated cluster."""
 
     def __init__(self, cluster: Optional[PgxdCluster] = None,
-                 fair_share_window: float = 1.0):
+                 fair_share_window: float = 1.0,
+                 scheduler_config: Optional[SchedulerConfig] = None,
+                 weights: Optional[dict[str, float]] = None):
         self.cluster = cluster or PgxdCluster()
+        if self.cluster.scheduler is None:
+            self.scheduler = JobScheduler(self.cluster, scheduler_config,
+                                          weights)
+        else:
+            if scheduler_config is not None or weights is not None:
+                raise ValueError(
+                    "cluster already has a scheduler; configure it there")
+            self.scheduler = self.cluster.scheduler
+        self.scheduler.on_complete = self._on_ticket_complete
         self._sessions: dict[str, Session] = {}
         #: sessions above ``fair_share_window`` x the mean usage are flagged
         self.fair_share_window = fair_share_window
@@ -111,6 +146,8 @@ class PgxdServer:
         return self._sessions[name]
 
     def close_session(self, name: str) -> SessionUsage:
+        """Close a session and return its final usage.  Jobs it already
+        queued still run; their completions simply stop accruing here."""
         return self._sessions.pop(name).usage
 
     def session_names(self) -> list[str]:
@@ -118,13 +155,43 @@ class PgxdServer:
 
     # -- execution -------------------------------------------------------------------
 
-    def submit(self, session: Session, dg: DistributedGraph, job: Job) -> JobStats:
-        """Run a job on behalf of a session (serialized cluster-wide)."""
+    def submit(self, session: Session, dg: DistributedGraph, job: Job,
+               force_scalar: bool = False,
+               recover: Optional[bool] = None) -> JobStats:
+        """Run a job synchronously on behalf of a session.
+
+        The caller blocks until *this* job finishes, but the shared event
+        loop keeps advancing any queued background tenants meanwhile.
+        """
         self.submission_log.append((session.name, job.name))
-        stats = self.cluster.run_job(dg, job)
+        return self.scheduler.run_inline(dg, job, force_scalar=force_scalar,
+                                         recover=recover,
+                                         session=session.name)
+
+    def submit_background(self, session: Session, dg: DistributedGraph,
+                          job: Job, *, priority: Optional[str] = None,
+                          force_scalar: bool = False,
+                          recover: Optional[bool] = None) -> JobTicket:
+        """Admit a background job for a session (may raise typed admission
+        errors); rejected submissions never reach the submission log."""
+        ticket = self.scheduler.submit(session.name, dg, job,
+                                       priority=priority,
+                                       force_scalar=force_scalar,
+                                       recover=recover)
+        self.submission_log.append((session.name, job.name))
+        return ticket
+
+    def drain(self) -> None:
+        """Run until every queued background job has completed."""
+        self.scheduler.drain()
+
+    def _on_ticket_complete(self, ticket: JobTicket) -> None:
+        session = self._sessions.get(ticket.session)
+        if session is None:
+            return
+        stats = ticket.stats
         self._account(session, stats.elapsed, stats.total_bytes, jobs=1,
                       metrics=stats.metrics_delta)
-        return stats
 
     def _account(self, session: Session, seconds: float, nbytes: float,
                  jobs: int, metrics: Optional[dict] = None) -> None:
@@ -142,14 +209,21 @@ class PgxdServer:
     def metrics_rollup(self) -> dict[str, dict]:
         """Per-session metric totals, keyed by session name.  Each value is a
         flat ``name{labels}`` -> delta mapping covering the jobs that session
-        ran; summing across sessions approximates the cluster registry (minus
+        ran — sliced causally by each job's private :class:`JobScope`, so
+        the rollup stays disjoint even when sessions' jobs interleave;
+        summing across sessions approximates the cluster registry (minus
         activity outside any session)."""
         return {name: dict(s.usage.metrics)
                 for name, s in self._sessions.items()}
 
+    def deficits(self) -> dict[str, float]:
+        """The scheduler's zero-sum fair-share deficit ledger (positive =
+        under-served session)."""
+        return self.scheduler.deficits()
+
     def over_fair_share(self) -> list[str]:
         """Sessions consuming more than ``fair_share_window`` times the mean
-        simulated time — the hook a scheduler would use to throttle."""
+        simulated time — the hook the scheduler's weights can act on."""
         if not self._sessions:
             return []
         times = {n: s.usage.simulated_seconds for n, s in self._sessions.items()}

@@ -119,3 +119,38 @@ class TestObservability:
         assert (tmp_path / "w.prom").exists()
         assert (tmp_path / "w.json").exists()
         assert (tmp_path / "w_trace.json").exists()
+
+
+class TestServe:
+    def test_serve_balanced_trace_is_fair(self, capsys):
+        assert main(["serve", "--workload", "balanced", "--graph", "LJ",
+                     "--machines", "2", "--sessions", "3",
+                     "--jobs-per-session", "2", *SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "over fair share: (none)" in out
+        assert "fair-share deficits:" in out
+        assert "tenant0" in out and "tenant1" in out and "tenant2" in out
+        assert "admitted" in out and "dispatched" in out
+
+    def test_serve_skewed_trace_flags_hog(self, capsys):
+        assert main(["serve", "--workload", "skewed", "--graph", "LJ",
+                     "--machines", "2", "--sessions", "3",
+                     "--jobs-per-session", "2", *SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "over fair share: tenant0" in out
+
+    def test_serve_metrics_out_includes_sched_families(self, tmp_path,
+                                                       capsys):
+        prefix = tmp_path / "s"
+        assert main(["serve", "--workload", "balanced", "--graph", "LJ",
+                     "--machines", "2", "--sessions", "2",
+                     "--jobs-per-session", "1", *SMALL,
+                     "--metrics-out", str(prefix)]) == 0
+        prom = (tmp_path / "s.prom").read_text()
+        assert "repro_sched_admitted_total" in prom
+        assert "repro_sched_wait_seconds_bucket" in prom
+        import json
+
+        doc = json.loads((tmp_path / "s.json").read_text())
+        assert "repro_sched_dispatched_total" in doc["metrics"]
+        assert "repro_sched_queue_depth" in doc["metrics"]

@@ -170,3 +170,109 @@ class TestEngineInvariants:
         cluster.run_job(dg, EdgeMapJob(name="v", spec=sa))
         cluster.run_job(dg, EdgeMapJob(name="s", spec=sb), force_scalar=True)
         assert np.allclose(dg.gather("a"), dg.gather("b"))
+
+
+PRIORITIES = ("high", "normal", "low")
+
+
+def _pull(name):
+    return EdgeMapJob(name=name, spec=EdgeMapSpec(
+        direction="pull", source="x", target="t", op=ReduceOp.SUM))
+
+
+def _xt_graph(cluster, seed):
+    from repro import rmat
+
+    dg = cluster.load_graph(rmat(40, 120, seed=seed))
+    dg.add_property("x", init=1.0)
+    dg.add_property("t", init=0.0)
+    return dg
+
+
+class TestSchedulerProperties:
+    """Fair-share scheduler invariants over random submission traces."""
+
+    @given(st.lists(st.lists(st.sampled_from(PRIORITIES),
+                             min_size=1, max_size=3),
+                    min_size=1, max_size=3))
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_liveness_every_admitted_job_completes(self, plans):
+        """Any mix of sessions and priorities drains to completion, and each
+        session's jobs dispatch in its own submission order (per-session
+        FIFO within a priority class)."""
+        from repro.core.scheduler import JobScheduler
+
+        cluster = make_cluster(2, chunk_size=32, num_workers=2,
+                               num_copiers=1)
+        sched = JobScheduler(cluster)
+        tickets = []
+        for i, prios in enumerate(plans):
+            dg = _xt_graph(cluster, seed=31 + i)
+            for j, prio in enumerate(prios):
+                tickets.append(sched.submit(
+                    f"s{i}", dg, _pull(f"s{i}_j{j}"), priority=prio))
+        sched.drain()
+        assert all(t.state == "done" for t in tickets)
+        assert sched.queued_count() == 0
+        assert sched.running_count() == 0
+        assert len(sched.dispatch_log) == len(tickets)
+        order = {r[3]: idx for idx, r in enumerate(sched.dispatch_log)}
+        for i, prios in enumerate(plans):
+            for prio in PRIORITIES:
+                idxs = [order[t.job.name] for t in tickets
+                        if t.session == f"s{i}" and t.priority == prio]
+                assert idxs == sorted(idxs)
+
+    @given(st.lists(st.integers(1, 3), min_size=2, max_size=4))
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_no_starvation_bounded_gap_between_turns(self, jobs_per_session):
+        """With identical jobs and equal weights, deficit fair share is
+        round-robin-like: while one session still waits, no other session
+        squeezes in more than two jobs between its turns."""
+        from repro import rmat
+        from repro.core.scheduler import JobScheduler, SchedulerConfig
+
+        cluster = make_cluster(2, chunk_size=32, num_workers=2,
+                               num_copiers=1)
+        sched = JobScheduler(cluster, SchedulerConfig(max_concurrent_jobs=1))
+        g = rmat(60, 200, seed=41)
+        for i, njobs in enumerate(jobs_per_session):
+            dg = cluster.load_graph(g)
+            dg.add_property("x", init=1.0)
+            dg.add_property("t", init=0.0)
+            for j in range(njobs):
+                sched.submit(f"s{i}", dg, _pull(f"s{i}_j{j}"))
+        sched.drain()
+        log = [r[2] for r in sched.dispatch_log]
+        for i, njobs in enumerate(jobs_per_session):
+            mine = [idx for idx, s in enumerate(log) if s == f"s{i}"]
+            assert len(mine) == njobs
+            for a, b in zip(mine, mine[1:]):
+                between = log[a + 1:b]
+                for other in set(between):
+                    assert between.count(other) <= 2
+
+    @given(st.lists(st.integers(1, 3), min_size=1, max_size=3))
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_deficits_sum_to_zero_and_service_is_conserved(
+            self, jobs_per_session):
+        from repro.core.scheduler import JobScheduler
+
+        cluster = make_cluster(2, chunk_size=32, num_workers=2,
+                               num_copiers=1)
+        sched = JobScheduler(cluster)
+        for i, njobs in enumerate(jobs_per_session):
+            dg = _xt_graph(cluster, seed=51 + i)
+            for j in range(njobs):
+                sched.submit(f"s{i}", dg, _pull(f"s{i}_j{j}"))
+        sched.drain()
+        deficits = sched.deficits()
+        assert set(deficits) == {f"s{i}"
+                                 for i in range(len(jobs_per_session))}
+        assert abs(sum(deficits.values())) < 1e-12
+        service = sched.service_by_session()
+        total = sum(t.stats.elapsed for t in sched.tickets)
+        assert abs(sum(service.values()) - total) <= 1e-9 * max(1.0, total)
