@@ -78,6 +78,47 @@ def pagerank_stream(dg: DistributedGraph, iterations: int = 5,
     return jobs
 
 
+def wcc_stream(dg: DistributedGraph, rounds: int = 5,
+               prop: str = "comp", prefix: str = "wcc") -> list[Job]:
+    """Fixed-round label-propagation WCC as a static job stream.
+
+    Each round propagates the minimum component label along both edge
+    directions (push MIN over out-edges, pull MIN over in-edges) and then
+    absorbs improvements; with ``rounds`` >= the component diameter the
+    labels equal the converged driver version.  MIN is an exact reduction,
+    so the stream is bit-stable under any legal schedule perturbation.
+    Labels land in property ``prop``.
+    """
+    if rounds < 1:
+        raise ValueError("rounds must be >= 1")
+    n = dg.num_nodes
+    nxt = f"{prop}_nxt"
+    init = np.arange(n, dtype=np.float64)
+    dg.add_property(prop, from_global=init)
+    dg.add_property(nxt, from_global=init)
+
+    def absorb(view: LocalView, lo: int, hi: int) -> None:
+        merged = np.minimum(view[prop][lo:hi], view[nxt][lo:hi])
+        view[prop][lo:hi] = merged
+        view[nxt][lo:hi] = merged
+
+    jobs: list[Job] = []
+    for rd in range(rounds):
+        jobs.append(EdgeMapJob(
+            name=f"{prefix}_push_{rd}",
+            spec=EdgeMapSpec(direction="push", source=prop, target=nxt,
+                             op=ReduceOp.MIN)))
+        jobs.append(EdgeMapJob(
+            name=f"{prefix}_pull_{rd}",
+            spec=EdgeMapSpec(direction="pull", source=prop, target=nxt,
+                             op=ReduceOp.MIN)))
+        jobs.append(NodeKernelJob(
+            name=f"{prefix}_absorb_{rd}", kernel=absorb, reads=(nxt,),
+            writes=((prop, ReduceOp.OVERWRITE), (nxt, ReduceOp.OVERWRITE)),
+            ops_per_node=3, bytes_per_node=24))
+    return jobs
+
+
 def sssp_stream(dg: DistributedGraph, root: int = 0, rounds: int = 5,
                 prop: str = "dist", prefix: str = "sssp") -> list[Job]:
     """Fixed-round Bellman-Ford SSSP as a static job stream.

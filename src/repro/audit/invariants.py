@@ -1,0 +1,201 @@
+"""Conservation invariants checked at the end of every audited job.
+
+Every request the engine sends must be answered exactly once, every
+outstanding counter must return to zero, every staged reduction group must
+drain at its phase boundary, and the network's port timelines must stay
+monotonic.  These are the properties the retry/dedup layer (PR 3), the
+back-pressure protocol, and the staged content-ordered reductions jointly
+guarantee — and exactly the ones a subtle comm-layer bug breaks first.
+
+:class:`AuditTracker` does the per-request bookkeeping while a job runs
+(created by :class:`~repro.core.jobrunner.JobExecution` when
+``EngineConfig.audit`` is set); :func:`check_execution` sweeps the finished
+execution and either returns the violation list or raises a structured
+:class:`AuditViolation` carrying the event context.
+
+This module must not import the engine at runtime: the job runner imports
+it, so the dependency points one way only.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.jobrunner import JobExecution
+
+
+class AuditViolation(RuntimeError):
+    """One or more conservation invariants failed at job end.
+
+    ``violations`` holds every failed invariant as a dict with at least
+    ``invariant`` (dotted name), ``detail`` (human-readable), and the event
+    context (``job``, ``phase``, ``time``; machine/worker where relevant).
+    """
+
+    def __init__(self, violations: list[dict]):
+        self.violations = list(violations)
+        first = self.violations[0]
+        more = (f" (+{len(self.violations) - 1} more)"
+                if len(self.violations) > 1 else "")
+        super().__init__(
+            f"{first['invariant']}: {first['detail']} "
+            f"[job={first.get('job')!r} phase={first.get('phase')!r} "
+            f"t={first.get('time')!r}]{more}")
+
+
+class AuditTracker:
+    """Request/ack accounting for one job execution.
+
+    ``track`` records every request the execution sends (reads, writes,
+    ghost syncs, RMIs), ``ack`` records each acknowledgement (a read's
+    response reaching its worker, a copier finishing a write/sync/RMI), and
+    ``resent`` counts reliability-layer retransmits — retries must *not*
+    create extra acks, which is precisely what the exactly-once check
+    verifies.
+    """
+
+    __slots__ = ("tracked", "acks", "resends")
+
+    def __init__(self) -> None:
+        #: request id -> kind, for every request sent
+        self.tracked: dict[int, str] = {}
+        #: request id -> number of acknowledgements observed
+        self.acks: Counter = Counter()
+        #: request id -> number of retransmits (informational)
+        self.resends: Counter = Counter()
+
+    def track(self, request_id: int, kind: str) -> None:
+        self.tracked[request_id] = kind
+
+    def resent(self, request_id: int) -> None:
+        self.resends[request_id] += 1
+
+    def ack(self, request_id: int) -> None:
+        self.acks[request_id] += 1
+
+    def summary(self) -> dict[str, int]:
+        return {"tracked": len(self.tracked),
+                "acked": len(self.acks),
+                "resends": sum(self.resends.values())}
+
+
+def _preview(items: Any, limit: int = 5) -> str:
+    seq = list(items)
+    head = ", ".join(repr(x) for x in seq[:limit])
+    tail = f", ... ({len(seq)} total)" if len(seq) > limit else ""
+    return f"[{head}{tail}]"
+
+
+def check_execution(exc: "JobExecution",
+                    raise_on_violation: bool = True) -> list[dict]:
+    """Sweep a finished execution for conservation violations.
+
+    Returns the (possibly empty) violation list; with
+    ``raise_on_violation`` raises :class:`AuditViolation` instead when any
+    invariant failed.  Safe to call on an unaudited execution too — the
+    request-accounting section is simply skipped when no tracker exists.
+    """
+    violations: list[dict] = []
+    ctx = {"job": exc.job.name, "phase": exc.phase, "time": exc.sim.now}
+
+    def add(invariant: str, detail: str, **extra: Any) -> None:
+        violations.append({"invariant": invariant, "detail": detail,
+                           **ctx, **extra})
+
+    # -- outstanding counters ------------------------------------------------
+    for name in ("write_outstanding", "sync_outstanding", "rmi_outstanding"):
+        val = getattr(exc, name)
+        if val != 0:
+            add(f"counter.{name}", f"{name}={val} at job end")
+    if exc.chunks_remaining != 0:
+        add("counter.chunks_remaining",
+            f"{exc.chunks_remaining} chunks never executed")
+
+    # -- per-worker state ----------------------------------------------------
+    for mw in exc.workers:
+        for ws in mw:
+            where = {"machine": ws.machine.index, "worker": ws.windex}
+            if ws.outstanding_reads != 0:
+                add("worker.outstanding_reads",
+                    f"{ws.outstanding_reads} reads still in flight", **where)
+            if ws.parked:
+                add("worker.parked",
+                    f"{len(ws.parked)} messages still parked under "
+                    "back-pressure", **where)
+            if ws.pending_resp:
+                add("worker.pending_responses",
+                    f"{len(ws.pending_resp)} responses never processed",
+                    **where)
+            if ws.side_structs:
+                add("worker.side_structs",
+                    "unanswered side structures for request ids "
+                    + _preview(sorted(ws.side_structs)), **where)
+            nonzero = {d: c for d, c in ws.inflight_by_dst.items() if c != 0}
+            if nonzero:
+                add("worker.inflight_by_dst",
+                    f"in-flight slots not returned: {nonzero}", **where)
+            if ws.has_buffered():
+                add("worker.buffers",
+                    "partial request buffers never flushed", **where)
+
+    # -- staged reduction groups --------------------------------------------
+    if exc._staged_remote is not None:
+        leftover = sum(len(b) for b in exc._staged_remote)
+        if leftover:
+            add("staging.remote_responses",
+                f"{leftover} staged response batches never applied")
+    if exc._staged_writes:
+        add("staging.writes", "undrained write groups "
+            + _preview(sorted(exc._staged_writes)))
+    if exc._staged_ghost:
+        add("staging.ghost", "undrained ghost groups "
+            + _preview(sorted(exc._staged_ghost)))
+
+    # -- per-machine queues --------------------------------------------------
+    for m in exc.machines:
+        if m.chunk_queue:
+            add("machine.chunk_queue",
+                f"{len(m.chunk_queue)} chunks left in queue",
+                machine=m.index)
+        if m.request_queue:
+            add("machine.request_queue",
+                f"{len(m.request_queue)} requests left unserviced",
+                machine=m.index)
+
+    # -- reliability layer ---------------------------------------------------
+    if exc.reliability is not None and exc.reliability.pending_count:
+        add("reliability.pending",
+            f"{exc.reliability.pending_count} retry timers still armed")
+
+    # -- request/ack accounting (exactly once) -------------------------------
+    tracker = exc.audit
+    if tracker is not None:
+        unacked = [rid for rid in tracker.tracked
+                   if tracker.acks.get(rid, 0) == 0]
+        if unacked:
+            kinds = Counter(tracker.tracked[rid] for rid in unacked)
+            add("requests.unacked",
+                f"{len(unacked)} requests never acknowledged "
+                f"(by kind: {dict(kinds)}); ids " + _preview(unacked))
+        multi = {rid: c for rid, c in tracker.acks.items() if c > 1}
+        if multi:
+            add("requests.multi_acked",
+                "requests acknowledged more than once: " + _preview(
+                    sorted((rid, c) for rid, c in multi.items())))
+        unknown = [rid for rid in tracker.acks if rid not in tracker.tracked]
+        if unknown:
+            add("requests.unknown_ack",
+                "acks for requests never tracked: " + _preview(sorted(unknown)))
+
+    # -- network port timelines ---------------------------------------------
+    net_violations = getattr(exc.network, "audit_violations", None)
+    if net_violations:
+        for nv in net_violations:
+            violations.append({**ctx, **nv})
+        net_violations.clear()
+
+    if violations and raise_on_violation:
+        raise AuditViolation(violations)
+    return violations

@@ -10,6 +10,7 @@ Examples::
     python -m repro compare --algorithm pr_push --graph TWT --machines 2,8,32
     python -m repro generate --graph LJ --scale 1e-3 --format binary --out lj.bin
     python -m repro chaos --graph LJ --scale 1e-4 --machines 2 --seed 7
+    python -m repro audit --graph LJ --scale 1e-4 --machines 4 --schedules 5
 """
 
 from __future__ import annotations
@@ -231,6 +232,50 @@ def cmd_chaos(args) -> int:
     return 0 if failures == 0 else 1
 
 
+def cmd_audit(args) -> int:
+    """Run the determinism audit matrix and print/save the verdict."""
+    import json
+
+    from .audit.harness import AuditHarness, default_scenarios
+
+    g = paper_graph(args.graph, scale=args.scale, weighted=True)
+    cfg = scaled_cluster_config(args.machines, args.scale)
+    harness = AuditHarness(g, cfg, schedules=args.schedules,
+                           base_seed=args.seed, iterations=args.iterations)
+    print(f"audit: {args.graph} scale {args.scale:g} "
+          f"({g.num_nodes:,} nodes, {g.num_edges:,} edges), "
+          f"{args.machines} machines, {args.schedules} perturbed schedules, "
+          f"seed {args.seed}")
+
+    def progress(sc):
+        runs = args.schedules + 1
+        mode = "solo+2tenant" if sc.two_tenant else "solo"
+        print(f"  running {sc.name:35s} [{mode}, {runs} schedules]...",
+              flush=True)
+
+    doc = harness.run(default_scenarios(), progress=progress)
+    print()
+    for v in doc["scenarios"]:
+        tag = ("caught-divergence" if v["expect_divergence"]
+               and not v["bit_identical"] else
+               "bit-identical" if v["bit_identical"] else "BIT-DIFF")
+        verdict = "ok" if v["passed"] else "FAIL"
+        print(f"  {v['name']:35s} {verdict:5s} {tag:17s} "
+              f"violations {v['violations']}")
+        for d in v["diffs"][:4]:
+            print(f"      {d}")
+    print()
+    print("audit: PASS" if doc["passed"] else "audit: FAIL")
+    if not doc["negative_control_flagged"]:
+        print("audit: WARNING negative control did not diverge — the "
+              "auditor may be blind to ordering bugs at this scale")
+    if args.json_out:
+        with open(args.json_out, "w") as fh:
+            json.dump(doc, fh, indent=2)
+        print(f"audit: verdict written to {args.json_out}")
+    return 0 if doc["passed"] else 1
+
+
 def cmd_serve(args) -> int:
     """Replay a synthetic multi-tenant trace through the job scheduler."""
     from .algorithms.streams import pagerank_stream, sssp_stream
@@ -356,6 +401,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--iterations", type=int, default=5,
                          help="PageRank iterations per scenario")
     p_chaos.set_defaults(fn=cmd_chaos)
+
+    p_aud = sub.add_parser(
+        "audit", help="run the determinism audit: PageRank/SSSP/WCC under "
+                      "K perturbed schedules (solo and two-tenant, with "
+                      "faults/combining/privatization toggled), diffing "
+                      "result bit patterns, counted work, and dispatch "
+                      "logs, plus a negative control that must diverge")
+    _add_graph_args(p_aud)
+    p_aud.add_argument("--machines", type=int, default=4)
+    p_aud.add_argument("--schedules", type=int, default=5,
+                       help="perturbed schedules per scenario (beyond the "
+                            "canonical one)")
+    p_aud.add_argument("--seed", type=int, default=7,
+                       help="base seed for tie-break perturbation and faults")
+    p_aud.add_argument("--iterations", type=int, default=3,
+                       help="iterations/rounds per workload")
+    p_aud.add_argument("--json-out", default=None, metavar="PATH",
+                       help="write the JSON verdict document to PATH")
+    p_aud.set_defaults(fn=cmd_audit)
 
     p_srv = sub.add_parser(
         "serve", help="replay a synthetic multi-tenant job trace through "

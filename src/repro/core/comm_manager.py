@@ -107,14 +107,20 @@ def _copier_done(exc: "JobExecution", cs: CopierState, msg: Message,
         # counter decrements exactly once per original request.
         if exc.reliability is not None:
             exc.reliability.ack(msg.request_id)
+        if exc.audit is not None:
+            exc.audit.ack(msg.request_id)
         exc.write_outstanding -= 1
         exc.check_main_done()
     elif msg.kind is MsgKind.GHOST_SYNC:
         if exc.reliability is not None:
             exc.reliability.ack(msg.request_id)
+        if exc.audit is not None:
+            exc.audit.ack(msg.request_id)
         exc.sync_outstanding -= 1
         exc.check_sync_done()
     elif msg.kind is MsgKind.RMI_REQ:
+        if exc.audit is not None:
+            exc.audit.ack(msg.request_id)
         exc.rmi_outstanding -= 1
         exc.check_main_done()
     copier_loop(exc, cs)

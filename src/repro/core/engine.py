@@ -150,7 +150,8 @@ class PgxdCluster:
                        if plan is not None else None)
         self.network = Network(self.sim, self.config.num_machines,
                                self.config.network, hooks=self.hooks,
-                               faults=self.faults)
+                               faults=self.faults,
+                               audit=self.config.engine.audit)
         self.rmi = RmiRegistry()
         self.job_log: list[tuple[str, JobStats]] = []
         #: multi-tenant front end; attach with JobScheduler(cluster).  When

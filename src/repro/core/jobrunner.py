@@ -21,6 +21,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..audit.invariants import AuditTracker, check_execution
 from ..graph.chunking import make_chunks, node_chunks
 from ..runtime.stats import JobStats
 from .comm_manager import CopierState, deliver_request, deliver_response
@@ -76,6 +77,12 @@ class JobExecution:
         self.faults = cluster.faults
         self.reliability = (ReliabilityLayer(self, self.faults.plan)
                             if self.faults is not None else None)
+        #: conservation checker (repro.audit): per-request accounting while
+        #: the job runs, invariants enforced at finalize.  None => zero cost.
+        self.audit = AuditTracker() if ecfg.audit else None
+        #: canonical content-ordered staging (the determinism invariant);
+        #: disabling exists only as the audit harness's negative control.
+        self.content_sorted = ecfg.content_sorted_staging
 
         self.stats = JobStats(start_time=self.sim.now)
         self.ghosts_active = dgraph.num_ghosts > 0
@@ -181,6 +188,8 @@ class JobExecution:
                           kind=kind, hooks=self.hooks)
         if self.reliability is not None:
             self.reliability.track(msg, kind)
+        if self.audit is not None:
+            self.audit.track(msg.request_id, kind)
 
     def resend_request(self, msg: Message, kind: str) -> None:
         """Retransmit a tracked request (reliability layer timer path).
@@ -194,6 +203,8 @@ class JobExecution:
         self.stats.messages += 1
         self.network.send(msg.src, msg.dst, nbytes, deliver_request, self, msg,
                           kind=kind, hooks=self.hooks)
+        if self.audit is not None:
+            self.audit.resent(msg.request_id)
 
     def send_response(self, msg: Message) -> None:
         nbytes = msg.wire_bytes()
@@ -341,10 +352,11 @@ class JobExecution:
             batches = staged[key]
             offs = np.concatenate([o for o, _ in batches])
             vals = np.concatenate([v for _, v in batches])
-            order = np.lexsort((vals, offs))
             op = self._staged_ops[op_name]
-            op.apply_at(self.machines[machine_index].props[prop],
-                        offs[order], vals[order])
+            if self.content_sorted:
+                order = np.lexsort((vals, offs))
+                offs, vals = offs[order], vals[order]
+            op.apply_at(self.machines[machine_index].props[prop], offs, vals)
         staged.clear()
 
     def _apply_staged_responses(self) -> None:
@@ -364,8 +376,10 @@ class JobExecution:
                 continue
             rows = np.concatenate([r for r, _ in batches])
             vals = np.concatenate([v for _, v in batches])
-            order = np.lexsort((vals, rows))
-            spec.op.apply_at(m.props[spec.target], rows[order], vals[order])
+            if self.content_sorted:
+                order = np.lexsort((vals, rows))
+                rows, vals = rows[order], vals[order]
+            spec.op.apply_at(m.props[spec.target], rows, vals)
             batches.clear()
 
     def _phase_postsync(self) -> None:
@@ -465,5 +479,9 @@ class JobExecution:
         self._set_phase("done")
         self.stats.end_time = self.sim.now
         self.done = True
+        if self.audit is not None:
+            # Conservation check before the completion signal: a violating
+            # job must fail loudly, not hand corrupt results downstream.
+            check_execution(self, raise_on_violation=True)
         if self.on_done is not None:
             self.on_done(self)

@@ -217,6 +217,17 @@ class JobScheduler:
     def weight(self, session: str) -> float:
         return float(self.weights.get(session, 1.0))
 
+    def dispatch_log_for(self, session: str) -> list[tuple[str, str]]:
+        """One session's dispatch subsequence as (job, priority) pairs.
+
+        Cross-session interleaving may legitimately shift with fabric
+        timing, but each session's own subsequence is FIFO by construction
+        — the projection the determinism auditor compares across perturbed
+        schedules.
+        """
+        return [(job, prio) for (_, _, sess, job, prio, _)
+                in self.dispatch_log if sess == session]
+
     def service_by_session(self) -> dict[str, float]:
         """Consumed simulated seconds per session (the fairness ledger)."""
         return dict(self._service)

@@ -111,15 +111,22 @@ class WorkerState:
             self._flush_scalar_write(dst, prop, *sentry)
 
     def flush_all(self) -> WorkTally:
-        """Ship every partial buffer (worker ran out of tasks, Section 3.2 (3))."""
+        """Ship every partial buffer (worker ran out of tasks, Section 3.2 (3)).
+
+        The flush CPU cost is priced per buffered *item*.  The vectorized
+        buffers hold lists of per-batch arrays in ``.offsets``, so their item
+        count is the sum of batch lengths — ``len(buf.offsets)`` would count
+        batches and underprice large flushes.  The scalar buffers hold flat
+        lists, where ``len`` is already the item count.
+        """
         n_items = 0
         for (dst, prop), buf in list(self.read_bufs.items()):
             if not buf.empty:
-                n_items += len(buf.offsets)
+                n_items += sum(len(o) for o in buf.offsets)
                 self._flush_read(dst, prop, buf)
         for (dst, prop), (buf, op) in list(self.write_bufs.items()):
             if not buf.empty:
-                n_items += len(buf.offsets)
+                n_items += sum(len(o) for o in buf.offsets)
                 self._flush_write(dst, prop, buf, op)
         for (dst, prop), buf in list(self.sc_read_bufs.items()):
             if not buf.empty:
@@ -259,6 +266,8 @@ class WorkerState:
             return
         if self.exc.reliability is not None:
             self.exc.reliability.ack(msg.request_id)
+        if self.exc.audit is not None:
+            self.exc.audit.ack(msg.request_id)
         self.outstanding_reads -= 1
         self.inflight_by_dst[msg.src] -= 1
         # A freed in-flight slot lets a parked message go out.

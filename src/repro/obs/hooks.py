@@ -33,8 +33,11 @@ KNOWN_HOOKS = (
     "comm.copier_done",    # machine, copier, kind, items, start, duration
     "comm.combine",        # machine, dst, prop, items_in, items_out, time
     "task.plan_cache",     # machine, hit, time
-    "net.send",            # src, dst, nbytes, kind, time, deliver
-    "net.deliver",         # src, dst, nbytes, kind, time
+    "net.send",            # src, dst, nbytes, kind, time, deliver (None when
+                           #   dropped, with dropped=True)
+    "net.deliver",         # src, dst, nbytes, kind, time (+duplicate=True on
+                           #   the second surfacing of a duplicated message)
+    "net.drop",            # src, dst, nbytes, kind, time, lost_at
     "ghost.hit",           # machine, prop, mode, count, time
     "ghost.miss",          # machine, prop, mode, count, time
     "job.phase_start",     # job, phase, time

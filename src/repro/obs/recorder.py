@@ -61,6 +61,12 @@ class MetricsRecorder:
         self.net_message_bytes = r.histogram(
             "repro_net_message_bytes", "Fabric message size distribution",
             buckets=DEFAULT_BYTE_BUCKETS)
+        self.net_dropped = r.counter(
+            "repro_net_dropped_total",
+            "Fabric messages lost to injected drops", ("kind",))
+        self.net_dropped_bytes = r.counter(
+            "repro_net_dropped_bytes_total",
+            "Bytes lost to injected drops", ("kind",))
 
         self.ghost_hits = r.counter(
             "repro_ghost_hits_total",
@@ -152,6 +158,7 @@ class MetricsRecorder:
             "comm.queue_depth": self._on_queue_depth,
             "comm.copier_done": self._on_copier_done,
             "net.send": self._on_net_send,
+            "net.drop": self._on_net_drop,
             "ghost.hit": self._on_ghost_hit,
             "ghost.miss": self._on_ghost_miss,
             "task.plan_cache": self._on_plan_cache,
@@ -202,8 +209,13 @@ class MetricsRecorder:
         kind = p["kind"]
         self.net_messages.labels(kind=kind).inc()
         self.net_bytes.labels(kind=kind).inc(p["nbytes"])
-        self.net_transit.inc(p["deliver"] - p["time"])
+        if p["deliver"] is not None:  # dropped messages never deliver
+            self.net_transit.inc(p["deliver"] - p["time"])
         self.net_message_bytes.observe(p["nbytes"])
+
+    def _on_net_drop(self, p: dict) -> None:
+        self.net_dropped.labels(kind=p["kind"]).inc()
+        self.net_dropped_bytes.labels(kind=p["kind"]).inc(p["nbytes"])
 
     def _on_ghost_hit(self, p: dict) -> None:
         self.ghost_hits.labels(mode=p["mode"]).inc(p.get("count", 1))

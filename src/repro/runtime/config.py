@@ -163,6 +163,21 @@ class EngineConfig:
     #: leaving simulated times and metrics untouched.
     fault_plan: "FaultPlan | None" = None
 
+    #: Enable the conservation checker (:mod:`repro.audit`): every tracked
+    #: request must be acked exactly once, all outstanding counters must
+    #: return to zero, staged groups must drain, and network port timelines
+    #: must stay monotonic.  Checked at the end of every job; violations
+    #: raise :class:`repro.audit.AuditViolation` with the event context.
+    #: Adds per-request bookkeeping, so off by default.
+    audit: bool = False
+
+    #: Apply staged remote contributions (read responses, buffered writes,
+    #: ghost partials) in canonical content order rather than arrival order.
+    #: This is the invariant that makes float reductions bit-identical
+    #: across schedules; disabling it exists ONLY as the audit harness's
+    #: negative control, to prove the auditor detects the divergence.
+    content_sorted_staging: bool = True
+
 
 @dataclass(frozen=True)
 class ClusterConfig:

@@ -52,6 +52,10 @@ class NetworkStats:
         self.bytes_sent: dict[int, float] = defaultdict(float)
         self.bytes_by_kind: dict[str, float] = defaultdict(float)
         self.messages: int = 0
+        #: bytes of fabric messages lost to injected drops (the sender still
+        #: paid for the transmit; the receive side never sees them)
+        self.bytes_dropped: float = 0.0
+        self.messages_dropped: int = 0
 
     @property
     def total_bytes(self) -> float:
@@ -63,7 +67,8 @@ class Network:
 
     def __init__(self, sim: Simulator, num_machines: int, config: NetworkConfig,
                  hooks: Optional[HookBus] = None,
-                 faults: "Optional[FaultController]" = None):
+                 faults: "Optional[FaultController]" = None,
+                 audit: bool = False):
         self.sim = sim
         self.num_machines = num_machines
         self.config = config
@@ -72,6 +77,10 @@ class Network:
         self.hooks = hooks if hooks is not None else HookBus()
         #: optional fault injector consulted per fabric message
         self.faults = faults
+        #: when True, every send validates its port timelines (monotonic,
+        #: causally ordered) and records violations for the audit checker
+        self.audit = audit
+        self.audit_violations: list[dict] = []
         self._tx = [_Port() for _ in range(num_machines)]
         self._rx = [_Port() for _ in range(num_machines)]
         # The poller is one thread, but its outbound service happens at send
@@ -125,28 +134,67 @@ class Network:
         if action == "drop":
             # The sender paid for the transmit; the fabric loses the message
             # before the receive side, so no rx/poller-in work happens and
-            # the callback never fires.
+            # the callback never fires.  ``deliver=None`` tells consumers the
+            # message never lands (no net.deliver will follow).
+            self.stats.bytes_dropped += nbytes
+            self.stats.messages_dropped += 1
             bus.emit("net.send", src=src, dst=dst, nbytes=nbytes,
-                     kind=kind, time=now, deliver=arrive)
+                     kind=kind, time=now, deliver=None, dropped=True)
+            bus.emit("net.drop", src=src, dst=dst, nbytes=nbytes,
+                     kind=kind, time=now, lost_at=arrive)
+            if self.audit:
+                self._audit_times(src, dst, kind, now, depart, tx_done, arrive)
             return arrive
         rx_done = self._rx[dst].occupy(arrive, nbytes / cfg.link_bw)
         deliver = self._poller_in[dst].occupy(rx_done, cfg.poller_per_message)
         self.sim.schedule_at(deliver, callback, *args)
+        emit_deliver = bus.has("net.deliver")
         if action == "dup":
             # A fabric-level duplicate: the same payload surfaces a second
             # time after another receive pass (retransmit-ambiguity model).
+            # The duplicate is a real delivery, so it gets its own
+            # net.deliver event just like the original.
             dup_rx = self._rx[dst].occupy(deliver + cfg.link_latency,
                                           nbytes / cfg.link_bw)
             dup_deliver = self._poller_in[dst].occupy(dup_rx,
                                                       cfg.poller_per_message)
             self.sim.schedule_at(dup_deliver, callback, *args)
+            if emit_deliver:
+                self.sim.schedule_at(dup_deliver, partial(
+                    bus.emit, "net.deliver", src=src, dst=dst,
+                    nbytes=nbytes, kind=kind, time=dup_deliver,
+                    duplicate=True))
         bus.emit("net.send", src=src, dst=dst, nbytes=nbytes, kind=kind,
                  time=now, deliver=deliver)
-        if bus.has("net.deliver"):
+        if emit_deliver:
             self.sim.schedule_at(deliver, partial(
                 bus.emit, "net.deliver", src=src, dst=dst,
                 nbytes=nbytes, kind=kind, time=deliver))
+        if self.audit:
+            self._audit_times(src, dst, kind, now, depart, tx_done, arrive,
+                              rx_done, deliver)
         return deliver
+
+    def _audit_times(self, src: int, dst: int, kind: str, now: float,
+                     depart: float, tx_done: float, arrive: float,
+                     rx_done: Optional[float] = None,
+                     deliver: Optional[float] = None) -> None:
+        """Validate one message's port timeline: each stage must start no
+        earlier than the previous one finished (ports are serial resources,
+        so reservations can push stages later but never earlier)."""
+        stages = [("send", now), ("depart", depart), ("tx_done", tx_done),
+                  ("arrive", arrive)]
+        if rx_done is not None:
+            stages.append(("rx_done", rx_done))
+        if deliver is not None:
+            stages.append(("deliver", deliver))
+        for (pname, pt), (qname, qt) in zip(stages, stages[1:]):
+            if qt < pt - 1e-12:
+                self.audit_violations.append({
+                    "invariant": "network.port_timeline_monotonic",
+                    "detail": f"{qname}={qt!r} precedes {pname}={pt!r}",
+                    "src": src, "dst": dst, "kind": kind, "time": now,
+                })
 
     # -- analytic helpers (used by calibration and Figure 8(b)) -------------
 

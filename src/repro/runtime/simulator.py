@@ -7,29 +7,38 @@ O(chunks + messages) events, not O(edges).
 
 Determinism: ties in event time are broken by insertion sequence number, so
 two runs with the same inputs produce bit-identical schedules and clocks.
+
+Schedule perturbation: :meth:`Simulator.set_tie_breaker` installs a seeded
+tie key drawn per event that sorts *between* time and sequence number.  It
+permutes the execution order of equal-time events only — the one reordering
+a correct engine must tolerate — which is what the determinism auditor
+(:mod:`repro.audit`) exploits to explore K distinct legal schedules.
 """
 
 from __future__ import annotations
 
 import heapq
+import random
 from collections import deque
 from typing import Any, Callable, Generator, Optional
 
 
 class Event:
-    """A scheduled callback.  Cancelable; compares by (time, seq)."""
+    """A scheduled callback.  Cancelable; compares by (time, tie, seq)."""
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "tie", "seq", "fn", "args", "cancelled")
 
-    def __init__(self, time: float, seq: int, fn: Callable, args: tuple):
+    def __init__(self, time: float, seq: int, fn: Callable, args: tuple,
+                 tie: int = 0):
         self.time = time
+        self.tie = tie
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
 
     def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        return (self.time, self.tie, self.seq) < (other.time, other.tie, other.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"Event(t={self.time:.9f}, seq={self.seq}, fn={getattr(self.fn, '__name__', self.fn)})"
@@ -51,14 +60,32 @@ class Simulator:
         self._heap: list[Event] = []
         self._seq: int = 0
         self._events_executed: int = 0
+        self._tie_rng: Optional[random.Random] = None
+        self.tie_breaker_seed: Optional[int] = None
 
     # -- scheduling --------------------------------------------------------
+
+    def set_tie_breaker(self, seed: Optional[int]) -> None:
+        """Install (or with ``None`` remove) a seeded equal-time tie breaker.
+
+        With a seed, every subsequently scheduled event draws a random tie
+        key that sorts before the insertion sequence number: events at the
+        same simulated time execute in a seed-dependent permutation instead
+        of insertion order, while events at distinct times are unaffected.
+        Two simulators given the same seed still replay identically — the
+        perturbation is itself deterministic.
+        """
+        self._tie_rng = None if seed is None else random.Random(seed)
+        self.tie_breaker_seed = seed
+
+    def _tie(self) -> int:
+        return self._tie_rng.getrandbits(32) if self._tie_rng is not None else 0
 
     def schedule(self, delay: float, fn: Callable, *args: Any) -> Event:
         """Schedule ``fn(*args)`` to run ``delay`` simulated seconds from now."""
         if delay < 0:
             raise ValueError(f"negative delay {delay!r}")
-        ev = Event(self.now + delay, self._seq, fn, args)
+        ev = Event(self.now + delay, self._seq, fn, args, tie=self._tie())
         self._seq += 1
         heapq.heappush(self._heap, ev)
         return ev
@@ -67,7 +94,7 @@ class Simulator:
         """Schedule ``fn(*args)`` at an absolute simulated time."""
         if time < self.now:
             raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
-        ev = Event(time, self._seq, fn, args)
+        ev = Event(time, self._seq, fn, args, tie=self._tie())
         self._seq += 1
         heapq.heappush(self._heap, ev)
         return ev
@@ -171,8 +198,16 @@ class Get:
         self.store = store
 
 
+#: Returned by :meth:`Store.try_get` when the store is empty.  A dedicated
+#: sentinel (not ``None``) so that ``None`` is a legal item to enqueue.
+EMPTY = object()
+
+
 class Store:
     """Unbounded FIFO connecting simulated processes."""
+
+    #: class-level alias so callers can write ``Store.EMPTY``
+    EMPTY = EMPTY
 
     def __init__(self, sim: Simulator):
         self._sim = sim
@@ -187,8 +222,8 @@ class Store:
             self._items.append(item)
 
     def try_get(self) -> Any:
-        """Non-blocking get; returns None when empty."""
-        return self._items.popleft() if self._items else None
+        """Non-blocking get; returns :data:`Store.EMPTY` when empty."""
+        return self._items.popleft() if self._items else EMPTY
 
     def __len__(self) -> int:
         return len(self._items)
@@ -225,7 +260,7 @@ class Process:
             self._sim.schedule(request.delay, self._resume, None)
         elif isinstance(request, Get):
             item = request.store.try_get()
-            if item is not None:
+            if item is not EMPTY:
                 self._sim.schedule(0.0, self._resume, item)
             else:
                 request.store._waiters.append(self)

@@ -76,9 +76,11 @@ class Tracer:
             args={"items": p["items"]}))
 
     def _on_net_send(self, p: dict) -> None:
+        dropped = p["deliver"] is None
         self.events.append(TraceEvent(
-            name=p["kind"], category="network", start=p["time"],
-            duration=p["deliver"] - p["time"],
+            name=p["kind"] + (" (dropped)" if dropped else ""),
+            category="network", start=p["time"],
+            duration=0.0 if dropped else p["deliver"] - p["time"],
             pid=p["src"], tid=f"net->{p['dst']}",
             args={"bytes": p["nbytes"]}))
 

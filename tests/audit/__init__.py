@@ -1,0 +1,1 @@
+"""Determinism auditor: invariants and schedule-perturbation harness."""

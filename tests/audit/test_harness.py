@@ -1,0 +1,106 @@
+"""Schedule-perturbation harness: positive matrix cells and the negative
+control, at small scale so the suite stays fast."""
+
+import pytest
+
+from repro import ClusterConfig, rmat, with_uniform_weights
+from repro.audit.harness import (AuditHarness, AuditScenario,
+                                 default_scenarios)
+
+
+@pytest.fixture(scope="module")
+def audit_graph():
+    return with_uniform_weights(rmat(120, 900, seed=21), 0.1, 1.0, seed=22)
+
+
+@pytest.fixture(scope="module")
+def audit_config():
+    # Small buffers + many workers: plenty of staged response batches per
+    # target group, so the negative control has reorderings to expose.
+    return ClusterConfig(num_machines=4).with_engine(
+        num_workers=16, num_copiers=8, buffer_size=64,
+        chunking="edge", chunk_size=64, ghost_threshold=1000)
+
+
+@pytest.fixture(scope="module")
+def harness(audit_graph, audit_config):
+    return AuditHarness(audit_graph, audit_config, schedules=2, base_seed=7,
+                        iterations=2)
+
+
+class TestHarnessMechanics:
+    def test_rejects_unweighted_graph(self):
+        with pytest.raises(ValueError):
+            AuditHarness(rmat(50, 200, seed=1), ClusterConfig(num_machines=2))
+
+    def test_rejects_zero_schedules(self, audit_graph):
+        with pytest.raises(ValueError):
+            AuditHarness(audit_graph, ClusterConfig(num_machines=2),
+                         schedules=0)
+
+    def test_tie_seeds_start_with_canonical(self, harness):
+        seeds = harness.tie_seeds()
+        assert seeds[0] is None and len(seeds) == 3
+        assert len(set(seeds[1:])) == 2
+
+    def test_default_scenarios_cover_spec(self):
+        scs = default_scenarios()
+        names = {s.name for s in scs}
+        assert any("negative-control" in n for n in names)
+        assert any(s.faults for s in scs)
+        assert any(s.combine_writes for s in scs)
+        assert any(not s.ghost_privatization for s in scs)
+        assert any(s.two_tenant for s in scs)
+        assert {s.workload for s in scs} == {"pagerank", "sssp", "wcc"}
+        negatives = [s for s in scs if s.expect_divergence]
+        assert all(not s.content_sorted for s in negatives)
+
+
+class TestPositiveScenarios:
+    def test_pagerank_solo_and_two_tenant(self, harness):
+        v = harness.run_scenario(AuditScenario("pr", "pagerank",
+                                               two_tenant=True))
+        assert v.passed and v.bit_identical and v.stats_identical
+        assert v.dispatch_consistent and v.violation_count == 0
+        # 3 schedules x (solo + two-tenant)
+        assert len(v.runs) == 6
+        solo = [r for r in v.runs if r.mode == "solo"]
+        duo = [r for r in v.runs if r.mode == "two_tenant"]
+        assert solo[0].fingerprints["solo"] == duo[0].fingerprints["tenantA"]
+        assert duo[0].dispatch["tenantA"], "dispatch log captured"
+
+    def test_sssp_under_faults(self, harness):
+        v = harness.run_scenario(AuditScenario("sssp-f", "sssp", faults=True))
+        assert v.passed and v.bit_identical and v.violation_count == 0
+
+    def test_wcc_solo(self, harness):
+        v = harness.run_scenario(AuditScenario("wcc", "wcc"))
+        assert v.passed and v.bit_identical
+
+    def test_verdict_dict_shape(self, harness):
+        v = harness.run_scenario(AuditScenario("pr2", "pagerank"))
+        d = v.as_dict()
+        assert d["passed"] and d["bit_identical"]
+        assert d["schedules"] == 3 and d["diffs"] == []
+        assert d["config"]["content_sorted_staging"] is True
+
+
+class TestNegativeControl:
+    def test_unsorted_staging_is_caught(self, harness):
+        v = harness.run_scenario(AuditScenario(
+            "neg", "pagerank", content_sorted=False, expect_divergence=True))
+        assert not v.bit_identical, \
+            "perturbation failed to expose unsorted staged reductions"
+        assert v.passed  # inverted expectation: catching the bug == pass
+        assert any(d.startswith("bit-diff") for d in v.diffs)
+
+    def test_full_run_document(self, audit_graph, audit_config):
+        h = AuditHarness(audit_graph, audit_config, schedules=2, iterations=2)
+        doc = h.run([
+            AuditScenario("ok", "pagerank"),
+            AuditScenario("neg", "pagerank", content_sorted=False,
+                          expect_divergence=True),
+        ])
+        assert doc["passed"] is True
+        assert doc["negative_control_flagged"] is True
+        assert len(doc["scenarios"]) == 2

@@ -1,0 +1,154 @@
+"""Conservation checker: clean sweeps, corrupted state, structured raises."""
+
+import pytest
+
+from repro import EdgeMapJob, EdgeMapSpec, ReduceOp
+from repro.audit import AuditTracker, AuditViolation, check_execution
+from repro.core.faults import FaultPlan
+from repro.core.jobrunner import JobExecution
+from tests.conftest import make_cluster
+
+PULL = EdgeMapJob(name="j", spec=EdgeMapSpec(direction="pull", source="x",
+                                             target="t", op=ReduceOp.SUM))
+PUSH = EdgeMapJob(name="p", spec=EdgeMapSpec(direction="push", source="x",
+                                             target="t", op=ReduceOp.SUM))
+
+
+def run_audited(graph, job, **kwargs):
+    cluster = make_cluster(audit=True, **kwargs)
+    dg = cluster.load_graph(graph)
+    dg.add_property("x", init=1.0)
+    dg.add_property("t", init=0.0)
+    exc = JobExecution(cluster, dg, job)
+    exc.start()
+    while not exc.done:
+        cluster.sim.step()
+    return cluster, exc
+
+
+class TestCleanExecutions:
+    def test_pull_job_sweeps_clean(self, small_rmat):
+        _, exc = run_audited(small_rmat, PULL, ghost_threshold=None)
+        assert exc.audit is not None
+        assert exc.audit.summary()["tracked"] > 0
+        assert check_execution(exc) == []
+
+    def test_push_job_sweeps_clean(self, small_rmat):
+        _, exc = run_audited(small_rmat, PUSH, ghost_threshold=None)
+        assert check_execution(exc) == []
+
+    def test_ghosted_job_sweeps_clean(self, small_rmat):
+        _, exc = run_audited(small_rmat, PUSH, ghost_threshold=20)
+        assert check_execution(exc) == []
+
+    def test_unaudited_execution_is_checkable(self, small_rmat):
+        cluster = make_cluster(ghost_threshold=None)
+        dg = cluster.load_graph(small_rmat)
+        dg.add_property("x", init=1.0)
+        dg.add_property("t", init=0.0)
+        exc = JobExecution(cluster, dg, PULL)
+        exc.start()
+        while not exc.done:
+            cluster.sim.step()
+        assert exc.audit is None
+        assert check_execution(exc) == []
+
+    def test_audited_run_under_faults_sweeps_clean(self, small_rmat):
+        plan = FaultPlan(seed=3, drop_prob=0.05, dup_prob=0.05,
+                         delay_prob=0.1, delay_seconds=1e-4)
+        _, exc = run_audited(small_rmat, PULL, ghost_threshold=None,
+                             fault_plan=plan)
+        assert check_execution(exc) == []
+
+    def test_backpressure_conserved_under_faults(self, small_rmat):
+        """The satellite back-pressure check: with a tiny in-flight cap and
+        fabric faults, every slot returns and nothing stays parked."""
+        plan = FaultPlan(seed=5, drop_prob=0.05, dup_prob=0.05)
+        _, exc = run_audited(small_rmat, PULL, ghost_threshold=None,
+                             buffer_size=64, max_inflight_per_dest=1,
+                             fault_plan=plan)
+        assert check_execution(exc) == []
+        for mw in exc.workers:
+            for ws in mw:
+                assert not ws.parked
+                assert all(c == 0 for c in ws.inflight_by_dst.values())
+
+
+class TestCorruptedState:
+    def _finished(self, graph):
+        _, exc = run_audited(graph, PULL, ghost_threshold=None)
+        return exc
+
+    def test_nonzero_counter_detected(self, small_rmat):
+        exc = self._finished(small_rmat)
+        exc.write_outstanding = 3
+        out = check_execution(exc, raise_on_violation=False)
+        assert any(v["invariant"] == "counter.write_outstanding" for v in out)
+
+    def test_parked_message_detected(self, small_rmat):
+        exc = self._finished(small_rmat)
+        exc.workers[0][0].parked.append(object())
+        out = check_execution(exc, raise_on_violation=False)
+        assert any(v["invariant"] == "worker.parked" for v in out)
+        bad = next(v for v in out if v["invariant"] == "worker.parked")
+        assert bad["machine"] == 0 and bad["worker"] == 0
+
+    def test_leaked_inflight_slot_detected(self, small_rmat):
+        exc = self._finished(small_rmat)
+        exc.workers[1][0].inflight_by_dst[2] = 1
+        out = check_execution(exc, raise_on_violation=False)
+        assert any(v["invariant"] == "worker.inflight_by_dst" for v in out)
+
+    def test_unacked_request_detected(self, small_rmat):
+        exc = self._finished(small_rmat)
+        exc.audit.track(999_999, "write_req")
+        out = check_execution(exc, raise_on_violation=False)
+        assert any(v["invariant"] == "requests.unacked" and
+                   "write_req" in v["detail"] for v in out)
+
+    def test_double_ack_detected(self, small_rmat):
+        exc = self._finished(small_rmat)
+        rid = next(iter(exc.audit.tracked))
+        exc.audit.ack(rid)
+        out = check_execution(exc, raise_on_violation=False)
+        assert any(v["invariant"] == "requests.multi_acked" for v in out)
+
+    def test_unknown_ack_detected(self, small_rmat):
+        exc = self._finished(small_rmat)
+        exc.audit.ack(123_456_789)
+        out = check_execution(exc, raise_on_violation=False)
+        assert any(v["invariant"] == "requests.unknown_ack" for v in out)
+
+    def test_network_timeline_violation_surfaces(self, small_rmat):
+        exc = self._finished(small_rmat)
+        exc.network.audit_violations.append({
+            "invariant": "network.port_timeline_monotonic",
+            "detail": "synthetic", "src": 0, "dst": 1,
+            "kind": "read_req", "time": 0.0})
+        out = check_execution(exc, raise_on_violation=False)
+        assert any(v["invariant"] == "network.port_timeline_monotonic"
+                   for v in out)
+        assert exc.network.audit_violations == []  # consumed by the sweep
+
+    def test_violation_raises_with_context(self, small_rmat):
+        exc = self._finished(small_rmat)
+        exc.sync_outstanding = 1
+        exc.workers[0][0].parked.append(object())
+        with pytest.raises(AuditViolation) as ei:
+            check_execution(exc)
+        err = ei.value
+        assert len(err.violations) == 2
+        assert err.violations[0]["job"] == "j"
+        assert "phase" in err.violations[0] and "time" in err.violations[0]
+        assert "+1 more" in str(err)
+
+
+class TestTracker:
+    def test_summary_counts(self):
+        t = AuditTracker()
+        t.track(1, "read_req")
+        t.track(2, "write_req")
+        t.ack(1)
+        t.resent(2)
+        t.resent(2)
+        assert t.summary() == {"tracked": 2, "acked": 1, "resends": 2}

@@ -196,3 +196,48 @@ class TestCopierBehavior:
             while not exc.done:
                 if not cluster.sim.step():
                     raise RuntimeError("deadlock")
+
+
+class TestFlushPricing:
+    def test_flush_all_prices_items_not_batches(self, small_rmat):
+        """Regression: vectorized buffers hold lists of per-batch arrays, so
+        the end-of-tasks flush must price the sum of batch lengths; counting
+        ``len(buf.offsets)`` (batches) underpriced large flushes."""
+        from repro.core.messages import ReadBuffer, WriteBuffer
+        from repro.core.task_manager import WorkerState
+
+        _, _, exc = build_exec(small_rmat, PULL)
+        ws = WorkerState(exc, exc.machines[0], 0)
+        # 3 batches x 4 read items plus 2 batches x 5 write items: 22 items
+        # in 5 batches.
+        rbuf = ReadBuffer()
+        for _ in range(3):
+            rbuf.append(np.arange(4, dtype=np.int64),
+                        np.arange(4, dtype=np.int64))
+        ws.read_bufs[(1, "x")] = rbuf
+        wbuf = WriteBuffer()
+        for _ in range(2):
+            wbuf.append(np.arange(5, dtype=np.int64), np.ones(5))
+        ws.write_bufs[(1, "t")] = (wbuf, ReduceOp.SUM)
+
+        flushed = []
+        ws._flush_read = lambda *a, **k: flushed.append("r")
+        ws._flush_write = lambda *a, **k: flushed.append("w")
+        tally = ws.flush_all()
+        assert flushed == ["r", "w"]
+        assert tally.cpu_ops == pytest.approx(8.0 + 0.5 * 22)
+
+    def test_flush_all_scalar_buffers_priced_per_item(self, small_rmat):
+        from repro.core.data_manager import ScalarReadBuffer
+        from repro.core.task_manager import WorkerState
+
+        _, _, exc = build_exec(small_rmat, PULL)
+        ws = WorkerState(exc, exc.machines[0], 0)
+        sbuf = ScalarReadBuffer()
+        for i in range(7):
+            sbuf.offsets.append(i)
+            sbuf.sides.append((None, i, i, None, None))
+        ws.sc_read_bufs[(1, "x")] = sbuf
+        ws._flush_scalar_read = lambda *a, **k: None
+        tally = ws.flush_all()
+        assert tally.cpu_ops == pytest.approx(8.0 + 0.5 * 7)

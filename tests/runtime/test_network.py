@@ -140,3 +140,88 @@ class TestAccounting:
         sim.run()
         busy = net.busy_fractions()
         assert busy["tx"][0] > 0 and busy["rx"][1] > 0 and busy["poller"][0] > 0
+
+
+class _ForcedFaults:
+    """Stub FaultController forcing one fabric action for every message."""
+
+    def __init__(self, action, extra_delay=0.0):
+        self.action = action
+        self.extra_delay = extra_delay
+
+    def message_action(self, src, dst, kind):
+        return self.action, self.extra_delay
+
+
+def make_faulty_net(action, n=4, audit=False):
+    sim = Simulator()
+    net = Network(sim, n, NetworkConfig(), faults=_ForcedFaults(action),
+                  audit=audit)
+    return sim, net
+
+
+class TestFaultObservability:
+    def _capture(self, net):
+        events = {"net.send": [], "net.deliver": [], "net.drop": []}
+        for name, sink in events.items():
+            net.hooks.subscribe(name, sink.append)
+        return events
+
+    def test_drop_emits_drop_not_deliver(self):
+        sim, net = make_faulty_net("drop")
+        ev = self._capture(net)
+        got = []
+        net.send(0, 1, 512, got.append, "m", kind="write_req")
+        sim.run()
+        assert got == []  # the callback must never fire for a lost message
+        assert len(ev["net.send"]) == 1
+        assert ev["net.send"][0]["deliver"] is None
+        assert ev["net.send"][0]["dropped"] is True
+        assert ev["net.deliver"] == []
+        assert len(ev["net.drop"]) == 1
+        assert ev["net.drop"][0]["kind"] == "write_req"
+        assert ev["net.drop"][0]["lost_at"] > ev["net.drop"][0]["time"]
+
+    def test_drop_counts_bytes_dropped(self):
+        sim, net = make_faulty_net("drop")
+        net.send(0, 1, 512, lambda: None, kind="write_req")
+        net.send(0, 2, 256, lambda: None, kind="read_req")
+        assert net.stats.bytes_dropped == 768
+        assert net.stats.messages_dropped == 2
+
+    def test_dup_emits_two_delivers(self):
+        sim, net = make_faulty_net("dup")
+        ev = self._capture(net)
+        got = []
+        net.send(0, 1, 512, got.append, "m", kind="ghost_sync")
+        sim.run()
+        assert got == ["m", "m"]  # duplicate really lands twice
+        assert len(ev["net.send"]) == 1
+        assert len(ev["net.deliver"]) == 2
+        assert ev["net.deliver"][0].get("duplicate") is not True
+        assert ev["net.deliver"][1]["duplicate"] is True
+        assert ev["net.deliver"][1]["time"] > ev["net.deliver"][0]["time"]
+        assert net.stats.bytes_dropped == 0
+
+    def test_clean_deliver_single_event(self):
+        sim, net = make_faulty_net("deliver")
+        ev = self._capture(net)
+        net.send(0, 1, 512, lambda: None)
+        sim.run()
+        assert len(ev["net.deliver"]) == 1
+        assert ev["net.send"][0]["deliver"] is not None
+
+    def test_audit_timelines_clean_on_normal_traffic(self):
+        sim, net = make_faulty_net("deliver", audit=True)
+        for i in range(8):
+            net.send(i % 3, 3, 4096, lambda: None)
+        sim.run()
+        assert net.audit_violations == []
+
+    def test_audit_timelines_clean_on_drops_and_dups(self):
+        for action in ("drop", "dup"):
+            sim, net = make_faulty_net(action, audit=True)
+            for i in range(8):
+                net.send(i % 3, 3, 4096, lambda: None)
+            sim.run()
+            assert net.audit_violations == []

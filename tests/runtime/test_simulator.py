@@ -167,6 +167,30 @@ class TestProcesses:
         assert len(store) == 2
         assert store.try_get() == 1
 
+    def test_store_try_get_empty_returns_sentinel(self):
+        store = Store(Simulator())
+        assert store.try_get() is Store.EMPTY
+
+    def test_store_delivers_none_item(self):
+        # Regression: an enqueued None used to look like "store empty" to
+        # the resume path, parking the waiter forever.
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            item = yield Get(store)
+            got.append(item)
+
+        def producer():
+            yield Timeout(1.0)
+            store.put(None)
+
+        Process(sim, consumer())
+        Process(sim, producer())
+        sim.run()
+        assert got == [None]
+
     def test_process_result(self):
         sim = Simulator()
 
@@ -192,6 +216,48 @@ class TestProcesses:
         sim.run()
         assert trace == [("fast", 1.0), ("fast", 2.0), ("slow", 2.5),
                          ("fast", 3.0), ("slow", 5.0), ("slow", 7.5)]
+
+
+class TestTieBreaker:
+    @staticmethod
+    def _run(seed):
+        sim = Simulator()
+        if seed is not None:
+            sim.set_tie_breaker(seed)
+        order = []
+        for tag in "abcdefgh":
+            sim.schedule(1.0, order.append, tag)   # all tie at t=1.0
+        sim.schedule(0.5, order.append, "early")
+        sim.schedule(2.0, order.append, "late")
+        sim.run()
+        return order
+
+    def test_default_preserves_insertion_order(self):
+        assert self._run(None) == ["early"] + list("abcdefgh") + ["late"]
+
+    def test_perturbation_only_reorders_equal_times(self):
+        order = self._run(seed=3)
+        assert order[0] == "early" and order[-1] == "late"
+        assert sorted(order[1:-1]) == list("abcdefgh")
+
+    def test_same_seed_is_deterministic(self):
+        assert self._run(seed=11) == self._run(seed=11)
+
+    def test_some_seed_permutes(self):
+        # At least one of a handful of seeds must actually change the
+        # order of the 8 tied events (P[failure] ~ (1/8!)^5).
+        base = self._run(None)
+        assert any(self._run(seed=s) != base for s in range(5))
+
+    def test_removing_tie_breaker_restores_insertion_order(self):
+        sim = Simulator()
+        sim.set_tie_breaker(5)
+        sim.set_tie_breaker(None)
+        order = []
+        for tag in "abc":
+            sim.schedule(1.0, order.append, tag)
+        sim.run()
+        assert order == list("abc")
 
 
 class TestDeterminism:

@@ -154,3 +154,26 @@ class TestServe:
         doc = json.loads((tmp_path / "s.json").read_text())
         assert "repro_sched_dispatched_total" in doc["metrics"]
         assert "repro_sched_queue_depth" in doc["metrics"]
+
+
+class TestAudit:
+    def test_audit_smoke(self, tmp_path, capsys):
+        """Two perturbed schedules over a tiny LJ stand-in: every positive
+        scenario bit-identical, negative control caught, JSON written."""
+        out_path = tmp_path / "verdict.json"
+        rc = main(["audit", "--graph", "LJ", "--scale", "2e-5",
+                   "--machines", "4", "--schedules", "2", "--seed", "7",
+                   "--iterations", "2", "--json-out", str(out_path)])
+        out = capsys.readouterr().out
+        assert rc == 0, out
+        assert "audit: PASS" in out
+        assert "caught-divergence" in out
+        import json
+
+        doc = json.loads(out_path.read_text())
+        assert doc["passed"] is True
+        assert doc["negative_control_flagged"] is True
+        positives = [s for s in doc["scenarios"]
+                     if not s["expect_divergence"]]
+        assert positives and all(s["bit_identical"] and
+                                 s["violations"] == 0 for s in positives)
