@@ -11,6 +11,8 @@ Examples::
     python -m repro generate --graph LJ --scale 1e-3 --format binary --out lj.bin
     python -m repro chaos --graph LJ --scale 1e-4 --machines 2 --seed 7
     python -m repro audit --graph LJ --scale 1e-4 --machines 4 --schedules 5
+    python -m repro profile --graph LJ --scale 1e-4 --machines 4 --top 5
+    python -m repro report --algo pagerank --graph LJ --profile
 """
 
 from __future__ import annotations
@@ -74,9 +76,11 @@ def cmd_info(args) -> int:
 
 
 def _observed_run(args, algorithm: str):
-    """Run ``algorithm`` on a cluster we own, with optional trace capture.
+    """Run ``algorithm`` on a cluster we own, with optional trace/span
+    capture (``--trace-out`` / ``--profile``).
 
-    Returns ``(row, cluster)``; handles ``--metrics-out`` / ``--trace-out``.
+    Returns ``(row, cluster, tracer, profiler)``; handles
+    ``--metrics-out`` / ``--trace-out``.
     """
     from .trace import Tracer
 
@@ -90,13 +94,21 @@ def _observed_run(args, algorithm: str):
     tracer = Tracer(cluster) if getattr(args, "trace_out", None) else None
     if tracer is not None:
         tracer.install()
+    profiler = None
+    if getattr(args, "profile", False):
+        from .obs.profiler import SpanProfiler
+
+        profiler = SpanProfiler(cluster)
+        profiler.install()
     try:
         row = run_pgx(g, args.graph, algorithm, args.machines, args.scale,
                       cluster=cluster)
     finally:
         if tracer is not None:
             tracer.uninstall()
-    return row, cluster, tracer
+        if profiler is not None:
+            profiler.uninstall()
+    return row, cluster, tracer, profiler
 
 
 def _export_obs(args, cluster, tracer) -> None:
@@ -112,7 +124,7 @@ def _export_obs(args, cluster, tracer) -> None:
 
 
 def cmd_run(args) -> int:
-    row, cluster, tracer = _observed_run(args, args.algorithm)
+    row, cluster, tracer, _ = _observed_run(args, args.algorithm)
     unit = "per iteration" if row.per_iteration else "total"
     print(f"PGX.D | {args.algorithm} on {args.graph} "
           f"(scale {args.scale:g}, {args.machines} machines)")
@@ -134,11 +146,11 @@ def cmd_report(args) -> int:
     from .obs.report import render_overhead_report
 
     algorithm = ALGO_ALIASES.get(args.algo, args.algo)
-    row, cluster, tracer = _observed_run(args, algorithm)
+    row, cluster, tracer, profiler = _observed_run(args, algorithm)
     title = (f"{args.algo} on {args.graph} "
              f"(scale {args.scale:g}, {args.machines} machines)")
     print(render_overhead_report(cluster.metrics, title=title,
-                                 elapsed=cluster.now))
+                                 elapsed=cluster.now, profile=profiler))
     _export_obs(args, cluster, tracer)
     return 0
 
@@ -341,6 +353,83 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    """Causal span profiling: critical path, stragglers, Perfetto trace.
+
+    Default workload is the acceptance scenario: two scheduler sessions
+    (PageRank pull + SSSP) interleaving on one cluster, spans attributed
+    per session.  ``--solo --algo X`` profiles a single algorithm instead.
+    """
+    import json
+
+    from .obs.profiler import SpanProfiler
+
+    if args.solo:
+        algorithm = ALGO_ALIASES.get(args.algo, args.algo)
+        g = paper_graph(args.graph, scale=args.scale,
+                        weighted=algorithm == "sssp")
+        cluster = PgxdCluster(scaled_cluster_config(args.machines,
+                                                    args.scale))
+        profiler = SpanProfiler(cluster)
+        profiler.install()
+        run_pgx(g, args.graph, algorithm, args.machines, args.scale,
+                cluster=cluster)
+        profiler.uninstall()
+        print(f"profile: {args.algo} solo on {args.graph} "
+              f"(scale {args.scale:g}, {args.machines} machines)")
+        rollup = {}
+    else:
+        from .algorithms.streams import pagerank_stream, sssp_stream
+        from .core.scheduler import SchedulerConfig
+        from .server import PgxdServer
+
+        cluster = PgxdCluster(scaled_cluster_config(args.machines,
+                                                    args.scale))
+        server = PgxdServer(cluster, scheduler_config=SchedulerConfig(
+            max_concurrent_jobs=args.max_concurrent))
+        profiler = server.enable_profiling()
+        g_plain = paper_graph(args.graph, scale=args.scale)
+        g_weighted = paper_graph(args.graph, scale=args.scale, weighted=True)
+        alice = server.create_session("alice")
+        dg_a = alice.load_graph("g", g_plain)
+        alice.submit_jobs("g", pagerank_stream(dg_a,
+                                               iterations=args.iterations,
+                                               prefix="pr"))
+        bob = server.create_session("bob")
+        dg_b = bob.load_graph("g", g_weighted)
+        bob.submit_jobs("g", sssp_stream(dg_b,
+                                         root=args.seed % dg_b.num_nodes,
+                                         rounds=args.iterations,
+                                         prefix="sssp"))
+        server.drain()
+        print(f"profile: two-session PageRank+SSSP on {args.graph} "
+              f"(scale {args.scale:g}, {args.machines} machines, "
+              f"{args.iterations} units/session)")
+        rollup = server.profile_rollup()
+
+    print(profiler.render_report(top=args.top))
+    for name in sorted(rollup):
+        r = rollup[name]
+        stragglers = ", ".join(f"m{m}x{n}" for m, n in
+                               sorted(r["straggler_machines"].items()))
+        print(f"session {name:10s} jobs={r['jobs']:3d} "
+              f"critical-path={r['critical_path_seconds']:.6f} s "
+              f"stragglers: {stragglers or '(none)'}")
+    if args.trace_out:
+        profiler.save(args.trace_out)
+        n = len(profiler.to_chrome_trace()["traceEvents"])
+        print(f"  trace: {args.trace_out} ({n} events; open in "
+              f"ui.perfetto.dev or chrome://tracing)")
+    if args.json_out:
+        doc = {"schema": "repro-profile/v1",
+               "jobs": [p.summary() for p in profiler.profiles],
+               "sessions": rollup}
+        with open(args.json_out, "w") as fh:
+            json.dump(doc, fh, indent=2)
+        print(f"  summary: {args.json_out}")
+    return 0
+
+
 def cmd_generate(args) -> int:
     g = paper_graph(args.graph, scale=args.scale, weighted=args.weighted)
     if args.format == "binary":
@@ -379,6 +468,9 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=ALGORITHMS + sorted(ALGO_ALIASES),
                        help="algorithm (aliases: pagerank -> pr_pull)")
     p_rep.add_argument("--machines", type=int, default=8)
+    p_rep.add_argument("--profile", action="store_true",
+                       help="attach the span profiler and fold critical-"
+                            "path/straggler columns into the layer table")
     _add_obs_args(p_rep)
     p_rep.set_defaults(fn=cmd_report)
 
@@ -441,6 +533,30 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write PREFIX.prom and PREFIX.json after the "
                             "trace drains")
     p_srv.set_defaults(fn=cmd_serve)
+
+    p_prof = sub.add_parser(
+        "profile", help="causal span profiling: assemble per-job span "
+                        "trees, extract the critical path, score "
+                        "stragglers, and export a Perfetto-loadable trace")
+    _add_graph_args(p_prof)
+    p_prof.add_argument("--machines", type=int, default=4)
+    p_prof.add_argument("--iterations", type=int, default=3,
+                        help="PageRank iterations / SSSP rounds per session")
+    p_prof.add_argument("--seed", type=int, default=7)
+    p_prof.add_argument("--max-concurrent", type=int, default=4,
+                        help="scheduler job-slot count (two-session mode)")
+    p_prof.add_argument("--top", type=int, default=5,
+                        help="how many critical-path segments to print")
+    p_prof.add_argument("--solo", action="store_true",
+                        help="profile one algorithm without the scheduler")
+    p_prof.add_argument("--algo", default="pagerank",
+                        choices=ALGORITHMS + sorted(ALGO_ALIASES),
+                        help="algorithm for --solo mode")
+    p_prof.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="write the Chrome/Perfetto trace JSON to PATH")
+    p_prof.add_argument("--json-out", default=None, metavar="PATH",
+                        help="write the per-job profile summary JSON")
+    p_prof.set_defaults(fn=cmd_profile)
 
     p_gen = sub.add_parser("generate", help="write a dataset stand-in to disk")
     _add_graph_args(p_gen)

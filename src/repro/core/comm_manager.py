@@ -77,6 +77,9 @@ def copier_loop(exc: "JobExecution", cs: CopierState) -> None:
         return
     cs.busy = True
     msg = machine.request_queue.popleft()
+    exc.hooks.emit("comm.copier_start", machine=machine.index,
+                   copier=cs.cindex, kind=msg.kind.value,
+                   items=msg.item_count, time=exc.sim.now)
     exc.hooks.emit("comm.queue_depth", machine=machine.index,
                    depth=len(machine.request_queue), time=exc.sim.now)
     machine.cpu.thread_started()

@@ -158,6 +158,9 @@ class PgxdCluster:
         #: set, run_job routes through the scheduler so queued background
         #: tenants interleave with synchronous driver jobs.
         self.scheduler = None
+        #: causal span profiler; set by SpanProfiler.install().  When
+        #: present, completed jobs get critical-path fields on their stats.
+        self.profiler = None
         #: crash-recovery state (see enable_auto_checkpoint / run_job)
         self.auto_recover = False
         self.max_recoveries = 3
@@ -258,6 +261,8 @@ class PgxdCluster:
             kind=type(job).__name__).inc()
         self.metrics.histogram("repro_job_seconds").observe(exc.stats.elapsed)
         exc.stats.metrics_delta = self.metrics.delta_since(before)
+        if self.profiler is not None:
+            self.profiler.annotate(exc.stats, job.name)
         self.job_log.append((job.name, exc.stats))
         self._maybe_auto_checkpoint(dgraph)
         return exc.stats

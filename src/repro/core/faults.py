@@ -369,7 +369,7 @@ class ReliabilityLayer:
         self.exc.hooks.emit("comm.retry", kind=rec.kind,
                             request_id=request_id, src=rec.msg.src,
                             dst=rec.msg.dst, attempt=rec.attempts,
-                            time=self.exc.sim.now)
+                            machine=rec.msg.src, time=self.exc.sim.now)
         self.exc.resend_request(rec.msg, rec.kind)
         rec.event = self.exc.sim.schedule(rec.timeout, self._expire,
                                           request_id)

@@ -241,6 +241,7 @@ class JobExecution:
     def start(self) -> None:
         for m in self.machines:
             m.dm.exec = self
+        self.hooks.emit("job.start", job=self.job.name, time=self.sim.now)
         self._set_phase("presync")
         self._begin_ghost_writes()
         self._send_presync()
@@ -402,10 +403,17 @@ class JobExecution:
                                        seq_bytes=elements * 8.0)
             if self.faults is not None:
                 dur *= self.faults.work_scale(m.index, self.sim.now)
-            self.sim.schedule(dur, self._postsync_machine_done, m)
+            self.hooks.emit("ghost.reduce_start", machine=m.index,
+                            elements=elements, time=self.sim.now)
+            self.sim.schedule(dur, self._postsync_machine_done, m,
+                              self.sim.now, elements)
 
-    def _postsync_machine_done(self, m) -> None:
+    def _postsync_machine_done(self, m, started: float,
+                               elements: int) -> None:
         """Stage 2: ship ghost partials to the owners."""
+        self.hooks.emit("ghost.reduce_end", machine=m.index,
+                        elements=elements, start=started,
+                        duration=self.sim.now - started)
         for prop, op in self.ghost_write_props:
             if prop not in m.ghosts.arrays:
                 continue
@@ -478,6 +486,9 @@ class JobExecution:
                         duration=self.sim.now - (start or self.sim.now))
         self._set_phase("done")
         self.stats.end_time = self.sim.now
+        self.hooks.emit("job.end", job=self.job.name,
+                        start=self.stats.start_time,
+                        duration=self.stats.elapsed)
         self.done = True
         if self.audit is not None:
             # Conservation check before the completion signal: a violating

@@ -400,6 +400,8 @@ class JobScheduler:
             scope.registry.histogram("repro_job_seconds").observe(stats.elapsed)
             stats.metrics_delta = scope.delta()
             scope.close()
+        if cl.profiler is not None:
+            cl.profiler.annotate(stats, ticket.job.name, ticket=ticket.seq)
         ticket.stats = stats
         ticket.finish_time = cl.sim.now
         ticket.state = DONE

@@ -23,6 +23,7 @@ from .exporters import to_json, to_prometheus, write_metrics
 from .hooks import KNOWN_HOOKS, HookBus, ScopedHookBus, Subscription
 from .metrics import (Counter, DEFAULT_BYTE_BUCKETS, DEFAULT_TIME_BUCKETS,
                       Gauge, Histogram, MetricsRegistry)
+from .profiler import JobProfile, PathSegment, SpanProfiler
 from .recorder import MetricsRecorder
 
 __all__ = [
@@ -30,5 +31,6 @@ __all__ = [
     "MetricsRegistry", "Counter", "Gauge", "Histogram",
     "DEFAULT_TIME_BUCKETS", "DEFAULT_BYTE_BUCKETS",
     "MetricsRecorder",
+    "SpanProfiler", "JobProfile", "PathSegment",
     "to_prometheus", "to_json", "write_metrics",
 ]

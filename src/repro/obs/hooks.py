@@ -30,6 +30,7 @@ KNOWN_HOOKS = (
     "comm.enqueue",        # machine, kind, depth, time
     "comm.flush",          # machine, worker, dst, prop, kind, items, time
     "comm.queue_depth",    # machine, depth, time
+    "comm.copier_start",   # machine, copier, kind, items, time
     "comm.copier_done",    # machine, copier, kind, items, start, duration
     "comm.combine",        # machine, dst, prop, items_in, items_out, time
     "task.plan_cache",     # machine, hit, time
@@ -40,12 +41,16 @@ KNOWN_HOOKS = (
     "net.drop",            # src, dst, nbytes, kind, time, lost_at
     "ghost.hit",           # machine, prop, mode, count, time
     "ghost.miss",          # machine, prop, mode, count, time
+    "ghost.reduce_start",  # machine, elements, time
+    "ghost.reduce_end",    # machine, elements, start, duration
+    "job.start",           # job, time
+    "job.end",             # job, start, duration
     "job.phase_start",     # job, phase, time
     "job.phase_end",       # job, phase, start, duration
     "barrier.enter",       # job, machines, time
     "barrier.exit",        # job, machines, start, duration
     "fault.inject",        # fault, time, + fault-specific fields
-    "comm.retry",          # kind, request_id, src, dst, attempt, time
+    "comm.retry",          # kind, request_id, src, dst, attempt, machine, time
     "comm.dedup_drop",     # machine, kind, request_id, time
     "job.checkpoint",      # path, time
     "job.recover",         # job, checkpoint, time

@@ -135,14 +135,49 @@ def _table(title: str, headers: list[str], rows: list[list[str]]) -> str:
 
 
 def render_overhead_report(registry: MetricsRegistry, title: str = "",
-                           elapsed: float | None = None) -> str:
-    """The ``repro report`` payload: per-layer table plus traffic/ghost lines."""
+                           elapsed: float | None = None,
+                           profile=None) -> str:
+    """The ``repro report`` payload: per-layer table plus traffic/ghost lines.
+
+    ``profile`` is an installed :class:`~repro.obs.profiler.SpanProfiler`
+    (or None): when given, the layer table gains critical-path columns —
+    how many of each layer's instrumented seconds actually gated job
+    completion — plus a straggler line below the table.
+    """
     bd = overhead_breakdown(registry)
-    rows = [[layer, f"{secs:.6f}", f"{frac:6.1%}"]
-            for layer, secs, frac in bd.rows()]
-    rows.append(["total", f"{bd.total:.6f}", f"{1.0 if bd.total > 0 else 0.0:6.1%}"])
+    path_layers = profile.layer_summary() if profile is not None else {}
+    path_total = sum(path_layers.values())
+    headers = ["layer", "seconds", "share"]
+    if profile is not None:
+        headers += ["crit-path", "cp-share"]
+    rows = []
+    for layer, secs, frac in bd.rows():
+        row = [layer, f"{secs:.6f}", f"{frac:6.1%}"]
+        if profile is not None:
+            cp = path_layers.get(layer, 0.0)
+            row += [f"{cp:.6f}",
+                    f"{cp / path_total if path_total > 0 else 0.0:6.1%}"]
+        rows.append(row)
+    total_row = ["total", f"{bd.total:.6f}",
+                 f"{1.0 if bd.total > 0 else 0.0:6.1%}"]
+    if profile is not None:
+        total_row += [f"{path_total:.6f}",
+                      f"{1.0 if path_total > 0 else 0.0:6.1%}"]
+    rows.append(total_row)
     heading = "Per-layer overheads" + (f" — {title}" if title else "")
-    parts = [_table(heading, ["layer", "seconds", "share"], rows)]
+    parts = [_table(heading, headers, rows)]
+
+    if profile is not None:
+        by_machine = profile.straggler_summary()
+        on_cpu = sum(by_machine.values())
+        if by_machine and on_cpu > 0:
+            straggler = max(sorted(by_machine), key=lambda m: by_machine[m])
+            share = by_machine[straggler] / on_cpu
+            parts.append(
+                f"critical path: {path_total:.6f} s over "
+                f"{len(profile.profiles)} job(s); straggler machine "
+                f"{straggler} holds {share:.0%} of on-CPU path time "
+                f"({share * len(by_machine):.2f}x fair share)")
 
     if elapsed is not None:
         parts.append(f"elapsed (simulated wall): {elapsed:.6f} s")

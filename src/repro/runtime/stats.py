@@ -60,6 +60,27 @@ class JobStats:
     #: registry counter increments attributable to this job (flat
     #: ``name{labels}`` -> delta), attached by ``PgxdCluster.run_job``
     metrics_delta: dict[str, float] = field(default_factory=dict)
+    #: simulated seconds along the job's critical path (the longest causal
+    #: chain of chunk/message/ghost/barrier spans), attached by an installed
+    #: :class:`repro.obs.profiler.SpanProfiler`; 0.0 when not profiled.
+    #: Overlapping lanes mean this can exceed ``elapsed`` only by float
+    #: noise — but it can be far *smaller* than the sum of busy time.
+    critical_path_len: float = 0.0
+    #: critical-path seconds attributed to each machine's on-CPU spans
+    #: (network transit excluded), attached by the profiler
+    critical_path_by_machine: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def straggler_machine(self):
+        """Machine holding the most critical-path time (None unprofiled).
+
+        Ties break toward the lowest machine index so the verdict is
+        deterministic across runs.
+        """
+        if not self.critical_path_by_machine:
+            return None
+        return max(sorted(self.critical_path_by_machine),
+                   key=lambda m: self.critical_path_by_machine[m])
 
     @property
     def elapsed(self) -> float:
@@ -95,6 +116,12 @@ class JobStats:
             self.end_time = other.end_time
         for name, delta in other.metrics_delta.items():
             self.metrics_delta[name] = self.metrics_delta.get(name, 0.0) + delta
+        # Serial jobs chain causally, so critical paths concatenate; the
+        # merged straggler falls out of the summed per-machine attribution.
+        self.critical_path_len += other.critical_path_len
+        for m, secs in other.critical_path_by_machine.items():
+            self.critical_path_by_machine[m] = (
+                self.critical_path_by_machine.get(m, 0.0) + secs)
 
     # -- Figure 6(c) --------------------------------------------------------
 

@@ -32,6 +32,7 @@ from .core.engine import DistributedGraph, PgxdCluster
 from .core.job import Job
 from .core.scheduler import JobScheduler, JobTicket, SchedulerConfig
 from .graph.csr import Graph
+from .obs.profiler import SpanProfiler
 from .runtime.stats import JobStats
 
 
@@ -200,6 +201,43 @@ class PgxdServer:
         session.usage.bytes_moved += nbytes
         for key, value in (metrics or {}).items():
             session.usage.metrics[key] = session.usage.metrics.get(key, 0.0) + value
+
+    # -- profiling ---------------------------------------------------------------------
+
+    def enable_profiling(self) -> SpanProfiler:
+        """Install a :class:`~repro.obs.profiler.SpanProfiler` on the
+        cluster (idempotent).  Every job any session runs from here on gets
+        span capture and critical-path fields on its stats; spans stay
+        attributed per session via the scheduler's scoped buses."""
+        if self.cluster.profiler is not None:
+            return self.cluster.profiler
+        profiler = SpanProfiler(self.cluster)
+        profiler.install()
+        return profiler
+
+    def profile_rollup(self) -> dict[str, dict]:
+        """Per-session critical-path totals (empty without a profiler):
+        ``{session: {jobs, critical_path_seconds, straggler_machines}}``
+        where ``straggler_machines`` counts how often each machine was a
+        session job's straggler."""
+        profiler = self.cluster.profiler
+        if profiler is None:
+            return {}
+        out: dict[str, dict] = {}
+        for name in self._sessions:
+            profiles = profiler.profiles_for(name)
+            stragglers: dict[int, int] = {}
+            for prof in profiles:
+                straggler = prof.straggler_machine
+                if straggler is not None:
+                    stragglers[straggler] = stragglers.get(straggler, 0) + 1
+            out[name] = {
+                "jobs": len(profiles),
+                "critical_path_seconds": sum(p.critical_path_len
+                                             for p in profiles),
+                "straggler_machines": stragglers,
+            }
+        return out
 
     # -- fairness ----------------------------------------------------------------------
 

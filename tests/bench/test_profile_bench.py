@@ -1,0 +1,88 @@
+"""The span-profiler bench harness: tiny end-to-end run + schema checks."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+import bench_profile  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def small_result(tmp_path_factory):
+    """A fast sub-tiny run (the CI smoke uses --tiny; tests stay quick)."""
+    out = tmp_path_factory.mktemp("bench") / "BENCH_profile.json"
+    rc = bench_profile.main(["--nodes", "2000", "--edges", "20000",
+                             "--iterations", "2", "--repeats", "1",
+                             "--chunk-size", "4096", "--out", str(out)])
+    assert rc == 0
+    return out
+
+
+class TestSmallRun:
+    def test_writes_valid_schema(self, small_result):
+        assert bench_profile.check_schema(small_result) == []
+
+    def test_covers_both_variants_and_skews(self, small_result):
+        doc = json.loads(small_result.read_text())
+        assert doc["schema"] == bench_profile.SCHEMA
+        names = {e["name"] for e in doc["entries"]}
+        assert names == {"pagerank_pull_uniform", "pagerank_push_uniform",
+                         "pagerank_pull_skewed", "pagerank_push_skewed"}
+
+    def test_critical_path_bounded_by_elapsed(self, small_result):
+        doc = json.loads(small_result.read_text())
+        for e in doc["entries"]:
+            assert 0 < e["critical_path_seconds"] \
+                <= e["elapsed_seconds"] * (1 + 1e-6)
+            assert 0.0 <= e["straggler_share"] <= 1.0
+            assert e["orphan_events"] == 0
+
+    def test_check_mode_passes(self, small_result, capsys):
+        assert bench_profile.main(["--check", str(small_result)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+
+class TestSchemaCheck:
+    def test_rejects_missing_file(self, tmp_path):
+        assert bench_profile.check_schema(tmp_path / "nope.json")
+
+    def test_rejects_wrong_schema_tag(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text(json.dumps({"schema": "other/v0",
+                                 "entries": [{"name": "x"}]}))
+        assert bench_profile.check_schema(p)
+
+    def test_overhead_ceiling_enforced(self, tmp_path):
+        entry = {k: 1 for k in bench_profile.REQUIRED_ENTRY_KEYS}
+        entry.update(name="slow", critical_path_seconds=0.5,
+                     elapsed_seconds=1.0, straggler_share=0.5,
+                     profiler_overhead_pct=25.0)
+        p = tmp_path / "over.json"
+        p.write_text(json.dumps({"schema": bench_profile.SCHEMA,
+                                 "entries": [entry]}))
+        assert bench_profile.check_schema(p) == []  # no ceiling: fine
+        problems = bench_profile.check_schema(p, max_overhead=10.0)
+        assert problems and "exceeds" in problems[0]
+
+    def test_path_exceeding_elapsed_rejected(self, tmp_path):
+        entry = {k: 1 for k in bench_profile.REQUIRED_ENTRY_KEYS}
+        entry.update(name="impossible", critical_path_seconds=2.0,
+                     elapsed_seconds=1.0, straggler_share=0.5,
+                     profiler_overhead_pct=0.0)
+        p = tmp_path / "imp.json"
+        p.write_text(json.dumps({"schema": bench_profile.SCHEMA,
+                                 "entries": [entry]}))
+        problems = bench_profile.check_schema(p)
+        assert problems and "exceeds elapsed" in problems[0]
+
+
+class TestCommittedResult:
+    def test_repo_result_file_is_valid(self):
+        committed = REPO_ROOT / "BENCH_profile.json"
+        assert committed.exists()
+        assert bench_profile.check_schema(committed) == []

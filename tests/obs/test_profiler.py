@@ -1,0 +1,348 @@
+"""Span profiler: tree assembly, critical path, attribution, exports.
+
+The synthetic tests drive a bare :class:`HookBus` directly, so every span
+time is hand-picked and the critical path is computable on paper.  The
+integration tests run real workloads and hold the profiler to its two
+contracts: the critical path explains elapsed time exactly, and installing
+a profiler never changes simulated results (pay-for-play).
+"""
+
+import hashlib
+import json
+
+import numpy as np
+import pytest
+
+from repro import ClusterConfig, PgxdCluster, rmat, with_uniform_weights
+from repro.algorithms import pagerank
+from repro.algorithms.streams import pagerank_stream, sssp_stream
+from repro.bench.calibration import scaled_cluster_config
+from repro.core.scheduler import SchedulerConfig
+from repro.obs.hooks import HookBus
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import SpanProfiler
+from repro.runtime.stats import JobStats
+from repro.server import PgxdServer
+
+
+class _FakeCluster:
+    """Just enough cluster surface for a profiler: hooks + metrics."""
+
+    def __init__(self):
+        self.hooks = HookBus()
+        self.metrics = MetricsRegistry()
+        self.profiler = None
+
+
+def _install(cluster=None):
+    cluster = cluster or _FakeCluster()
+    prof = SpanProfiler(cluster)
+    prof.install()
+    return cluster, prof
+
+
+def _emit_known_topology(bus, job="fx"):
+    """A two-machine relay whose critical path is computable by hand.
+
+    m0 runs a chunk [0, 1] and sends a message at 0.5 that arrives on m1
+    at 2.0; m1 computes [2, 3] and replies at 3.0, delivered at 4.0; m0
+    finishes with a chunk [4, 5].  A decoy chunk [0.2, 0.9] on m1 is off
+    the path.  The path is chunk[0, 0.5] (clamped at the send) + transit
+    [0.5, 2] + chunk[2, 3] + transit [3, 4] + chunk[4, 5] = 5.0 seconds,
+    exactly the job's elapsed time; on-CPU path time is m0=1.5, m1=1.0.
+    """
+    bus.emit("job.start", job=job, time=0.0)
+    bus.emit("task.chunk_end", machine=0, worker=0, kind="chunk",
+             start=0.0, duration=1.0)
+    bus.emit("task.chunk_end", machine=1, worker=1, kind="chunk",
+             start=0.2, duration=0.7)  # decoy: never gates anything
+    bus.emit("net.send", src=0, dst=1, kind="read_req", time=0.5,
+             deliver=2.0, nbytes=64.0)
+    bus.emit("task.chunk_end", machine=1, worker=0, kind="chunk",
+             start=2.0, duration=1.0)
+    bus.emit("net.send", src=1, dst=0, kind="read_resp", time=3.0,
+             deliver=4.0, nbytes=64.0)
+    bus.emit("task.chunk_end", machine=0, worker=0, kind="chunk",
+             start=4.0, duration=1.0)
+    bus.emit("job.end", job=job, start=0.0, duration=5.0)
+
+
+class TestKnownTopology:
+    """The hand-computed fixture the acceptance criteria name."""
+
+    @pytest.fixture()
+    def profile(self):
+        cluster, prof = _install()
+        _emit_known_topology(cluster.hooks)
+        return prof.last_profile()
+
+    def test_path_length_matches_hand_computation(self, profile):
+        assert profile.critical_path_len == pytest.approx(5.0)
+        assert profile.critical_path_len == pytest.approx(profile.elapsed)
+
+    def test_path_structure(self, profile):
+        layers = [s.layer for s in profile.critical_path]
+        assert layers == ["task", "network", "task", "network", "task"]
+        durations = [s.duration for s in profile.critical_path]
+        assert durations == pytest.approx([0.5, 1.5, 1.0, 1.0, 1.0])
+
+    def test_clamp_at_send_instant(self, profile):
+        # the first chunk ran [0, 1] but only [0, 0.5] gates the message
+        first = profile.critical_path[0]
+        assert (first.start, first.end) == (0.0, 0.5)
+
+    def test_decoy_stays_off_path(self, profile):
+        assert all(s.lane != "worker 1" for s in profile.critical_path)
+
+    def test_machine_attribution_and_straggler(self, profile):
+        assert profile.machine_path_seconds == pytest.approx(
+            {0: 1.5, 1: 1.0})
+        assert profile.straggler_machine == 0
+        assert profile.straggler_share == pytest.approx(1.5 / 2.5)
+
+    def test_busy_time_includes_decoy(self, profile):
+        assert profile.busy_by_machine == pytest.approx(
+            {0: 2.0, 1: 1.7})
+
+
+class TestSpanTreeAssembly:
+    def test_nesting_phases_machines_spans(self):
+        cluster, prof = _install()
+        bus = cluster.hooks
+        bus.emit("job.start", job="tree", time=0.0)
+        bus.emit("task.chunk_end", machine=0, worker=0, kind="chunk",
+                 start=0.1, duration=0.4)
+        bus.emit("task.chunk_end", machine=1, worker=2, kind="chunk",
+                 start=0.2, duration=0.6)
+        bus.emit("job.phase_end", phase="main", start=0.0, duration=1.0)
+        bus.emit("ghost.reduce_end", machine=0, elements=10, start=1.0,
+                 duration=0.5)
+        bus.emit("job.phase_end", phase="postsync", start=1.0, duration=0.5)
+        bus.emit("job.end", job="tree", start=0.0, duration=1.5)
+        tree = prof.last_profile().tree()
+        assert tree["job"] == "tree"
+        phases = {n["phase"]: n for n in tree["phases"]}
+        assert set(phases) == {"main", "postsync"}
+        assert set(phases["main"]["machines"]) == {0, 1}
+        assert phases["main"]["machines"][1]["busy"] == pytest.approx(0.6)
+        (span,) = phases["main"]["machines"][1]["spans"]
+        assert span["lane"] == "worker 2" and span["kind"] == "chunk"
+        assert span["start"] == pytest.approx(0.2)
+        assert span["duration"] == pytest.approx(0.6)
+        ghost = phases["postsync"]["machines"][0]["spans"]
+        assert ghost[0]["lane"] == "ghost"
+
+    def test_orphan_events_counted_not_attached(self):
+        cluster, prof = _install()
+        cluster.hooks.emit("task.chunk_end", machine=0, worker=0,
+                           kind="chunk", start=0.0, duration=1.0)
+        assert prof.orphan_events == 1
+        assert prof.profiles == []
+
+    def test_two_clusters_stay_isolated(self):
+        ca, pa = _install()
+        cb, pb = _install()
+        _emit_known_topology(ca.hooks, job="on-a")
+        cb.hooks.emit("job.start", job="on-b", time=0.0)
+        cb.hooks.emit("job.end", job="on-b", start=0.0, duration=1.0)
+        assert [p.name for p in pa.profiles] == ["on-a"]
+        assert [p.name for p in pb.profiles] == ["on-b"]
+        assert pb.orphan_events == 0
+
+    def test_ticketed_jobs_interleave_without_mixing(self):
+        cluster, prof = _install()
+        bus = cluster.hooks
+        bus.emit("job.start", job="j1", time=0.0, ticket=1, session="s1")
+        bus.emit("job.start", job="j2", time=0.0, ticket=2, session="s2")
+        bus.emit("task.chunk_end", machine=0, worker=0, kind="chunk",
+                 start=0.0, duration=1.0, ticket=1, session="s1")
+        bus.emit("task.chunk_end", machine=0, worker=0, kind="chunk",
+                 start=0.0, duration=2.0, ticket=2, session="s2")
+        bus.emit("job.end", job="j1", start=0.0, duration=1.0, ticket=1,
+                 session="s1")
+        bus.emit("job.end", job="j2", start=0.0, duration=2.0, ticket=2,
+                 session="s2")
+        (p1,) = prof.profiles_for("s1")
+        (p2,) = prof.profiles_for("s2")
+        assert len(p1.slices) == 1 and p1.slices[0].end == 1.0
+        assert len(p2.slices) == 1 and p2.slices[0].end == 2.0
+
+    def test_restarted_ticket_aborts_stale_build(self):
+        cluster, prof = _install()
+        bus = cluster.hooks
+        bus.emit("job.start", job="j", time=0.0, ticket=9)
+        bus.emit("job.start", job="j", time=1.0, ticket=9)  # crash recovery
+        bus.emit("job.end", job="j", start=1.0, duration=1.0, ticket=9)
+        assert len(prof.aborted) == 1
+        assert [p.name for p in prof.profiles] == ["j"]
+
+    def test_install_twice_rejected(self):
+        cluster, prof = _install()
+        with pytest.raises(RuntimeError):
+            prof.install()
+        with pytest.raises(RuntimeError):
+            SpanProfiler(cluster).install()
+        prof.uninstall()
+        SpanProfiler(cluster).install()  # slot freed
+
+
+class TestRealRunExactness:
+    """On real workloads the path must explain elapsed time exactly."""
+
+    @pytest.mark.parametrize("variant", ["pull", "push"])
+    def test_pagerank_path_equals_elapsed(self, variant):
+        cluster = PgxdCluster(scaled_cluster_config(2, 1e-3))
+        dg = cluster.load_graph(rmat(2_000, 20_000, seed=3))
+        prof = SpanProfiler(cluster)
+        prof.install()
+        pagerank(cluster, dg, variant=variant, max_iterations=2)
+        assert prof.profiles
+        for p in prof.profiles:
+            assert p.critical_path_len == pytest.approx(p.elapsed,
+                                                        rel=1e-9, abs=1e-15)
+
+    def test_stats_annotated_and_instruments_registered(self):
+        cluster = PgxdCluster(scaled_cluster_config(2, 1e-3))
+        dg = cluster.load_graph(rmat(2_000, 20_000, seed=3))
+        prof = SpanProfiler(cluster)
+        prof.install()
+        pagerank(cluster, dg, max_iterations=2)
+        _, stats = cluster.job_log[-1]
+        assert stats.critical_path_len > 0
+        assert stats.straggler_machine in (0, 1)
+        from repro.obs.exporters import to_prometheus
+        text = to_prometheus(cluster.metrics)
+        assert "repro_profile_critical_path_seconds" in text
+        assert "repro_profile_straggler_share" in text
+
+
+class TestPayForPlay:
+    """Audit-style bit-identity: profiler on/off may not change results."""
+
+    @staticmethod
+    def _fingerprint(seed, profiled):
+        cluster = PgxdCluster(scaled_cluster_config(2, 1e-3))
+        dg = cluster.load_graph(rmat(2_000, 20_000, seed=seed))
+        if profiled:
+            SpanProfiler(cluster).install()
+        res = pagerank(cluster, dg, max_iterations=3)
+        arr = np.ascontiguousarray(res.values["pr"])
+        digest = hashlib.sha256(arr.tobytes()).hexdigest()
+        return digest, cluster.now, res.total_time
+
+    def test_bit_identical_with_profiler_on_and_off(self):
+        off = self._fingerprint(11, profiled=False)
+        on = self._fingerprint(11, profiled=True)
+        assert off == on  # value bytes, final clock, simulated total
+
+    def test_unprofiled_stats_keep_zero_critical_path(self):
+        cluster = PgxdCluster(scaled_cluster_config(2, 1e-3))
+        dg = cluster.load_graph(rmat(2_000, 20_000, seed=11))
+        pagerank(cluster, dg, max_iterations=2)
+        assert all(st.critical_path_len == 0.0
+                   for _, st in cluster.job_log)
+
+
+class TestSchedulerAttribution:
+    """Two-tenant runs: spans keyed per session, matching dispatch order."""
+
+    @pytest.fixture()
+    def server(self):
+        cluster = PgxdCluster(scaled_cluster_config(2, 1e-3))
+        server = PgxdServer(cluster, scheduler_config=SchedulerConfig(
+            max_concurrent_jobs=4))
+        server.enable_profiling()
+        g = rmat(2_000, 20_000, seed=5)
+        gw = with_uniform_weights(rmat(2_000, 20_000, seed=5), seed=6)
+        alice = server.create_session("alice")
+        alice.submit_jobs("g", pagerank_stream(
+            alice.load_graph("g", g), iterations=2, prefix="pr"))
+        bob = server.create_session("bob")
+        bob.submit_jobs("g", sssp_stream(
+            bob.load_graph("g", gw), root=0, rounds=2, prefix="sssp"))
+        server.drain()
+        return server
+
+    def test_profiles_match_dispatch_log(self, server):
+        prof = server.cluster.profiler
+        for session in ("alice", "bob"):
+            dispatched = [job for job, _ in
+                          server.scheduler.dispatch_log_for(session)]
+            profiled = [p.name for p in prof.profiles_for(session)]
+            assert profiled == dispatched
+            assert all(p.session == session
+                       for p in prof.profiles_for(session))
+
+    def test_ticket_stats_carry_critical_path(self, server):
+        for t in server.scheduler.tickets:
+            assert t.stats is not None
+            assert t.stats.critical_path_len > 0
+
+    def test_rollup_covers_both_sessions(self, server):
+        rollup = server.profile_rollup()
+        assert set(rollup) == {"alice", "bob"}
+        for r in rollup.values():
+            assert r["jobs"] > 0
+            assert r["critical_path_seconds"] > 0
+
+    def test_enable_profiling_idempotent(self, server):
+        assert server.enable_profiling() is server.cluster.profiler
+
+
+class TestExports:
+    @pytest.fixture()
+    def prof(self):
+        cluster, prof = _install()
+        _emit_known_topology(cluster.hooks)
+        return prof
+
+    def test_chrome_trace_shape(self, prof):
+        doc = prof.to_chrome_trace()
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        x = [e for e in events if e["ph"] == "X"]
+        assert x and all(e["dur"] >= 0 and "ts" in e for e in x)
+        pids = {e["pid"] for e in events}
+        assert 0 in pids and 1 in pids  # one process per machine
+        from repro.obs.profiler import _CRIT_PID
+        assert _CRIT_PID in pids  # synthetic critical-path track
+
+    def test_save_is_loadable_json(self, prof, tmp_path):
+        out = tmp_path / "trace.json"
+        prof.save(out)
+        doc = json.loads(out.read_text())
+        assert doc["traceEvents"]
+
+    def test_render_report_mentions_path_and_balance(self, prof):
+        text = prof.render_report()
+        assert "critical-path segments" in text
+        assert "balance:" in text
+        assert "total critical path" in text
+
+    def test_summary_is_json_serializable(self, prof):
+        doc = json.dumps(prof.last_profile().summary())
+        loaded = json.loads(doc)
+        assert loaded["critical_path_len"] == pytest.approx(5.0)
+
+
+class TestJobStatsFields:
+    def test_merge_sums_critical_path(self):
+        a = JobStats()
+        a.critical_path_len = 1.0
+        a.critical_path_by_machine = {0: 0.75, 1: 0.25}
+        b = JobStats()
+        b.critical_path_len = 2.0
+        b.critical_path_by_machine = {1: 2.0}
+        a.merge_from(b)
+        assert a.critical_path_len == pytest.approx(3.0)
+        assert a.critical_path_by_machine == pytest.approx(
+            {0: 0.75, 1: 2.25})
+        assert a.straggler_machine == 1
+
+    def test_straggler_none_when_unprofiled(self):
+        assert JobStats().straggler_machine is None
+
+    def test_straggler_tie_breaks_low(self):
+        st = JobStats()
+        st.critical_path_by_machine = {2: 1.0, 0: 1.0}
+        assert st.straggler_machine == 0

@@ -121,6 +121,41 @@ class TestObservability:
         assert (tmp_path / "w_trace.json").exists()
 
 
+class TestProfile:
+    def test_report_profile_folds_critical_path_columns(self, capsys):
+        assert main(["report", "--algo", "pagerank", "--graph", "LJ",
+                     "--machines", "2", *SMALL, "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "crit-path" in out and "cp-share" in out
+        assert "critical path:" in out and "straggler machine" in out
+
+    def test_profile_two_session_default(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        summary = tmp_path / "profile.json"
+        assert main(["profile", "--graph", "LJ", *SMALL, "--machines", "2",
+                     "--iterations", "2", "--trace-out", str(trace),
+                     "--json-out", str(summary)]) == 0
+        out = capsys.readouterr().out
+        assert "two-session PageRank+SSSP" in out
+        assert "session alice" in out and "session bob" in out
+        assert "total critical path" in out
+        import json
+
+        doc = json.loads(trace.read_text())
+        assert any(e.get("ph") == "X" for e in doc["traceEvents"])
+        summary_doc = json.loads(summary.read_text())
+        assert summary_doc["schema"] == "repro-profile/v1"
+        assert set(summary_doc["sessions"]) == {"alice", "bob"}
+        assert all(j["critical_path_len"] > 0 for j in summary_doc["jobs"])
+
+    def test_profile_solo_algo(self, capsys):
+        assert main(["profile", "--solo", "--algo", "wcc", "--graph", "LJ",
+                     *SMALL, "--machines", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "wcc solo" in out
+        assert "critical-path segments" in out and "balance:" in out
+
+
 class TestServe:
     def test_serve_balanced_trace_is_fair(self, capsys):
         assert main(["serve", "--workload", "balanced", "--graph", "LJ",
