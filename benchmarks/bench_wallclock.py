@@ -32,23 +32,25 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 
 def build_cluster(machines: int, plan_cache: bool, combine: bool,
-                  chunk_size: int):
+                  chunk_size: int, array_native: bool = True):
     from repro import ClusterConfig, PgxdCluster
     cfg = ClusterConfig(num_machines=machines).with_engine(
         routing_plan_cache=plan_cache, combine_writes=combine,
-        chunk_size=chunk_size, ghost_threshold=64)
+        chunk_size=chunk_size, ghost_threshold=64,
+        array_native_events=array_native)
     return PgxdCluster(cfg)
 
 
 def time_pagerank(graph, machines: int, iterations: int, chunk_size: int,
                   variant: str, plan_cache: bool, combine: bool,
-                  repeats: int = 1):
+                  repeats: int = 1, array_native: bool = True):
     """Best-of-``repeats`` wall-clock run (fresh cluster per repeat)."""
     import gc
     from repro.algorithms import pagerank
     elapsed = None
     for _ in range(max(1, repeats)):
-        cluster = build_cluster(machines, plan_cache, combine, chunk_size)
+        cluster = build_cluster(machines, plan_cache, combine, chunk_size,
+                                array_native)
         dg = cluster.load_graph(graph)
         gc.collect()
         t0 = time.perf_counter()
@@ -63,12 +65,17 @@ def time_pagerank(graph, machines: int, iterations: int, chunk_size: int,
     c_in = flat.get('repro_comm_combine_items_total{stage="in"}', 0)
     c_out = flat.get('repro_comm_combine_items_total{stage="out"}', 0)
     combine_ratio = (1.0 - c_out / c_in) if c_in else 0.0
+    events = flat.get("repro_sim_events_total", 0.0)
+    pool_hits = flat.get("repro_sim_event_pool_hits", 0.0)
     return {
         "wallclock_seconds": elapsed,
         "simulated_seconds": res.total_time,
         "values": res.values["pr"],
         "plan_cache_hit_rate": hit_rate,
         "write_combine_ratio": combine_ratio,
+        "sim_events": events,
+        "event_pool_hit_rate": (pool_hits / events) if events else 0.0,
+        "events_per_sec": (events / elapsed) if elapsed else 0.0,
     }
 
 
@@ -101,6 +108,51 @@ def bench_entry(name: str, graph, machines: int, iterations: int,
     }
 
 
+def bench_entry_native(name: str, graph, machines: int, iterations: int,
+                       chunk_size: int, variant: str,
+                       repeats: int = 1) -> dict:
+    """Array-native engine vs. the PR-2 optimized configuration.
+
+    Both sides run with the plan cache and write combining on; only
+    ``array_native_events`` differs, so the speedup isolates this change.
+    The entry reuses the v1 key names (baseline = PR-2 optimized,
+    optimized = array-native) so existing schema checks keep passing, and
+    adds explicit ``pr2_seconds``/``array_native_seconds``/
+    ``speedup_vs_pr2`` aliases plus event-rate stats.
+    """
+    import numpy as np
+    pr2 = time_pagerank(graph, machines, iterations, chunk_size, variant,
+                        plan_cache=True, combine=True, repeats=repeats,
+                        array_native=False)
+    native = time_pagerank(graph, machines, iterations, chunk_size, variant,
+                           plan_cache=True, combine=True, repeats=repeats,
+                           array_native=True)
+    # The array-native engine is bit-identical by construction — exact
+    # equality for both variants, unlike the combining comparison above.
+    identical = bool(np.array_equal(pr2["values"], native["values"]))
+    speedup = pr2["wallclock_seconds"] / native["wallclock_seconds"]
+    return {
+        "name": name,
+        "variant": variant,
+        "iterations": iterations,
+        "machines": machines,
+        "baseline_seconds": round(pr2["wallclock_seconds"], 4),
+        "optimized_seconds": round(native["wallclock_seconds"], 4),
+        "speedup": round(speedup, 3),
+        "pr2_seconds": round(pr2["wallclock_seconds"], 4),
+        "array_native_seconds": round(native["wallclock_seconds"], 4),
+        "speedup_vs_pr2": round(speedup, 3),
+        "results_match": identical,
+        "plan_cache_hit_rate": round(native["plan_cache_hit_rate"], 4),
+        "write_combine_ratio": round(native["write_combine_ratio"], 4),
+        "simulated_seconds_baseline": pr2["simulated_seconds"],
+        "simulated_seconds_optimized": native["simulated_seconds"],
+        "sim_events": int(native["sim_events"]),
+        "event_pool_hit_rate": round(native["event_pool_hit_rate"], 4),
+        "events_per_sec": round(native["events_per_sec"], 1),
+    }
+
+
 REQUIRED_ENTRY_KEYS = frozenset({
     "name", "variant", "iterations", "machines", "baseline_seconds",
     "optimized_seconds", "speedup", "results_match",
@@ -108,8 +160,13 @@ REQUIRED_ENTRY_KEYS = frozenset({
 })
 
 
-def check_schema(path: Path) -> list[str]:
-    """Validate a result file; returns a list of problems (empty = ok)."""
+def check_schema(path: Path, min_speedup: float = 0.0) -> list[str]:
+    """Validate a result file; returns a list of problems (empty = ok).
+
+    ``min_speedup`` additionally gates every entry carrying a
+    ``speedup_vs_pr2`` field (the array-native entry set): its measured
+    speedup must be at least that factor.
+    """
     problems = []
     try:
         doc = json.loads(path.read_text())
@@ -130,6 +187,11 @@ def check_schema(path: Path) -> list[str]:
                 problems.append(f"entry {i}: {key} must be positive")
         if not e["results_match"]:
             problems.append(f"entry {i} ({e['name']}): results diverged")
+        if min_speedup and "speedup_vs_pr2" in e:
+            if e["speedup_vs_pr2"] < min_speedup:
+                problems.append(
+                    f"entry {i} ({e['name']}): speedup_vs_pr2 "
+                    f"{e['speedup_vs_pr2']} < required {min_speedup}")
     return problems
 
 
@@ -149,10 +211,13 @@ def main(argv=None) -> int:
                     default=REPO_ROOT / "BENCH_wallclock.json")
     ap.add_argument("--check", type=Path, metavar="JSON",
                     help="validate an existing result file and exit")
+    ap.add_argument("--min-speedup", type=float, default=0.0,
+                    help="with --check: require speedup_vs_pr2 of every "
+                         "array-native entry to be at least this factor")
     args = ap.parse_args(argv)
 
     if args.check:
-        problems = check_schema(args.check)
+        problems = check_schema(args.check, min_speedup=args.min_speedup)
         for p in problems:
             print(f"SCHEMA ERROR: {p}", file=sys.stderr)
         print(f"{args.check}: {'FAIL' if problems else 'ok'}")
@@ -172,6 +237,12 @@ def main(argv=None) -> int:
                     args.chunk_size, "pull", repeats=args.repeats),
         bench_entry("pagerank_push", graph, args.machines, args.iterations,
                     args.chunk_size, "push", repeats=args.repeats),
+        bench_entry_native("pagerank_pull_native", graph, args.machines,
+                           args.iterations, args.chunk_size, "pull",
+                           repeats=args.repeats),
+        bench_entry_native("pagerank_push_native", graph, args.machines,
+                           args.iterations, args.chunk_size, "push",
+                           repeats=args.repeats),
     ]
     doc = {
         "schema": SCHEMA,
@@ -185,11 +256,13 @@ def main(argv=None) -> int:
     }
     args.out.write_text(json.dumps(doc, indent=2) + "\n")
     for e in entries:
-        print(f"{e['name']:>14}: {e['baseline_seconds']:.2f}s -> "
+        rate = (f", {e['events_per_sec']:,.0f} ev/s"
+                if "events_per_sec" in e else "")
+        print(f"{e['name']:>21}: {e['baseline_seconds']:.2f}s -> "
               f"{e['optimized_seconds']:.2f}s  ({e['speedup']:.2f}x, "
               f"hit_rate={e['plan_cache_hit_rate']:.2f}, "
               f"combine={e['write_combine_ratio']:.2f}, "
-              f"match={e['results_match']})")
+              f"match={e['results_match']}{rate})")
     print(f"wrote {args.out}")
     return 0
 

@@ -143,14 +143,19 @@ def cmd_run(args) -> int:
 
 
 def cmd_report(args) -> int:
+    import time as _time
+
     from .obs.report import render_overhead_report
 
     algorithm = ALGO_ALIASES.get(args.algo, args.algo)
+    t0 = _time.perf_counter()
     row, cluster, tracer, profiler = _observed_run(args, algorithm)
+    host_elapsed = _time.perf_counter() - t0
     title = (f"{args.algo} on {args.graph} "
              f"(scale {args.scale:g}, {args.machines} machines)")
     print(render_overhead_report(cluster.metrics, title=title,
-                                 elapsed=cluster.now, profile=profiler))
+                                 elapsed=cluster.now, profile=profiler,
+                                 host_elapsed=host_elapsed))
     _export_obs(args, cluster, tracer)
     return 0
 

@@ -51,15 +51,21 @@ def deliver_request(exc: "JobExecution", msg: Message) -> None:
         return
     machine = exc.machines[msg.dst]
     machine.request_queue.append(msg)
-    depth = len(machine.request_queue)
-    exc.hooks.emit("comm.enqueue", machine=msg.dst, kind=msg.kind.value,
-                   depth=depth, time=exc.sim.now)
-    exc.hooks.emit("comm.queue_depth", machine=msg.dst, depth=depth,
-                   time=exc.sim.now)
+    # One queue-depth sample per request, taken at enqueue time (the copier
+    # drain used to emit a second, redundant sample per request).  Both
+    # emits are guarded so an unsubscribed bus costs no payload dict.
+    if exc.emit_enqueue or exc.emit_queue_depth:
+        depth = len(machine.request_queue)
+        if exc.emit_enqueue:
+            exc.hooks.emit("comm.enqueue", machine=msg.dst,
+                           kind=msg.kind.value, depth=depth, time=exc.sim.now)
+        if exc.emit_queue_depth:
+            exc.hooks.emit("comm.queue_depth", machine=msg.dst, depth=depth,
+                           time=exc.sim.now)
     for cs in exc.copiers[msg.dst]:
         if not cs.busy:
             cs.busy = True
-            exc.sim.schedule(0.0, copier_loop, exc, cs)
+            exc.sim.schedule_fast(0.0, copier_loop, exc, cs)
             break
 
 
@@ -77,11 +83,10 @@ def copier_loop(exc: "JobExecution", cs: CopierState) -> None:
         return
     cs.busy = True
     msg = machine.request_queue.popleft()
-    exc.hooks.emit("comm.copier_start", machine=machine.index,
-                   copier=cs.cindex, kind=msg.kind.value,
-                   items=msg.item_count, time=exc.sim.now)
-    exc.hooks.emit("comm.queue_depth", machine=machine.index,
-                   depth=len(machine.request_queue), time=exc.sim.now)
+    if exc.emit_copier_start:
+        exc.hooks.emit("comm.copier_start", machine=machine.index,
+                       copier=cs.cindex, kind=msg.kind.value,
+                       items=msg.item_count, time=exc.sim.now)
     machine.cpu.thread_started()
     tally = _process_message(exc, machine, msg)
     dur = machine.cpu.mixed_duration(tally.cpu_ops, tally.atomic_ops,
@@ -90,19 +95,21 @@ def copier_loop(exc: "JobExecution", cs: CopierState) -> None:
     if exc.faults is not None:
         dur *= exc.faults.work_scale(machine.index, exc.sim.now)
         stall = exc.faults.copier_stall(machine.index)
-    exc.sim.schedule(dur + stall, _copier_done, exc, cs, msg, dur)
+    exc.sim.schedule_fast(dur + stall, _copier_done, exc, cs, msg, dur)
 
 
 def _copier_done(exc: "JobExecution", cs: CopierState, msg: Message,
                  dur: float) -> None:
     cs.machine.cpu.thread_finished(dur)
-    exc.hooks.emit("comm.copier_done", machine=cs.machine.index,
-                   copier=cs.cindex, kind=msg.kind.value,
-                   items=msg.item_count, start=exc.sim.now - dur,
-                   duration=dur)
+    if exc.emit_copier_done:
+        exc.hooks.emit("comm.copier_done", machine=cs.machine.index,
+                       copier=cs.cindex, kind=msg.kind.value,
+                       items=msg.item_count, start=exc.sim.now - dur,
+                       duration=dur)
     # Side effects that become visible when the copier finishes:
     if msg.kind is MsgKind.READ_REQ:
         resp = msg._response  # built in _process_message
+        exc.recycle_message(msg)
         exc.send_response(resp)
     elif msg.kind in (MsgKind.WRITE_REQ,):
         # The write is applied: acknowledge it (stops any retry timer).
@@ -112,6 +119,7 @@ def _copier_done(exc: "JobExecution", cs: CopierState, msg: Message,
             exc.reliability.ack(msg.request_id)
         if exc.audit is not None:
             exc.audit.ack(msg.request_id)
+        exc.recycle_message(msg)
         exc.write_outstanding -= 1
         exc.check_main_done()
     elif msg.kind is MsgKind.GHOST_SYNC:
@@ -119,6 +127,7 @@ def _copier_done(exc: "JobExecution", cs: CopierState, msg: Message,
             exc.reliability.ack(msg.request_id)
         if exc.audit is not None:
             exc.audit.ack(msg.request_id)
+        exc.recycle_message(msg)
         exc.sync_outstanding -= 1
         exc.check_sync_done()
     elif msg.kind is MsgKind.RMI_REQ:
@@ -137,9 +146,10 @@ def _process_message(exc: "JobExecution", machine: "Machine",
     if msg.kind is MsgKind.READ_REQ:
         values = machine.props[msg.prop][msg.offsets]
         n = len(values)
-        msg._response = Message(MsgKind.READ_RESP, src=machine.index,
-                                dst=msg.src, prop=msg.prop, values=values,
-                                request_id=msg.request_id, worker=msg.worker)
+        msg._response = exc.new_message(MsgKind.READ_RESP, machine.index,
+                                        msg.src, prop=msg.prop, values=values,
+                                        request_id=msg.request_id,
+                                        worker=msg.worker)
         tally = WorkTally(cpu_ops=n * per_item_ops, seq_bytes=n * 2 * VALUE_BYTES)
         loc = cache_adjusted_locality(COPIER_READ_LOCALITY,
                                       machine.n_local * VALUE_BYTES,

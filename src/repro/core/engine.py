@@ -37,7 +37,7 @@ from .ghost import select_ghosts
 from .job import Job
 from .jobrunner import JobExecution
 from .machine import Machine
-from .messages import RmiRegistry
+from .messages import MessagePool, RmiRegistry
 from .properties import ReduceOp
 
 
@@ -136,12 +136,15 @@ class PgxdCluster:
 
     def __init__(self, config: Optional[ClusterConfig] = None):
         self.config = config or ClusterConfig()
-        self.sim = Simulator()
+        self.sim = Simulator(fast_path=self.config.engine.array_native_events)
         #: instance-scoped telemetry: every engine layer emits on this bus,
         #: and the recorder keeps the standard ``repro_*`` instruments live.
         self.hooks = HookBus()
         self.metrics = MetricsRegistry()
-        self.recorder = MetricsRecorder(self.metrics, self.hooks)
+        self.metrics.memoize_flat = self.config.engine.array_native_events
+        self.recorder = MetricsRecorder(
+            self.metrics, self.hooks,
+            fast=self.config.engine.array_native_events)
         #: deterministic fault injector, or None when no plan is configured
         #: (None keeps every fault check a single ``is None`` test — the
         #: fault layer is fully pay-for-play)
@@ -153,6 +156,9 @@ class PgxdCluster:
                                faults=self.faults,
                                audit=self.config.engine.audit)
         self.rmi = RmiRegistry()
+        #: cluster-lifetime message/side-structure free lists; job executions
+        #: use them only when pooling is safe (array-native on, no faults)
+        self.msg_pool = MessagePool()
         self.job_log: list[tuple[str, JobStats]] = []
         #: multi-tenant front end; attach with JobScheduler(cluster).  When
         #: set, run_job routes through the scheduler so queued background
@@ -238,6 +244,8 @@ class PgxdCluster:
         if recover is None:
             recover = self.auto_recover
         before = self.metrics.counters_flat()
+        events_before = self.sim.events_executed
+        pool_hits_before = self.sim.event_pool_hits
         recoveries = 0
         while True:
             exc = JobExecution(self, dgraph, job, force_scalar=force_scalar)
@@ -255,10 +263,14 @@ class PgxdCluster:
                 continue
             finally:
                 for ev in crash_events:
-                    Simulator.cancel(ev)
+                    self.sim.cancel(ev)
             break
         self.metrics.counter("repro_jobs_total", labelnames=("kind",)).labels(
             kind=type(job).__name__).inc()
+        self.metrics.counter("repro_sim_events_total").inc(
+            self.sim.events_executed - events_before)
+        self.metrics.counter("repro_sim_event_pool_hits").inc(
+            self.sim.event_pool_hits - pool_hits_before)
         self.metrics.histogram("repro_job_seconds").observe(exc.stats.elapsed)
         exc.stats.metrics_delta = self.metrics.delta_since(before)
         if self.profiler is not None:

@@ -352,7 +352,7 @@ class ReliabilityLayer:
         """The request is known applied (or answered); stop resending."""
         rec = self._pending.pop(request_id, None)
         if rec is not None and rec.event is not None:
-            Simulator.cancel(rec.event)
+            self.exc.sim.cancel(rec.event)
 
     def _expire(self, request_id: int) -> None:
         rec = self._pending.get(request_id)

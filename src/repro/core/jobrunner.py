@@ -27,8 +27,9 @@ from ..runtime.stats import JobStats
 from .comm_manager import CopierState, deliver_request, deliver_response
 from .faults import ReliabilityLayer
 from .job import EdgeMapJob, Job, NodeKernelJob, TaskJob
-from .messages import Message, MsgKind
+from .messages import Message, MsgKind, SideStructure
 from .properties import ReduceOp
+from .routing_plan import canonical_apply
 from .task_manager import WorkerState, wake_worker
 from . import barrier as barrier_mod
 
@@ -83,6 +84,39 @@ class JobExecution:
         #: canonical content-ordered staging (the determinism invariant);
         #: disabling exists only as the audit harness's negative control.
         self.content_sorted = ecfg.content_sorted_staging
+        #: array-native fast paths (cached staging sort); host-side only
+        self.array_native = ecfg.array_native_events
+        #: message/side-structure free lists — safe only when nothing can
+        #: retain a message past its terminal hop, so pooling is off
+        #: whenever the fault layer (retry timers hold message refs) is on
+        self.msg_pool = (cluster.msg_pool
+                         if ecfg.array_native_events and self.faults is None
+                         else None)
+
+        #: per-hook has-subscriber flags, cached once per execution: hot
+        #: emit sites skip building the payload dict entirely when nobody
+        #: listens (subscription changes mid-job are not a supported use).
+        #: With the array-native engine off, every site emits unconditionally
+        #: — the legacy behavior, kept so A/B benchmarks measure this PR's
+        #: full effect (the bus still early-outs on unsubscribed hooks).
+        hooks = self.hooks
+        if self.array_native:
+            self.emit_chunk_start = hooks.has("task.chunk_start")
+            self.emit_chunk_end = hooks.has("task.chunk_end")
+            self.emit_copier_start = hooks.has("comm.copier_start")
+            self.emit_copier_done = hooks.has("comm.copier_done")
+            self.emit_queue_depth = hooks.has("comm.queue_depth")
+            self.emit_enqueue = hooks.has("comm.enqueue")
+            self.emit_flush = hooks.has("comm.flush")
+            self.emit_ghost_class = (hooks.has("ghost.hit")
+                                     or hooks.has("ghost.miss"))
+            self.emit_plan_cache = hooks.has("task.plan_cache")
+        else:
+            self.emit_chunk_start = self.emit_chunk_end = True
+            self.emit_copier_start = self.emit_copier_done = True
+            self.emit_queue_depth = self.emit_enqueue = True
+            self.emit_flush = self.emit_ghost_class = True
+            self.emit_plan_cache = True
 
         self.stats = JobStats(start_time=self.sim.now)
         self.ghosts_active = dgraph.num_ghosts > 0
@@ -180,6 +214,32 @@ class JobExecution:
         """Deterministic per-execution request id (satellite of PR 3)."""
         return next(self._request_ids)
 
+    def new_message(self, kind: MsgKind, src: int, dst: int, **kw) -> Message:
+        """A request/response message, pooled when pooling is safe."""
+        pool = self.msg_pool
+        if pool is not None:
+            return pool.message(kind, src, dst, **kw)
+        return Message(kind, src, dst, **kw)
+
+    def new_side(self, request_id: int, prop: str, rows=None, weights=None,
+                 tasks=None):
+        pool = self.msg_pool
+        if pool is not None:
+            return pool.side(request_id, prop, rows=rows, weights=weights,
+                             tasks=tasks)
+        return SideStructure(request_id=request_id, prop=prop, rows=rows,
+                             weights=weights,
+                             tasks=tasks if tasks is not None else [])
+
+    def recycle_message(self, msg: Message) -> None:
+        """Return a message its terminal hop just consumed (no-op unpooled)."""
+        if self.msg_pool is not None:
+            self.msg_pool.release_message(msg)
+
+    def recycle_side(self, side) -> None:
+        if self.msg_pool is not None:
+            self.msg_pool.release_side(side)
+
     def send_request(self, msg: Message, kind: str) -> None:
         nbytes = msg.wire_bytes()
         self.stats.bytes_by_kind[kind] += nbytes if msg.src != msg.dst else 0.0
@@ -271,10 +331,10 @@ class JobExecution:
                         # so local tasks can read either representation.
                         dst.ghosts.ensure_column(prop, values.dtype)[slots] = values
                         continue
-                    msg = Message(MsgKind.GHOST_SYNC, src=owner.index,
-                                  dst=dst.index, prop=prop,
-                                  offsets=slots, values=values, ghost_pre=True,
-                                  request_id=self.next_request_id())
+                    msg = self.new_message(
+                        MsgKind.GHOST_SYNC, owner.index, dst.index, prop=prop,
+                        offsets=slots, values=values, ghost_pre=True,
+                        request_id=self.next_request_id())
                     self.sync_outstanding += 1
                     self.send_request(msg, kind="ghost_sync")
 
@@ -338,7 +398,7 @@ class JobExecution:
         self._staged_ops[op.name] = op
         self._staged_ghost.setdefault(key, []).append((offsets, values))
 
-    def _apply_staged_group(self, staged: dict) -> None:
+    def _apply_staged_group(self, staged: dict, stage: str) -> None:
         """Apply a staged (machine, prop, op) group set in canonical order.
 
         Group iteration is sorted by key and each group's contributions are
@@ -346,7 +406,8 @@ class JobExecution:
         the data alone — independent of delivery order, of which copier
         processed which message, and of any co-running tenant's traffic.
         The apply work was already priced on the copier timeline when each
-        message was processed.
+        message was processed.  ``stage`` names the staging family
+        ("write"/"ghost") for the per-machine sort-order cache key.
         """
         for key in sorted(staged):
             machine_index, prop, op_name = key
@@ -354,11 +415,30 @@ class JobExecution:
             offs = np.concatenate([o for o, _ in batches])
             vals = np.concatenate([v for _, v in batches])
             op = self._staged_ops[op_name]
-            if self.content_sorted:
-                order = np.lexsort((vals, offs))
-                offs, vals = offs[order], vals[order]
-            op.apply_at(self.machines[machine_index].props[prop], offs, vals)
+            self._staged_apply(op, machine_index, prop, offs, vals,
+                               (stage, prop, op_name))
         staged.clear()
+
+    def _staged_apply(self, op, machine_index: int, prop: str,
+                      rows: np.ndarray, vals: np.ndarray, key) -> None:
+        """Reduce one staged group into its property in canonical order.
+
+        The array-native path produces *identical* results through a cached
+        stable row sort, one complex-key stable sort and a singleton/multi
+        split apply (see :func:`repro.core.routing_plan.canonical_apply`),
+        so the staged reduction stays bit-for-bit the same as the plain
+        lexsort-then-``ufunc.at``.
+        """
+        target = self.machines[machine_index].props[prop]
+        if not self.content_sorted:
+            op.apply_at(target, rows, vals)
+            return
+        if self.array_native:
+            canonical_apply(op, target, rows, vals,
+                            self.machines[machine_index].stage_cache, key)
+            return
+        order = np.lexsort((vals, rows))
+        op.apply_at(target, rows[order], vals[order])
 
     def _apply_staged_responses(self) -> None:
         """Apply staged remote contributions in canonical content order.
@@ -377,15 +457,13 @@ class JobExecution:
                 continue
             rows = np.concatenate([r for r, _ in batches])
             vals = np.concatenate([v for _, v in batches])
-            if self.content_sorted:
-                order = np.lexsort((vals, rows))
-                rows, vals = rows[order], vals[order]
-            spec.op.apply_at(m.props[spec.target], rows, vals)
+            self._staged_apply(spec.op, m.index, spec.target, rows, vals,
+                               ("resp", spec.target))
             batches.clear()
 
     def _phase_postsync(self) -> None:
         self._apply_staged_responses()
-        self._apply_staged_group(self._staged_writes)
+        self._apply_staged_group(self._staged_writes, "write")
         self._set_phase("postsync")
         if not self.ghost_write_props:
             self._phase_barrier()
@@ -403,17 +481,19 @@ class JobExecution:
                                        seq_bytes=elements * 8.0)
             if self.faults is not None:
                 dur *= self.faults.work_scale(m.index, self.sim.now)
-            self.hooks.emit("ghost.reduce_start", machine=m.index,
-                            elements=elements, time=self.sim.now)
-            self.sim.schedule(dur, self._postsync_machine_done, m,
-                              self.sim.now, elements)
+            if self.hooks.has("ghost.reduce_start"):
+                self.hooks.emit("ghost.reduce_start", machine=m.index,
+                                elements=elements, time=self.sim.now)
+            self.sim.schedule_fast(dur, self._postsync_machine_done, m,
+                                   self.sim.now, elements)
 
     def _postsync_machine_done(self, m, started: float,
                                elements: int) -> None:
         """Stage 2: ship ghost partials to the owners."""
-        self.hooks.emit("ghost.reduce_end", machine=m.index,
-                        elements=elements, start=started,
-                        duration=self.sim.now - started)
+        if self.hooks.has("ghost.reduce_end"):
+            self.hooks.emit("ghost.reduce_end", machine=m.index,
+                            elements=elements, start=started,
+                            duration=self.sim.now - started)
         for prop, op in self.ghost_write_props:
             if prop not in m.ghosts.arrays:
                 continue
@@ -424,10 +504,10 @@ class JobExecution:
                 if owner.index == m.index:
                     op.apply_at(m.props[prop], offsets, values)
                     continue
-                msg = Message(MsgKind.GHOST_SYNC, src=m.index, dst=owner.index,
-                              prop=prop, offsets=offsets, values=values, op=op,
-                              ghost_pre=False,
-                              request_id=self.next_request_id())
+                msg = self.new_message(
+                    MsgKind.GHOST_SYNC, m.index, owner.index, prop=prop,
+                    offsets=offsets, values=values, op=op, ghost_pre=False,
+                    request_id=self.next_request_id())
                 self.sync_outstanding += 1
                 self.send_request(msg, kind="ghost_sync")
         self._postsync_pending -= 1
@@ -435,13 +515,13 @@ class JobExecution:
             self.check_sync_done()
 
     def _phase_barrier(self) -> None:
-        self._apply_staged_group(self._staged_ghost)
+        self._apply_staged_group(self._staged_ghost, "ghost")
         self._set_phase("barrier")
         self.hooks.emit("barrier.enter", job=self.job.name,
                         machines=self.num_machines, time=self.sim.now)
         latency = barrier_mod.barrier_latency(self.num_machines,
                                               self.cluster.config.network)
-        self.sim.schedule(latency, self._finalize)
+        self.sim.schedule_fast(latency, self._finalize)
 
     # ------------------------------------------------------------------
     # diagnostics

@@ -21,8 +21,8 @@ from ..graph.partition import Partitioning
 from ..runtime.config import ClusterConfig
 from ..runtime.cpu import MachineCpu
 from .ghost import MachineGhosts
-from .properties import PropertyStore
-from .routing_plan import RoutingPlanCache
+from .properties import PropertyStore, SegmentGroupCache
+from .routing_plan import RoutingPlanCache, StageOrderCache
 
 
 @dataclass
@@ -119,6 +119,13 @@ class Machine:
         #: load, so plans stay valid for the machine's lifetime)
         self.plan_cache = RoutingPlanCache(
             max_bytes=config.engine.plan_cache_max_bytes)
+        #: memoized canonical-staging row permutations (jobrunner's
+        #: content-sorted apply); exact-match verified per use, so it is
+        #: correct for any workload and fast for stationary ones
+        self.stage_cache = StageOrderCache()
+        #: memoized write-combine group structure (worker flush trains are
+        #: stationary across supersteps); content-verified per use
+        self.combine_cache = SegmentGroupCache()
 
     def csr(self, direction: str) -> LocalCsr:
         if direction == "in":

@@ -118,6 +118,97 @@ class SideStructure:
     tasks: list = field(default_factory=list)
 
 
+class MessagePool:
+    """Free lists for the request-path :class:`Message`/:class:`SideStructure`
+    churn.
+
+    The hot loop creates short-lived message trains — a READ_REQ lives from
+    flush to copier completion, a READ_RESP from copier to worker intake —
+    so both object kinds recycle well.  Pooling is only safe when nothing
+    retains a message past its terminal hop: the job runner enables it only
+    when the fault layer is off (retry timers keep message references alive
+    across redeliveries) and releases each object exactly once, at the hop
+    that consumes it.
+    """
+
+    __slots__ = ("cap", "_messages", "_sides", "message_hits", "side_hits")
+
+    def __init__(self, cap: int = 2048):
+        self.cap = cap
+        self._messages: list[Message] = []
+        self._sides: list[SideStructure] = []
+        self.message_hits = 0
+        self.side_hits = 0
+
+    def message(self, kind: MsgKind, src: int, dst: int,
+                prop: Optional[str] = None,
+                offsets: Optional[np.ndarray] = None,
+                values: Optional[np.ndarray] = None,
+                op: Optional[ReduceOp] = None, request_id: int = -1,
+                worker: int = -1, ghost_pre: bool = False) -> Message:
+        pool = self._messages
+        if not pool:
+            return Message(kind, src, dst, prop=prop, offsets=offsets,
+                           values=values, op=op, request_id=request_id,
+                           worker=worker, ghost_pre=ghost_pre)
+        m = pool.pop()
+        m.kind = kind
+        m.src = src
+        m.dst = dst
+        m.prop = prop
+        m.offsets = offsets
+        m.values = values
+        m.op = op
+        m.request_id = request_id if request_id >= 0 else next(_msg_ids)
+        m.worker = worker
+        m.ghost_pre = ghost_pre
+        self.message_hits += 1
+        return m
+
+    def release_message(self, msg: Message) -> None:
+        """Return a message whose terminal hop just consumed it.  Payload
+        references are dropped here; the arrays themselves stay alive for as
+        long as staging or the caller holds them."""
+        if len(self._messages) >= self.cap:
+            return
+        msg.prop = None
+        msg.offsets = None
+        msg.values = None
+        msg.op = None
+        msg.rmi_fn = -1
+        msg.rmi_args = ()
+        msg.payload_bytes_override = None
+        if getattr(msg, "_response", None) is not None:
+            msg._response = None
+        self._messages.append(msg)
+
+    def side(self, request_id: int, prop: str,
+             rows: Optional[np.ndarray] = None,
+             weights: Optional[np.ndarray] = None,
+             tasks: Optional[list] = None) -> SideStructure:
+        pool = self._sides
+        if not pool:
+            return SideStructure(request_id=request_id, prop=prop, rows=rows,
+                                 weights=weights,
+                                 tasks=tasks if tasks is not None else [])
+        s = pool.pop()
+        s.request_id = request_id
+        s.prop = prop
+        s.rows = rows
+        s.weights = weights
+        s.tasks = tasks if tasks is not None else []
+        self.side_hits += 1
+        return s
+
+    def release_side(self, side: SideStructure) -> None:
+        if len(self._sides) >= self.cap:
+            return
+        side.rows = None
+        side.weights = None
+        side.tasks = []
+        self._sides.append(side)
+
+
 class ReadBuffer:
     """Per-worker, per-destination accumulator of read requests (vectorized)."""
 
@@ -178,18 +269,21 @@ class WriteBuffer:
     def empty(self) -> bool:
         return not self.offsets
 
-    def drain(self, combine: Optional[ReduceOp] = None
-              ) -> tuple[np.ndarray, np.ndarray]:
+    def drain(self, combine: Optional[ReduceOp] = None, cache=None,
+              key=None) -> tuple[np.ndarray, np.ndarray]:
         """Concatenate the buffered batches; with ``combine`` set, collapse
         duplicate offsets through :meth:`ReduceOp.segment_reduce` first so
-        each target travels (and is atomically applied) once per flush."""
+        each target travels (and is atomically applied) once per flush.
+        ``cache``/``key`` memoize the combine's group structure for
+        recurring trains (see :class:`~.properties.SegmentGroupCache`)."""
         offsets = np.concatenate(self.offsets)
         values = np.concatenate(self.values)
         self.offsets.clear()
         self.values.clear()
         self.nbytes = 0.0
         if combine is not None and len(offsets):
-            offsets, values = combine.segment_reduce(offsets, values)
+            offsets, values = combine.segment_reduce(offsets, values,
+                                                     cache=cache, key=key)
         return offsets, values
 
 

@@ -43,7 +43,6 @@ from ..obs.hooks import ScopedHookBus
 from .faults import EngineStallError, MachineCrashError
 from .job import Job
 from .jobrunner import JobExecution
-from ..runtime.simulator import Simulator
 from ..runtime.stats import JobStats
 
 
@@ -452,7 +451,7 @@ class JobScheduler:
                     crash_events = self._recover_running(crash_events)
         finally:
             for ev in crash_events:
-                Simulator.cancel(ev)
+                cl.sim.cancel(ev)
 
     def run_inline(self, dgraph, job: Job, force_scalar: bool = False,
                    recover: Optional[bool] = None,
@@ -495,7 +494,7 @@ class JobScheduler:
                 break
         finally:
             for ev in crash_events:
-                Simulator.cancel(ev)
+                cl.sim.cancel(ev)
         return ticket.stats
 
     # -- crash recovery ----------------------------------------------------
@@ -528,7 +527,7 @@ class JobScheduler:
         self._recoveries += 1
         cl.sim.clear_pending()
         for ev in crash_events:
-            Simulator.cancel(ev)
+            cl.sim.cancel(ev)
         for ticket in active:
             cl._reset_dgraph_state(ticket.dgraph)
             if ticket.scope is not None:

@@ -143,22 +143,23 @@ class WorkerState:
 
     def _flush_read(self, dst: int, prop: str, buf: ReadBuffer) -> None:
         offsets, rows, weights = buf.drain()
-        self.exc.hooks.emit("comm.flush", machine=self.machine.index,
-                            worker=self.windex, dst=dst, prop=prop,
-                            kind="read_req", items=len(offsets),
-                            time=self.exc.sim.now)
+        exc = self.exc
+        if exc.emit_flush:
+            exc.hooks.emit("comm.flush", machine=self.machine.index,
+                           worker=self.windex, dst=dst, prop=prop,
+                           kind="read_req", items=len(offsets),
+                           time=exc.sim.now)
         # Chunks append whole batches at once, so a buffer can exceed the
-        # maximum message size; ship it as a train of full buffers.
+        # maximum message size; ship it as a train of full (pooled) buffers.
         step = self._max_items(8)
         for i in range(0, len(offsets), step):
-            msg = Message(MsgKind.READ_REQ, src=self.machine.index, dst=dst,
-                          prop=prop, offsets=offsets[i:i + step],
-                          worker=self.windex,
-                          request_id=self.exc.next_request_id())
-            side = SideStructure(request_id=msg.request_id, prop=prop,
-                                 rows=rows[i:i + step],
-                                 weights=None if weights is None
-                                 else weights[i:i + step])
+            rid = exc.next_request_id()
+            msg = exc.new_message(MsgKind.READ_REQ, self.machine.index, dst,
+                                  prop=prop, offsets=offsets[i:i + step],
+                                  worker=self.windex, request_id=rid)
+            side = exc.new_side(rid, prop, rows=rows[i:i + step],
+                                weights=None if weights is None
+                                else weights[i:i + step])
             self._dispatch_read(msg, side)
 
     def _flush_scalar_read(self, dst: int, prop: str, buf: ScalarReadBuffer) -> None:
@@ -166,18 +167,19 @@ class WorkerState:
         sides = list(buf.sides)
         buf.offsets.clear()
         buf.sides.clear()
-        self.exc.hooks.emit("comm.flush", machine=self.machine.index,
-                            worker=self.windex, dst=dst, prop=prop,
-                            kind="read_req", items=len(offsets),
-                            time=self.exc.sim.now)
+        exc = self.exc
+        if exc.emit_flush:
+            exc.hooks.emit("comm.flush", machine=self.machine.index,
+                           worker=self.windex, dst=dst, prop=prop,
+                           kind="read_req", items=len(offsets),
+                           time=exc.sim.now)
         step = self._max_items(8)
         for i in range(0, len(offsets), step):
-            msg = Message(MsgKind.READ_REQ, src=self.machine.index, dst=dst,
-                          prop=prop, offsets=offsets[i:i + step],
-                          worker=self.windex,
-                          request_id=self.exc.next_request_id())
-            side = SideStructure(request_id=msg.request_id, prop=prop,
-                                 tasks=sides[i:i + step])
+            rid = exc.next_request_id()
+            msg = exc.new_message(MsgKind.READ_REQ, self.machine.index, dst,
+                                  prop=prop, offsets=offsets[i:i + step],
+                                  worker=self.windex, request_id=rid)
+            side = exc.new_side(rid, prop, tasks=sides[i:i + step])
             self._dispatch_read(msg, side)
 
     def _dispatch_read(self, msg: Message, side: SideStructure) -> None:
@@ -199,22 +201,26 @@ class WorkerState:
         exc = self.exc
         if exc.combine_writes:
             items_in = int(sum(len(o) for o in buf.offsets))
-            offsets, values = buf.drain(combine=op)
+            cache = self.machine.combine_cache if exc.array_native else None
+            offsets, values = buf.drain(combine=op, cache=cache,
+                                        key=(self.windex, dst, prop))
             self._account_combine(dst, prop, items_in, len(offsets))
         else:
             offsets, values = buf.drain()
-        self.exc.hooks.emit("comm.flush", machine=self.machine.index,
-                            worker=self.windex, dst=dst, prop=prop,
-                            kind="write_req", items=len(offsets),
-                            time=self.exc.sim.now)
+        if exc.emit_flush:
+            exc.hooks.emit("comm.flush", machine=self.machine.index,
+                           worker=self.windex, dst=dst, prop=prop,
+                           kind="write_req", items=len(offsets),
+                           time=exc.sim.now)
         step = self._max_items(16)
         for i in range(0, len(offsets), step):
-            msg = Message(MsgKind.WRITE_REQ, src=self.machine.index, dst=dst,
-                          prop=prop, offsets=offsets[i:i + step],
-                          values=values[i:i + step], op=op, worker=self.windex,
-                          request_id=self.exc.next_request_id())
-            self.exc.write_outstanding += 1
-            self.exc.send_request(msg, kind="write_req")
+            msg = exc.new_message(MsgKind.WRITE_REQ, self.machine.index, dst,
+                                  prop=prop, offsets=offsets[i:i + step],
+                                  values=values[i:i + step], op=op,
+                                  worker=self.windex,
+                                  request_id=exc.next_request_id())
+            exc.write_outstanding += 1
+            exc.send_request(msg, kind="write_req")
 
     def _account_combine(self, dst: int, prop: str, items_in: int,
                          items_out: int) -> None:
@@ -238,18 +244,20 @@ class WorkerState:
             items_in = len(offsets)
             offsets, values = op.segment_reduce(offsets, values)
             self._account_combine(dst, prop, items_in, len(offsets))
-        self.exc.hooks.emit("comm.flush", machine=self.machine.index,
-                            worker=self.windex, dst=dst, prop=prop,
-                            kind="write_req", items=len(offsets),
-                            time=self.exc.sim.now)
+        if exc.emit_flush:
+            exc.hooks.emit("comm.flush", machine=self.machine.index,
+                           worker=self.windex, dst=dst, prop=prop,
+                           kind="write_req", items=len(offsets),
+                           time=exc.sim.now)
         step = self._max_items(16)
         for i in range(0, len(offsets), step):
-            msg = Message(MsgKind.WRITE_REQ, src=self.machine.index, dst=dst,
-                          prop=prop, offsets=offsets[i:i + step],
-                          values=values[i:i + step], op=op, worker=self.windex,
-                          request_id=self.exc.next_request_id())
-            self.exc.write_outstanding += 1
-            self.exc.send_request(msg, kind="write_req")
+            msg = exc.new_message(MsgKind.WRITE_REQ, self.machine.index, dst,
+                                  prop=prop, offsets=offsets[i:i + step],
+                                  values=values[i:i + step], op=op,
+                                  worker=self.windex,
+                                  request_id=exc.next_request_id())
+            exc.write_outstanding += 1
+            exc.send_request(msg, kind="write_req")
 
     # -- response intake --------------------------------------------------------
 
@@ -279,6 +287,9 @@ class WorkerState:
                     break
                 self.parked.append((pmsg, pside))
         self.pending_resp.append((side, msg.values))
+        # The response message's terminal hop: its values array lives on in
+        # pending_resp, the carrier object goes back to the pool.
+        self.exc.recycle_message(msg)
         wake_worker(self.exc, self)
 
 
@@ -291,25 +302,28 @@ def wake_worker(exc: "JobExecution", ws: WorkerState) -> None:
     if ws.done or ws.scheduled:
         return
     ws.scheduled = True
-    exc.sim.schedule(0.0, worker_loop, exc, ws)
+    exc.sim.schedule_fast(0.0, worker_loop, exc, ws)
 
 
 def worker_loop(exc: "JobExecution", ws: WorkerState) -> None:
+    # Work is dispatched as (function, args) descriptors rather than lambda
+    # closures: the loop runs once per chunk/continuation/flush, and the
+    # closure objects were pure allocation churn on the hot path.
     ws.scheduled = False
     if ws.done:
         return
     m = ws.machine
     if ws.pending_resp:
         side, values = ws.pending_resp.popleft()
-        _start_work(exc, ws, lambda: _process_response(exc, ws, side, values))
+        _start_work(exc, ws, _process_response, (exc, ws, side, values))
         return
     if m.chunk_queue:
         lo, hi = m.chunk_queue.popleft()
-        _start_work(exc, ws, lambda: _execute_chunk(exc, ws, lo, hi),
+        _start_work(exc, ws, _execute_chunk, (exc, ws, lo, hi),
                     chunk_overhead=True)
         return
     if ws.has_buffered():
-        _start_work(exc, ws, ws.flush_all)
+        _start_work(exc, ws, WorkerState.flush_all, (ws,))
         return
     if ws.outstanding_reads == 0:
         ws.done = True
@@ -317,15 +331,16 @@ def worker_loop(exc: "JobExecution", ws: WorkerState) -> None:
     # otherwise: idle until a response wakes us.
 
 
-def _start_work(exc: "JobExecution", ws: WorkerState, fn,
+def _start_work(exc: "JobExecution", ws: WorkerState, fn, args: tuple,
                 chunk_overhead: bool = False) -> None:
     m = ws.machine
     kind = "chunk" if chunk_overhead else "continuation/flush"
     t0 = exc.sim.now
-    exc.hooks.emit("task.chunk_start", machine=m.index, worker=ws.windex,
-                   kind=kind, job=exc.job.name, time=t0)
+    if exc.emit_chunk_start:
+        exc.hooks.emit("task.chunk_start", machine=m.index, worker=ws.windex,
+                       kind=kind, job=exc.job.name, time=t0)
     m.cpu.thread_started()
-    tally = fn()
+    tally = fn(*args)
     if ws.deferred_cpu_ops:
         tally.cpu_ops += ws.deferred_cpu_ops
         ws.deferred_cpu_ops = 0.0
@@ -337,16 +352,17 @@ def _start_work(exc: "JobExecution", ws: WorkerState, fn,
         dur *= exc.faults.work_scale(m.index, t0)
     exc.stats.record_busy(m.index, ws.windex, t0, t0 + dur)
     ws.scheduled = True
-    exc.sim.schedule(dur, _end_work, exc, ws, dur, kind, t0)
+    exc.sim.schedule_fast(dur, _end_work, exc, ws, dur, kind, t0)
 
 
 def _end_work(exc: "JobExecution", ws: WorkerState, dur: float,
               kind: str = "chunk", start: float = 0.0) -> None:
     ws.machine.cpu.thread_finished(dur)
     ws.scheduled = False
-    exc.hooks.emit("task.chunk_end", machine=ws.machine.index,
-                   worker=ws.windex, kind=kind, job=exc.job.name,
-                   start=start, duration=dur)
+    if exc.emit_chunk_end:
+        exc.hooks.emit("task.chunk_end", machine=ws.machine.index,
+                       worker=ws.windex, kind=kind, job=exc.job.name,
+                       start=start, duration=dur)
     worker_loop(exc, ws)
 
 
@@ -393,6 +409,9 @@ def _process_response(exc: "JobExecution", ws: WorkerState,
             task.read_done(ctx, value, tag)
         tally.atomic_ops += ws.pending_atomics
         ws.pending_atomics = 0
+    # The side structure is fully consumed (rows were handed to staging,
+    # scalar tasks were walked): return it to the pool.
+    exc.recycle_side(side)
     return tally
 
 

@@ -224,11 +224,20 @@ def _pull_planned(exc, machine, ws, spec, tally, plan: "ChunkPlan",
         if not n:
             continue
         if from_ghost:
-            vals = machine.ghosts.arrays[spec.source][sel]
+            src = machine.ghosts.arrays[spec.source]
             ws_bytes = machine.ghosts.num_ghosts * VALUE_BYTES
         else:
-            vals = machine.props[spec.source][sel]
+            src = machine.props[spec.source]
             ws_bytes = machine.n_local * VALUE_BYTES
+        if exc.array_native:
+            # Gather into a persistent per-machine scratch buffer: the
+            # values are consumed by apply_at below within this chunk, so
+            # the ~chunk-sized allocation (and its page faults) per chunk
+            # buys nothing.
+            vals = np.take(src, sel, mode="clip",
+                           out=machine.stage_cache.scratch(n, src.dtype, 2))
+        else:
+            vals = src[sel]
         vals = spec.apply_transform(vals, w)
         spec.op.apply_at(target, sel_rows, vals)
         exc.stats.local_reads += n
@@ -242,13 +251,11 @@ def _pull_planned(exc, machine, ws, spec, tally, plan: "ChunkPlan",
         exc.stats.remote_reads += n
         tally.cpu_ops += n * (exc.marshal_per_item / exc.cpu_op_time)
         tally.seq_bytes += n * 2 * VALUE_BYTES  # marshal into the buffer
-        bounds = plan.bounds
-        for dst in range(exc.num_machines):
-            b0, b1 = bounds[dst], bounds[dst + 1]
-            if b1 <= b0:
-                continue
+        # Destination-sorted sub-chunks: one fused append per destination,
+        # pre-sliced at plan build time (same batches the bounds loop made).
+        for dst, b0, b1, run_offsets, run_rows in plan.dest_runs:
             buf = ws.read_buf(dst, spec.source)
-            buf.append(plan.remote_offsets[b0:b1], plan.remote_rows[b0:b1],
+            buf.append(run_offsets, run_rows,
                        w_remote[b0:b1] if w_remote is not None else None)
             ws.maybe_flush_reads(dst, spec.source)
 
@@ -256,7 +263,16 @@ def _pull_planned(exc, machine, ws, spec, tally, plan: "ChunkPlan",
 def _push_planned(exc, machine, ws, spec, tally, plan: "ChunkPlan",
                   edge_data) -> None:
     weights = edge_data[plan.es:plan.ee] if edge_data is not None else None
-    src_vals = machine.props[spec.source][plan.rows]
+    src = machine.props[spec.source]
+    if exc.array_native:
+        # Per-chunk transient: gather into persistent scratch (the remote
+        # slice below re-copies before buffering, so nothing aliasing this
+        # buffer outlives the chunk).
+        src_vals = np.take(src, plan.rows, mode="clip",
+                           out=machine.stage_cache.scratch(
+                               plan.n_edges, src.dtype, 2))
+    else:
+        src_vals = src[plan.rows]
     src_vals = spec.apply_transform(src_vals, weights)
     tally.add_bytes(plan.n_edges * VALUE_BYTES, PUSH_SRC_LOCALITY)
 
@@ -292,13 +308,10 @@ def _push_planned(exc, machine, ws, spec, tally, plan: "ChunkPlan",
         exc.stats.remote_writes += n
         tally.cpu_ops += n * (exc.marshal_per_item / exc.cpu_op_time)
         tally.seq_bytes += n * 2 * VALUE_BYTES
-        bounds = plan.bounds
-        for dst in range(exc.num_machines):
-            b0, b1 = bounds[dst], bounds[dst + 1]
-            if b1 <= b0:
-                continue
+        # Destination-sorted sub-chunks, as in _pull_planned.
+        for dst, b0, b1, run_offsets, _ in plan.dest_runs:
             buf = ws.write_buf(dst, spec.target, spec.op)
-            buf.append(plan.remote_offsets[b0:b1], rem_vals[b0:b1])
+            buf.append(run_offsets, rem_vals[b0:b1])
             ws.maybe_flush_writes(dst, spec.target)
 
 

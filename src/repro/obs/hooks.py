@@ -181,14 +181,22 @@ class ScopedHookBus:
         self.tags = dict(tags or {})
 
     def has(self, name: str) -> bool:
-        if self.outer.has(name):
+        if name in self.outer._subs:
             return True
-        return self.inner is not None and self.inner.has(name)
+        return self.inner is not None and name in self.inner._subs
 
     def emit(self, name: str, **payload) -> None:
+        # Has-subscribers guard: skip the tag merge and double dispatch when
+        # neither bus listens (the caller already paid for the payload dict,
+        # which is why hot emit sites additionally pre-check ``has``).
+        inner = self.inner
+        outer_has = name in self.outer._subs
+        if not outer_has and (inner is None or name not in inner._subs):
+            return
         if self.tags:
             for key, value in self.tags.items():
                 payload.setdefault(key, value)
-        self.outer.emit(name, **payload)
-        if self.inner is not None:
-            self.inner.emit(name, **payload)
+        if outer_has:
+            self.outer.emit(name, **payload)
+        if inner is not None:
+            inner.emit(name, **payload)

@@ -221,6 +221,12 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._metrics: dict[str, _Family] = {}
+        #: memoized ``name{labels}`` series strings for counters_flat —
+        #: formatting dominates per-job delta snapshots otherwise.  Clusters
+        #: running with the array-native engine off disable the memo so A/B
+        #: benchmarks charge it to the feature it shipped with.
+        self.memoize_flat = True
+        self._flat_names: dict[tuple[str, tuple[str, ...]], str] = {}
 
     # -- registration (idempotent) -----------------------------------------
 
@@ -296,14 +302,24 @@ class MetricsRegistry:
         excluded — a gauge delta is not meaningful.
         """
         flat: dict[str, float] = {}
+        names = self._flat_names
         for metric in self:
+            kind = metric.kind
+            if kind != "counter" and kind != "histogram":
+                continue
             for key, child in metric.children():
-                suffix = "".join(
-                    f'{n}="{v}",' for n, v in zip(metric.labelnames, key))
-                label_str = "{" + suffix.rstrip(",") + "}" if suffix else ""
-                if metric.kind == "counter":
+                cache_key = (metric.name, key)
+                label_str = names.get(cache_key) if self.memoize_flat else None
+                if label_str is None:
+                    suffix = "".join(
+                        f'{n}="{v}",' for n, v in zip(metric.labelnames, key))
+                    label_str = ("{" + suffix.rstrip(",") + "}"
+                                 if suffix else "")
+                    if self.memoize_flat:
+                        names[cache_key] = label_str
+                if kind == "counter":
                     flat[f"{metric.name}{label_str}"] = child.value
-                elif metric.kind == "histogram":
+                else:
                     flat[f"{metric.name}_sum{label_str}"] = child.sum
                     flat[f"{metric.name}_count{label_str}"] = float(child.count)
         return flat

@@ -15,9 +15,14 @@ from .metrics import DEFAULT_BYTE_BUCKETS, MetricsRegistry
 class MetricsRecorder:
     """Subscribes the standard engine metrics to a cluster's hook bus."""
 
-    def __init__(self, registry: MetricsRegistry, bus: HookBus):
+    def __init__(self, registry: MetricsRegistry, bus: HookBus,
+                 fast: bool = True):
         self.registry = registry
         self.bus = bus
+        #: with ``fast`` off the handlers resolve label children through the
+        #: family every call (the legacy path) — lets A/B benchmarks charge
+        #: the memoization to the array-native engine it shipped with
+        self.fast = fast
         r = registry
 
         self.chunks = r.counter(
@@ -150,6 +155,16 @@ class MetricsRecorder:
         # Updated by PgxdCluster.run_job (no hook needed — the driver knows).
         r.counter("repro_jobs_total", "Parallel regions executed", ("kind",))
         r.histogram("repro_job_seconds", "Job elapsed time distribution")
+        r.counter("repro_sim_events_total",
+                  "Discrete events executed by the simulator")
+        r.counter("repro_sim_event_pool_hits",
+                  "Simulator events served from the recycled-event pool")
+
+        # Hot handlers run per chunk / per message; memoize the label-child
+        # resolution (a kwargs dict + validation per call otherwise).
+        self._chunk_children: dict = {}
+        self._kind_children: dict = {}
+        self._machine_children: dict = {}
 
         self._subs: list[Subscription] = bus.subscribe_many({
             "task.chunk_end": self._on_chunk_end,
@@ -185,30 +200,60 @@ class MetricsRecorder:
     # -- hook handlers -----------------------------------------------------
 
     def _on_chunk_end(self, p: dict) -> None:
-        machine = str(p["machine"])
-        self.chunks.labels(machine=machine, kind=p["kind"]).inc()
-        self.worker_busy.labels(machine=machine).inc(p["duration"])
-        self.chunk_seconds.labels(kind=p["kind"]).observe(p["duration"])
+        key = (p["machine"], p["kind"])
+        ch = self._chunk_children.get(key) if self.fast else None
+        if ch is None:
+            machine = str(p["machine"])
+            ch = (self.chunks.labels(machine=machine, kind=p["kind"]),
+                  self.worker_busy.labels(machine=machine),
+                  self.chunk_seconds.labels(kind=p["kind"]))
+            if self.fast:
+                self._chunk_children[key] = ch
+        chunks, busy, seconds = ch
+        chunks.inc()
+        busy.inc(p["duration"])
+        seconds.observe(p["duration"])
+
+    def _kind_child(self, family, kind):
+        if not self.fast:
+            return family.labels(kind=kind)
+        key = (family.name, kind)
+        child = self._kind_children.get(key)
+        if child is None:
+            child = self._kind_children[key] = family.labels(kind=kind)
+        return child
+
+    def _machine_child(self, family, machine):
+        if not self.fast:
+            return family.labels(machine=str(machine))
+        key = (family.name, machine)
+        child = self._machine_children.get(key)
+        if child is None:
+            child = self._machine_children[key] = family.labels(
+                machine=str(machine))
+        return child
 
     def _on_flush(self, p: dict) -> None:
-        self.flushes.labels(kind=p["kind"]).inc()
-        self.flush_items.labels(kind=p["kind"]).inc(p["items"])
+        kind = p["kind"]
+        self._kind_child(self.flushes, kind).inc()
+        self._kind_child(self.flush_items, kind).inc(p["items"])
 
     def _on_enqueue(self, p: dict) -> None:
-        self.comm_requests.labels(kind=p["kind"]).inc()
+        self._kind_child(self.comm_requests, p["kind"]).inc()
 
     def _on_queue_depth(self, p: dict) -> None:
-        self.queue_depth.labels(machine=str(p["machine"])).set(p["depth"])
+        self._machine_child(self.queue_depth, p["machine"]).set(p["depth"])
         self.queue_depth_samples.observe(p["depth"])
 
     def _on_copier_done(self, p: dict) -> None:
-        self.copier_busy.labels(machine=str(p["machine"])).inc(p["duration"])
-        self.copier_messages.labels(kind=p["kind"]).inc()
+        self._machine_child(self.copier_busy,
+                            p["machine"]).inc(p["duration"])
+        self._kind_child(self.copier_messages, p["kind"]).inc()
 
     def _on_net_send(self, p: dict) -> None:
         kind = p["kind"]
-        self.net_messages.labels(kind=kind).inc()
-        self.net_bytes.labels(kind=kind).inc(p["nbytes"])
+        self._kind_child(self.net_messages, kind).inc()
+        self._kind_child(self.net_bytes, kind).inc(p["nbytes"])
         if p["deliver"] is not None:  # dropped messages never deliver
             self.net_transit.inc(p["deliver"] - p["time"])
         self.net_message_bytes.observe(p["nbytes"])
@@ -217,11 +262,20 @@ class MetricsRecorder:
         self.net_dropped.labels(kind=p["kind"]).inc()
         self.net_dropped_bytes.labels(kind=p["kind"]).inc(p["nbytes"])
 
+    def _mode_child(self, family, mode):
+        if not self.fast:
+            return family.labels(mode=mode)
+        key = (family.name, mode)
+        child = self._kind_children.get(key)
+        if child is None:
+            child = self._kind_children[key] = family.labels(mode=mode)
+        return child
+
     def _on_ghost_hit(self, p: dict) -> None:
-        self.ghost_hits.labels(mode=p["mode"]).inc(p.get("count", 1))
+        self._mode_child(self.ghost_hits, p["mode"]).inc(p.get("count", 1))
 
     def _on_ghost_miss(self, p: dict) -> None:
-        self.ghost_misses.labels(mode=p["mode"]).inc(p.get("count", 1))
+        self._mode_child(self.ghost_misses, p["mode"]).inc(p.get("count", 1))
 
     def _on_plan_cache(self, p: dict) -> None:
         result = "hit" if p["hit"] else "miss"
@@ -231,8 +285,17 @@ class MetricsRecorder:
         self.plan_cache_hit_ratio.set(self._plan_hits / self._plan_lookups)
 
     def _on_combine(self, p: dict) -> None:
-        self.combine_items.labels(stage="in").inc(p["items_in"])
-        self.combine_items.labels(stage="out").inc(p["items_out"])
+        if self.fast:
+            if not hasattr(self, "_combine_children"):
+                self._combine_children = (
+                    self.combine_items.labels(stage="in"),
+                    self.combine_items.labels(stage="out"))
+            c_in, c_out = self._combine_children
+        else:
+            c_in = self.combine_items.labels(stage="in")
+            c_out = self.combine_items.labels(stage="out")
+        c_in.inc(p["items_in"])
+        c_out.inc(p["items_out"])
         self._combine_in += p["items_in"]
         self._combine_out += p["items_out"]
         if self._combine_in:

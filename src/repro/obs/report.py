@@ -136,13 +136,16 @@ def _table(title: str, headers: list[str], rows: list[list[str]]) -> str:
 
 def render_overhead_report(registry: MetricsRegistry, title: str = "",
                            elapsed: float | None = None,
-                           profile=None) -> str:
+                           profile=None,
+                           host_elapsed: float | None = None) -> str:
     """The ``repro report`` payload: per-layer table plus traffic/ghost lines.
 
     ``profile`` is an installed :class:`~repro.obs.profiler.SpanProfiler`
     (or None): when given, the layer table gains critical-path columns —
     how many of each layer's instrumented seconds actually gated job
-    completion — plus a straggler line below the table.
+    completion — plus a straggler line below the table.  ``host_elapsed``
+    is real (wall-clock) seconds spent driving the simulation; when given,
+    the event line reports the host-side event execution rate.
     """
     bd = overhead_breakdown(registry)
     path_layers = profile.layer_summary() if profile is not None else {}
@@ -195,6 +198,14 @@ def render_overhead_report(registry: MetricsRegistry, title: str = "",
     jobs = _family_sum(registry, "repro_jobs_total")
     barriers = _family_sum(registry, "repro_barriers_total")
     parts.append(f"jobs: {jobs:.0f}  barriers: {barriers:.0f}")
+    events = _family_sum(registry, "repro_sim_events_total")
+    if events:
+        pool_hits = _family_sum(registry, "repro_sim_event_pool_hits")
+        line = (f"events: {events:.0f} executed; "
+                f"pool hits: {pool_hits:.0f} ({pool_hits / events:.1%})")
+        if host_elapsed is not None and host_elapsed > 0:
+            line += f"; rate: {events / host_elapsed:,.0f} events/s (host)"
+        parts.append(line)
     ss = scheduler_summary(registry)
     if any(ss.values()):
         dispatched = ss["dispatched"] or 1.0

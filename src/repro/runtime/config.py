@@ -178,6 +178,15 @@ class EngineConfig:
     #: negative control, to prove the auditor detects the divergence.
     content_sorted_staging: bool = True
 
+    #: Master switch for the array-native event-engine fast paths: the
+    #: simulator's same-time run queue and event free list, message/side-
+    #: structure pooling on the request path, and the cached canonical
+    #: staging sort.  Purely host-side — schedules, simulated times,
+    #: traffic and results are bit-identical with the switch on or off.
+    #: Off exists for A/B benchmarking (bench_wallclock measures both)
+    #: and as a debugging fallback.
+    array_native_events: bool = True
+
 
 @dataclass(frozen=True)
 class ClusterConfig:

@@ -115,7 +115,7 @@ class Network:
             # local requests are resolved immediately); a nominal handoff
             # keeps event ordering sane.
             deliver = now + 1e-9
-            self.sim.schedule_at(deliver, callback, *args)
+            self.sim.schedule_at_fast(deliver, callback, *args)
             return deliver
 
         cfg = self.config
@@ -147,7 +147,7 @@ class Network:
             return arrive
         rx_done = self._rx[dst].occupy(arrive, nbytes / cfg.link_bw)
         deliver = self._poller_in[dst].occupy(rx_done, cfg.poller_per_message)
-        self.sim.schedule_at(deliver, callback, *args)
+        self.sim.schedule_at_fast(deliver, callback, *args)
         emit_deliver = bus.has("net.deliver")
         if action == "dup":
             # A fabric-level duplicate: the same payload surfaces a second
@@ -158,7 +158,7 @@ class Network:
                                           nbytes / cfg.link_bw)
             dup_deliver = self._poller_in[dst].occupy(dup_rx,
                                                       cfg.poller_per_message)
-            self.sim.schedule_at(dup_deliver, callback, *args)
+            self.sim.schedule_at_fast(dup_deliver, callback, *args)
             if emit_deliver:
                 self.sim.schedule_at(dup_deliver, partial(
                     bus.emit, "net.deliver", src=src, dst=dst,

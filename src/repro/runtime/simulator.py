@@ -8,11 +8,22 @@ O(chunks + messages) events, not O(edges).
 Determinism: ties in event time are broken by insertion sequence number, so
 two runs with the same inputs produce bit-identical schedules and clocks.
 
+Hot path: the engine's dominant event pattern is zero-delay wake/work/done
+cycles at the current clock.  Those bypass the heap through a FIFO *run
+queue* (same-time events in seq order are FIFO by construction) and, when
+scheduled through :meth:`Simulator.schedule_fast`, reuse :class:`Event`
+objects from a free list.  Both fast paths preserve (time, tie, seq) order
+exactly: the dispatcher always executes the minimum of the heap head and the
+run-queue head, and the run queue is only used while no tie breaker is
+installed (every tie key is 0, so seq order *is* the sort order).
+
 Schedule perturbation: :meth:`Simulator.set_tie_breaker` installs a seeded
 tie key drawn per event that sorts *between* time and sequence number.  It
 permutes the execution order of equal-time events only — the one reordering
 a correct engine must tolerate — which is what the determinism auditor
 (:mod:`repro.audit`) exploits to explore K distinct legal schedules.
+Installing it flushes the run queue back into the heap and disables the
+FIFO shortcut, so perturbed runs exercise the fully general dispatcher.
 """
 
 from __future__ import annotations
@@ -24,9 +35,18 @@ from typing import Any, Callable, Generator, Optional
 
 
 class Event:
-    """A scheduled callback.  Cancelable; compares by (time, tie, seq)."""
+    """A scheduled callback.  Cancelable; compares by (time, tie, seq).
 
-    __slots__ = ("time", "tie", "seq", "fn", "args", "cancelled")
+    ``recycle`` marks events created through the :meth:`Simulator
+    .schedule_fast` free-list path: their handles are by contract discarded
+    by the caller, so the simulator returns them to the pool after they
+    fire.  Events whose handles may be retained (everything returned by
+    ``schedule``/``schedule_at``) are never pooled — a late ``cancel`` on a
+    fired handle must stay a no-op instead of killing an unrelated reused
+    event.
+    """
+
+    __slots__ = ("time", "tie", "seq", "fn", "args", "cancelled", "recycle")
 
     def __init__(self, time: float, seq: int, fn: Callable, args: tuple,
                  tie: int = 0):
@@ -36,6 +56,7 @@ class Event:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.recycle = False
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.tie, self.seq) < (other.time, other.tie, other.seq)
@@ -53,13 +74,28 @@ class Simulator:
         sim.schedule(1e-6, callback, arg1, arg2)
         sim.run()          # drains the event queue
         print(sim.now)     # simulated seconds elapsed
+
+    ``fast_path=False`` disables the run-queue/event-pool shortcuts (every
+    event goes through the heap, nothing is pooled) — execution order and
+    clocks are identical either way; the flag exists for A/B benchmarking
+    and as a debugging fallback.
     """
 
-    def __init__(self) -> None:
+    #: free-list capacity; beyond it fired events are left to the GC
+    POOL_CAP = 8192
+
+    def __init__(self, fast_path: bool = True) -> None:
         self.now: float = 0.0
+        self.fast_path = fast_path
         self._heap: list[Event] = []
+        #: zero-delay events at the current clock, in seq order (tie == 0)
+        self._runq: deque[Event] = deque()
         self._seq: int = 0
+        #: scheduled-and-not-yet-cancelled events (O(1) ``pending``)
+        self._live: int = 0
         self._events_executed: int = 0
+        self._pool: list[Event] = []
+        self._pool_hits: int = 0
         self._tie_rng: Optional[random.Random] = None
         self.tie_breaker_seed: Optional[int] = None
 
@@ -74,9 +110,18 @@ class Simulator:
         of insertion order, while events at distinct times are unaffected.
         Two simulators given the same seed still replay identically — the
         perturbation is itself deterministic.
+
+        Any events sitting in the run queue are flushed into the heap (they
+        keep their tie key of 0, exactly as events scheduled before the
+        breaker always have) and the FIFO shortcut stays off while the
+        breaker is installed.
         """
         self._tie_rng = None if seed is None else random.Random(seed)
         self.tie_breaker_seed = seed
+        if self._runq:
+            for ev in self._runq:
+                heapq.heappush(self._heap, ev)
+            self._runq.clear()
 
     def _tie(self) -> int:
         return self._tie_rng.getrandbits(32) if self._tie_rng is not None else 0
@@ -87,7 +132,11 @@ class Simulator:
             raise ValueError(f"negative delay {delay!r}")
         ev = Event(self.now + delay, self._seq, fn, args, tie=self._tie())
         self._seq += 1
-        heapq.heappush(self._heap, ev)
+        self._live += 1
+        if delay == 0.0 and self.fast_path and self._tie_rng is None:
+            self._runq.append(ev)
+        else:
+            heapq.heappush(self._heap, ev)
         return ev
 
     def schedule_at(self, time: float, fn: Callable, *args: Any) -> Event:
@@ -96,40 +145,137 @@ class Simulator:
             raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
         ev = Event(time, self._seq, fn, args, tie=self._tie())
         self._seq += 1
+        self._live += 1
         heapq.heappush(self._heap, ev)
         return ev
 
-    @staticmethod
-    def cancel(event: Event) -> None:
-        """Cancel a pending event (no-op if it already ran)."""
-        event.cancelled = True
+    def schedule_fast(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Hot-path :meth:`schedule` for callers that discard the handle.
+
+        Returns ``None`` instead of an :class:`Event` — the event object may
+        come from (and returns to) a free list, so holding on to it after it
+        fires would alias a future event.  Callers that might ever need to
+        :meth:`cancel` must use :meth:`schedule`.  Falls back to the general
+        path while a tie breaker is installed or ``fast_path`` is off.
+        """
+        if self._tie_rng is not None or not self.fast_path:
+            self.schedule(delay, fn, *args)
+            return
+        if delay < 0:
+            raise ValueError(f"negative delay {delay!r}")
+        ev = self._acquire(self.now + delay, fn, args)
+        if delay == 0.0:
+            self._runq.append(ev)
+        else:
+            heapq.heappush(self._heap, ev)
+
+    def schedule_at_fast(self, time: float, fn: Callable, *args: Any) -> None:
+        """Absolute-time :meth:`schedule_fast` (handle discarded, pooled)."""
+        if self._tie_rng is not None or not self.fast_path:
+            self.schedule_at(time, fn, *args)
+            return
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time} < {self.now}")
+        heapq.heappush(self._heap, self._acquire(time, fn, args))
+
+    def _acquire(self, time: float, fn: Callable, args: tuple) -> Event:
+        pool = self._pool
+        if pool:
+            ev = pool.pop()
+            ev.time = time
+            ev.tie = 0
+            ev.seq = self._seq
+            ev.fn = fn
+            ev.args = args
+            ev.cancelled = False
+            self._pool_hits += 1
+        else:
+            ev = Event(time, self._seq, fn, args)
+            ev.recycle = True
+        self._seq += 1
+        self._live += 1
+        return ev
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a pending event (no-op if it already ran or was cancelled)."""
+        if not event.cancelled:
+            event.cancelled = True
+            self._live -= 1
 
     def clear_pending(self) -> int:
         """Drop every not-yet-run event; the clock stays where it is.
 
         Used by crash recovery to abandon a dead execution wholesale: the
         events of the crashed job must not fire into the restarted one.
-        Returns the number of events discarded.
+        Dropped events are marked cancelled so retained handles (e.g. armed
+        crash timers) stay inert under a later :meth:`cancel`.
+        Returns the number of live events discarded.
         """
-        dropped = sum(1 for ev in self._heap if not ev.cancelled)
+        dropped = self._live
+        for ev in self._heap:
+            ev.cancelled = True
+        for ev in self._runq:
+            ev.cancelled = True
         self._heap.clear()
+        self._runq.clear()
+        self._live = 0
         return dropped
 
     # -- execution ---------------------------------------------------------
 
+    def _pop_next(self) -> Optional[Event]:
+        """Remove and return the minimum live event across heap and run queue."""
+        heap, runq = self._heap, self._runq
+        while True:
+            while runq and runq[0].cancelled:
+                runq.popleft()
+            while heap and heap[0].cancelled:
+                heapq.heappop(heap)
+            if runq:
+                # Run-queue entries carry tie 0 and time == now; the heap may
+                # still hold an earlier-seq event at the same instant, so the
+                # dispatch order is decided by the full (time, tie, seq) key.
+                if heap and heap[0] < runq[0]:
+                    return heapq.heappop(heap)
+                return runq.popleft()
+            if heap:
+                return heapq.heappop(heap)
+            return None
+
+    def _peek_next(self) -> Optional[Event]:
+        """The minimum live event without removing it (cancelled are purged)."""
+        heap, runq = self._heap, self._runq
+        while runq and runq[0].cancelled:
+            runq.popleft()
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        if runq:
+            if heap and heap[0] < runq[0]:
+                return heap[0]
+            return runq[0]
+        return heap[0] if heap else None
+
     def step(self) -> bool:
         """Run the single next event.  Returns False when the queue is empty."""
-        while self._heap:
-            ev = heapq.heappop(self._heap)
-            if ev.cancelled:
-                continue
-            if ev.time < self.now:  # pragma: no cover - defensive
-                raise RuntimeError("event queue went backwards in time")
-            self.now = ev.time
-            self._events_executed += 1
-            ev.fn(*ev.args)
-            return True
-        return False
+        ev = self._pop_next()
+        if ev is None:
+            return False
+        if ev.time < self.now:  # pragma: no cover - defensive
+            raise RuntimeError("event queue went backwards in time")
+        self.now = ev.time
+        self._live -= 1
+        self._events_executed += 1
+        fn, args = ev.fn, ev.args
+        # Mark the event dead *before* running it: a stale cancel of a fired
+        # handle must be a no-op (and must not decrement the live counter).
+        ev.cancelled = True
+        if ev.recycle:
+            ev.fn = None
+            ev.args = ()
+            if len(self._pool) < self.POOL_CAP:
+                self._pool.append(ev)
+        fn(*args)
+        return True
 
     def step_while(self, cond: Callable[[], bool]) -> bool:
         """Run events while ``cond()`` holds.
@@ -149,11 +295,10 @@ class Simulator:
         """Drain the queue, optionally stopping at ``until`` or after
         ``max_events`` additional events."""
         executed = 0
-        while self._heap:
-            nxt = self._heap[0]
-            if nxt.cancelled:
-                heapq.heappop(self._heap)
-                continue
+        while True:
+            nxt = self._peek_next()
+            if nxt is None:
+                break
             if until is not None and nxt.time > until:
                 self.now = until
                 return
@@ -166,12 +311,18 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-cancelled events in the queue."""
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        """Number of not-yet-cancelled events in the queue (O(1))."""
+        return self._live
 
     @property
     def events_executed(self) -> int:
         return self._events_executed
+
+    @property
+    def event_pool_hits(self) -> int:
+        """How many events were served from the free list instead of a
+        fresh :class:`Event` allocation."""
+        return self._pool_hits
 
 
 # ---------------------------------------------------------------------------

@@ -40,6 +40,29 @@ class TestTinyRun:
         assert bench_wallclock.main(["--check", str(tiny_result)]) == 0
         assert "ok" in capsys.readouterr().out
 
+    def test_native_entries_present_with_event_stats(self, tiny_result):
+        doc = json.loads(tiny_result.read_text())
+        native = [e for e in doc["entries"] if "speedup_vs_pr2" in e]
+        assert {e["name"] for e in native} == {"pagerank_pull_native",
+                                              "pagerank_push_native"}
+        for e in native:
+            assert e["results_match"], "array-native must be bit-identical"
+            assert e["sim_events"] > 0
+            assert e["events_per_sec"] > 0
+            assert 0.0 <= e["event_pool_hit_rate"] <= 1.0
+            # aliases agree with the v1 key names
+            assert e["pr2_seconds"] == e["baseline_seconds"]
+            assert e["array_native_seconds"] == e["optimized_seconds"]
+            assert e["speedup_vs_pr2"] == e["speedup"]
+
+    def test_native_entries_keep_simulated_time(self, tiny_result):
+        """The timing model is untouched: flag on/off same sim seconds."""
+        doc = json.loads(tiny_result.read_text())
+        for e in doc["entries"]:
+            if "speedup_vs_pr2" in e:
+                assert (e["simulated_seconds_baseline"]
+                        == e["simulated_seconds_optimized"])
+
 
 class TestSchemaCheck:
     def test_rejects_missing_file(self, tmp_path):
@@ -71,8 +94,31 @@ class TestSchemaCheck:
         problems = bench_wallclock.check_schema(p)
         assert any("baseline_seconds" in x for x in problems)
 
+    def test_min_speedup_gate(self, tmp_path):
+        entry = {k: 1 for k in bench_wallclock.REQUIRED_ENTRY_KEYS}
+        entry.update(results_match=True, speedup_vs_pr2=1.4)
+        p = tmp_path / "gated.json"
+        p.write_text(json.dumps({
+            "schema": bench_wallclock.SCHEMA, "entries": [entry]}))
+        # the gate only engages when --min-speedup is given
+        assert bench_wallclock.check_schema(p) == []
+        problems = bench_wallclock.check_schema(p, min_speedup=2.0)
+        assert any("speedup_vs_pr2" in x for x in problems)
+        assert bench_wallclock.check_schema(p, min_speedup=1.2) == []
+        assert bench_wallclock.main(
+            ["--check", str(p), "--min-speedup", "2.0"]) == 1
+
+    def test_min_speedup_ignores_legacy_entries(self, tmp_path):
+        entry = {k: 1 for k in bench_wallclock.REQUIRED_ENTRY_KEYS}
+        entry["results_match"] = True  # no speedup_vs_pr2 key
+        p = tmp_path / "legacy.json"
+        p.write_text(json.dumps({
+            "schema": bench_wallclock.SCHEMA, "entries": [entry]}))
+        assert bench_wallclock.check_schema(p, min_speedup=5.0) == []
+
     def test_committed_result_file_is_valid(self):
         committed = REPO_ROOT / "BENCH_wallclock.json"
         if not committed.exists():
             pytest.skip("no committed BENCH_wallclock.json")
         assert bench_wallclock.check_schema(committed) == []
+        assert bench_wallclock.check_schema(committed, min_speedup=2.0) == []

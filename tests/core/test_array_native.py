@@ -1,0 +1,283 @@
+"""Array-native staged apply: exactness of the fused sort-and-reduce path.
+
+``canonical_apply`` / ``canonical_sorted`` / ``canonical_order`` promise
+*bit-identical* results to the reference ``np.lexsort((vals, rows))`` path —
+that is what keeps the engine deterministic while the hot loop goes
+array-native.  These tests sweep every :class:`ReduceOp`, the dtype/edge-value
+guard rails (NaN, ±inf, -0.0, wide ints), the singleton/multi split, and the
+end-to-end flag: ``array_native_events`` on vs. off must produce identical
+PageRank fingerprints under perturbed tie-breaker schedules.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.properties import ReduceOp
+from repro.core.routing_plan import (StageOrderCache, canonical_apply,
+                                     canonical_order, canonical_sorted)
+
+ALL_OPS = list(ReduceOp)
+
+
+def bitwise_equal(a: np.ndarray, b: np.ndarray) -> bool:
+    """Exact comparison that treats NaNs by bit pattern (inf + -inf paths)."""
+    if a.dtype != b.dtype or a.shape != b.shape:
+        return False
+    if a.dtype.kind == "f":
+        return bool(np.array_equal(a.view(f"u{a.dtype.itemsize}"),
+                                   b.view(f"u{b.dtype.itemsize}")))
+    return bool(np.array_equal(a, b))
+
+
+def reference_apply(op, target, rows, vals):
+    order = np.lexsort((vals, rows))
+    op.apply_at(target, rows[order], vals[order])
+
+
+def make_case(rng, n, n_targets, dtype):
+    rows = rng.integers(0, n_targets, size=n).astype(np.int64)
+    if dtype == np.float64:
+        vals = rng.standard_normal(n)
+    elif dtype == np.float32:
+        vals = rng.standard_normal(n).astype(np.float32)
+    elif dtype == np.bool_:
+        vals = rng.integers(0, 2, size=n).astype(bool)
+    else:
+        vals = rng.integers(-1000, 1000, size=n).astype(dtype)
+    return rows, vals
+
+
+def fresh_target(op, n_targets, dtype):
+    dtype = np.dtype(dtype)
+    if dtype.kind == "b" and op in (ReduceOp.MIN, ReduceOp.MAX):
+        init = op is ReduceOp.MIN  # MIN's identity on bools is True
+    else:
+        init = op.bottom(dtype)
+    return np.full(n_targets, init, dtype=dtype)
+
+
+class TestCanonicalApplyExactness:
+    @pytest.mark.parametrize("op", ALL_OPS, ids=lambda o: o.value)
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32, np.int32,
+                                       np.bool_],
+                             ids=["f8", "f4", "i4", "b1"])
+    def test_matches_lexsort_reference(self, op, dtype):
+        rng = np.random.default_rng(3)
+        cache = StageOrderCache()
+        for trial in range(6):
+            rows, vals = make_case(rng, 400, 60, dtype)
+            ref = fresh_target(op, 60, dtype)
+            got = fresh_target(op, 60, dtype)
+            reference_apply(op, ref, rows, vals)
+            canonical_apply(op, got, rows, vals, cache, key=("t", op.value))
+            assert bitwise_equal(ref, got), f"trial {trial}"
+
+    @pytest.mark.parametrize("op", [ReduceOp.SUM, ReduceOp.MIN, ReduceOp.MAX])
+    def test_warm_cache_reuses_row_stream_exactly(self, op):
+        """Same rows, fresh values each superstep — the stationary shape."""
+        rng = np.random.default_rng(11)
+        cache = StageOrderCache()
+        rows = rng.integers(0, 80, size=500).astype(np.int64)
+        for _ in range(4):
+            vals = rng.standard_normal(500)
+            ref = fresh_target(op, 80, np.float64)
+            got = fresh_target(op, 80, np.float64)
+            reference_apply(op, ref, rows, vals)
+            canonical_apply(op, got, rows, vals, cache, key="grp")
+            assert bitwise_equal(ref, got)
+        assert cache.hits >= 3
+
+    def test_special_float_values(self):
+        """±inf, -0.0, and duplicate collisions stay bit-exact (SUM can
+        produce NaN from inf + -inf; both paths must produce it the same
+        way)."""
+        rows = np.array([3, 0, 3, 1, 0, 3, 2, 2], dtype=np.int64)
+        vals = np.array([np.inf, -0.0, -np.inf, 1.5, 0.0, 2.0, -np.inf,
+                         np.inf])
+        cache = StageOrderCache()
+        for op in (ReduceOp.SUM, ReduceOp.MIN, ReduceOp.MAX,
+                   ReduceOp.OVERWRITE):
+            ref = fresh_target(op, 4, np.float64)
+            got = fresh_target(op, 4, np.float64)
+            with np.errstate(invalid="ignore"):  # inf + -inf is the point
+                reference_apply(op, ref, rows, vals)
+                canonical_apply(op, got, rows, vals, cache, key=op.value)
+            assert bitwise_equal(ref, got), op
+
+    def test_nan_values_fall_back_to_lexsort(self):
+        rows = np.array([1, 0, 1, 2], dtype=np.int64)
+        vals = np.array([1.0, np.nan, 2.0, np.nan])
+        ref = np.zeros(3)
+        got = np.zeros(3)
+        reference_apply(ReduceOp.SUM, ref, rows, vals)
+        canonical_apply(ReduceOp.SUM, got, rows, vals)
+        assert bitwise_equal(ref, got)
+
+    def test_wide_int_values_fall_back(self):
+        """int64 values exceed the float64 mantissa — must not be packed."""
+        rows = np.array([0, 1, 0, 1], dtype=np.int64)
+        vals = np.array([2 ** 60, 2 ** 60 + 1, 5, -7], dtype=np.int64)
+        ref = np.zeros(2, dtype=np.int64)
+        got = np.zeros(2, dtype=np.int64)
+        reference_apply(ReduceOp.SUM, ref, rows, vals)
+        canonical_apply(ReduceOp.SUM, got, rows, vals)
+        assert np.array_equal(ref, got)
+
+    def test_huge_row_ids_fall_back(self):
+        rows = np.array([2 ** 53, 0, 2 ** 53], dtype=np.int64)
+        vals = np.array([1.0, 2.0, 3.0])
+        target_ref = {}
+        # reference via dense lexsort on a dict-backed target is overkill;
+        # just check the order helper refuses the pack and still matches
+        order = canonical_order(rows, vals)
+        assert np.array_equal(order, np.lexsort((vals, rows)))
+        assert target_ref == {}
+
+    def test_empty_and_singleton_streams(self):
+        t = np.zeros(4)
+        canonical_apply(ReduceOp.SUM, t, np.array([], dtype=np.int64),
+                        np.array([]))
+        assert (t == 0).all()
+        canonical_apply(ReduceOp.SUM, t, np.array([2], dtype=np.int64),
+                        np.array([5.0]))
+        assert t[2] == 5.0
+
+
+class TestCanonicalOrderAndSorted:
+    @pytest.mark.parametrize("dtype", [np.float64, np.int32],
+                             ids=["f8", "i4"])
+    def test_order_equals_lexsort(self, dtype):
+        rng = np.random.default_rng(17)
+        cache = StageOrderCache()
+        for _ in range(5):
+            rows, vals = make_case(rng, 300, 40, dtype)
+            assert np.array_equal(canonical_order(rows, vals, cache, "k"),
+                                  np.lexsort((vals, rows)))
+
+    def test_sorted_equals_gathered_lexsort(self):
+        rng = np.random.default_rng(23)
+        cache = StageOrderCache()
+        rows, vals = make_case(rng, 300, 40, np.float64)
+        for _ in range(3):  # cold then warm
+            sr, sv = canonical_sorted(rows, vals, cache, "k")
+            order = np.lexsort((vals, rows))
+            assert np.array_equal(sr, rows[order])
+            assert bitwise_equal(np.asarray(sv), vals[order])
+
+
+class TestStageOrderCache:
+    def test_lookup_validates_content_not_just_key(self):
+        cache = StageOrderCache()
+        rows_a = np.array([2, 0, 1], dtype=np.int64)
+        rows_b = np.array([1, 2, 0], dtype=np.int64)
+        perm_a, _ = cache.lookup("k", rows_a)
+        perm_b, sorted_b = cache.lookup("k", rows_b)  # same key, new stream
+        assert cache.hits == 0 and cache.misses == 2
+        assert np.array_equal(sorted_b, np.sort(rows_b))
+        assert np.array_equal(perm_b, np.argsort(rows_b, kind="stable"))
+        assert not np.array_equal(perm_a, perm_b)
+
+    def test_scratch_tags_are_distinct_buffers(self):
+        cache = StageOrderCache()
+        a = cache.scratch(16, np.float64, 0)
+        b = cache.scratch(16, np.float64, 1)
+        assert a.base is not None and b.base is not None
+        assert a.base is not b.base
+        # same (dtype, tag) reuses the allocation
+        assert cache.scratch(8, np.float64, 0).base is a.base
+
+    def test_scratch_grows(self):
+        cache = StageOrderCache()
+        small = cache.scratch(10, np.int64)
+        big = cache.scratch(5000, np.int64)
+        assert len(big) == 5000 and big.base is not small.base
+
+    def test_group_split_positions(self):
+        cache = StageOrderCache()
+        sorted_rows = np.array([0, 1, 1, 2, 3, 4, 4, 4, 5], dtype=np.int64)
+        ps, pm, rows_s, rows_m = cache.group_split("k", sorted_rows)
+        assert np.array_equal(rows_s, [0, 2, 3, 5])
+        assert np.array_equal(rows_m, [1, 1, 4, 4, 4])
+        assert np.array_equal(sorted_rows[ps], rows_s)
+        assert np.array_equal(sorted_rows[pm], rows_m)
+        # memoized by object identity
+        assert cache.group_split("k", sorted_rows)[0] is ps
+
+    def test_group_split_below_threshold_returns_none(self):
+        """Fewer than a quarter singletons: the split is not worth it."""
+        cache = StageOrderCache()
+        sorted_rows = np.repeat(np.arange(10, dtype=np.int64), 8)
+        assert cache.group_split("k", sorted_rows) is None
+        # the None outcome is memoized too
+        assert cache.group_split("k", sorted_rows) is None
+
+    def test_group_split_recomputes_for_new_stream(self):
+        cache = StageOrderCache()
+        a = np.array([0, 1, 2, 3], dtype=np.int64)
+        b = np.array([0, 0, 1, 2, 3, 4], dtype=np.int64)
+        split_a = cache.group_split("k", a)
+        split_b = cache.group_split("k", b)  # same key, different object
+        assert split_a is not split_b
+        assert np.array_equal(split_b[2], [1, 2, 3, 4])
+
+
+class TestApplyUnique:
+    @pytest.mark.parametrize("op", ALL_OPS, ids=lambda o: o.value)
+    def test_matches_apply_at_on_unique_indices(self, op):
+        rng = np.random.default_rng(29)
+        idx = rng.permutation(50)[:30].astype(np.int64)
+        dtype = bool if op in (ReduceOp.AND, ReduceOp.OR) else np.float64
+        if dtype is bool:
+            vals = rng.integers(0, 2, size=30).astype(bool)
+        else:
+            vals = rng.standard_normal(30)
+        a = fresh_target(op, 50, np.bool_ if dtype is bool else np.float64)
+        b = a.copy()
+        op.apply_at(a, idx, vals)
+        op.apply_unique(b, idx, vals)
+        assert bitwise_equal(a, b)
+
+
+class TestFlagEquivalence:
+    """``array_native_events`` must be invisible to results and sim time."""
+
+    @pytest.mark.parametrize("variant", ["pull", "push"])
+    @pytest.mark.parametrize("seed", [None, 1, 7, 42])
+    def test_pagerank_fingerprints_identical(self, small_rmat, variant, seed):
+        from repro.algorithms import pagerank
+        from tests.conftest import make_cluster
+
+        def run(native):
+            cluster = make_cluster(4, 40, routing_plan_cache=True,
+                                   combine_writes=True,
+                                   array_native_events=native)
+            dg = cluster.load_graph(small_rmat)
+            if seed is not None:
+                cluster.sim.set_tie_breaker(seed)
+            res = pagerank(cluster, dg, variant=variant, max_iterations=4)
+            return res.values["pr"], res.total_time
+
+        vals_on, t_on = run(True)
+        vals_off, t_off = run(False)
+        assert bitwise_equal(vals_on, vals_off)
+        assert t_on == t_off, "timing model must be untouched"
+
+
+class TestAuditHarnessWithNativeLoop:
+    def test_perturbed_schedules_pass(self):
+        """The full audit harness under the array-native engine: three
+        perturbation seeds on top of the canonical schedule."""
+        from repro import ClusterConfig, rmat, with_uniform_weights
+        from repro.audit.harness import AuditHarness, AuditScenario
+
+        graph = with_uniform_weights(rmat(120, 900, seed=21), 0.1, 1.0,
+                                     seed=22)
+        config = ClusterConfig(num_machines=4).with_engine(
+            num_workers=16, num_copiers=8, buffer_size=64,
+            chunking="edge", chunk_size=64, ghost_threshold=1000,
+            array_native_events=True)
+        harness = AuditHarness(graph, config, schedules=3, base_seed=7,
+                               iterations=2)
+        assert len(harness.tie_seeds()) == 4
+        v = harness.run_scenario(AuditScenario("native-pr", "pagerank"))
+        assert v.passed and v.bit_identical and v.violation_count == 0

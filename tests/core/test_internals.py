@@ -190,8 +190,10 @@ class TestCopierBehavior:
         descriptive error rather than hanging or silently returning."""
         cluster, dg, exc = build_exec(small_rmat, PULL, ghost_threshold=None)
         exc.start()
-        # Sabotage: drop all events.
+        # Sabotage: drop all events (the fast path keeps same-time events in
+        # a separate run queue, so both containers must be emptied).
         cluster.sim._heap.clear()
+        cluster.sim._runq.clear()
         with pytest.raises(Exception):
             while not exc.done:
                 if not cluster.sim.step():
