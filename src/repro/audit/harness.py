@@ -62,15 +62,25 @@ class AuditScenario:
     ghost_privatization: bool = True
     two_tenant: bool = False
     content_sorted: bool = True
+    #: stream edge windows from the modeled disk tier — results must stay
+    #: bit-identical to the DRAM-resident schedule (streaming only delays
+    #: when chunks become runnable, never what they compute)
+    out_of_core: bool = False
     #: True for the negative control: the scenario PASSES when the harness
     #: detects bit divergence (the auditor must catch the broken staging)
     expect_divergence: bool = False
 
     def engine_overrides(self) -> dict:
-        return {"audit": True,
-                "combine_writes": self.combine_writes,
-                "ghost_privatization": self.ghost_privatization,
-                "content_sorted_staging": self.content_sorted}
+        ov = {"audit": True,
+              "combine_writes": self.combine_writes,
+              "ghost_privatization": self.ghost_privatization,
+              "content_sorted_staging": self.content_sorted,
+              "out_of_core": self.out_of_core}
+        if self.out_of_core:
+            # Small windows so even the harness's test-sized graphs stream
+            # through several activations rather than one resident window.
+            ov["ooc_window_edges"] = 2048
+        return ov
 
 
 @dataclass
@@ -120,7 +130,8 @@ class ScenarioVerdict:
                        "combine_writes": s.combine_writes,
                        "ghost_privatization": s.ghost_privatization,
                        "two_tenant": s.two_tenant,
-                       "content_sorted_staging": s.content_sorted},
+                       "content_sorted_staging": s.content_sorted,
+                       "out_of_core": s.out_of_core},
             "expect_divergence": s.expect_divergence,
             "schedules": len(self.runs),
             "bit_identical": self.bit_identical,
@@ -143,7 +154,9 @@ def default_scenarios(schedules_hint: int = 0) -> list[AuditScenario]:
         out.append(AuditScenario(f"{wl}/combine", wl, combine_writes=True))
         out.append(AuditScenario(f"{wl}/no-privatization", wl,
                                  ghost_privatization=False))
+        out.append(AuditScenario(f"{wl}/out-of-core", wl, out_of_core=True))
     out.append(AuditScenario("wcc/baseline", "wcc"))
+    out.append(AuditScenario("wcc/out-of-core", "wcc", out_of_core=True))
     out.append(AuditScenario("negative-control/unsorted-staging", "pagerank",
                              content_sorted=False, expect_divergence=True))
     return out

@@ -143,6 +143,11 @@ def _process_message(exc: "JobExecution", machine: "Machine",
     """Functionally apply a request and price the copier's work."""
     cfg = exc.cluster.config.engine
     per_item_ops = cfg.copier_per_item / exc.cpu_op_time
+    # The windowed (out-of-core) path: streamed edge windows resident in
+    # DRAM sweep the LLC, so a copier's randomly-indexed working set is
+    # effectively that much larger.  0.0 whenever streaming is off, which
+    # keeps the in-memory cost model bit-identical.
+    stream_bytes = exc.stream_cache_pressure(machine.index)
     if msg.kind is MsgKind.READ_REQ:
         values = machine.props[msg.prop][msg.offsets]
         n = len(values)
@@ -152,7 +157,8 @@ def _process_message(exc: "JobExecution", machine: "Machine",
                                         worker=msg.worker)
         tally = WorkTally(cpu_ops=n * per_item_ops, seq_bytes=n * 2 * VALUE_BYTES)
         loc = cache_adjusted_locality(COPIER_READ_LOCALITY,
-                                      machine.n_local * VALUE_BYTES,
+                                      machine.n_local * VALUE_BYTES
+                                      + stream_bytes,
                                       machine.machine_config)
         tally.add_bytes(n * VALUE_BYTES, loc)
         return tally
@@ -170,7 +176,8 @@ def _process_message(exc: "JobExecution", machine: "Machine",
         tally = WorkTally(cpu_ops=n * per_item_ops, atomic_ops=n,
                           seq_bytes=n * 2 * VALUE_BYTES)
         loc = cache_adjusted_locality(COPIER_WRITE_LOCALITY,
-                                      machine.n_local * VALUE_BYTES,
+                                      machine.n_local * VALUE_BYTES
+                                      + stream_bytes,
                                       machine.machine_config)
         tally.add_bytes(n * 2 * VALUE_BYTES, loc)
         return tally
@@ -195,7 +202,8 @@ def _process_message(exc: "JobExecution", machine: "Machine",
         # scatters into the ghost columns, post-sync into the owner's rows.
         ws_bytes = (machine.ghosts.num_ghosts if msg.ghost_pre
                     else machine.n_local) * VALUE_BYTES
-        loc = cache_adjusted_locality(COPIER_WRITE_LOCALITY, ws_bytes,
+        loc = cache_adjusted_locality(COPIER_WRITE_LOCALITY,
+                                      ws_bytes + stream_bytes,
                                       machine.machine_config)
         tally.add_bytes(n * 2 * VALUE_BYTES, loc)
         return tally

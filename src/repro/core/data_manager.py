@@ -11,8 +11,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Optional, TYPE_CHECKING
 
-import numpy as np
-
 from .messages import (READ_REQ_ITEM_BYTES, WRITE_REQ_ITEM_BYTES, ReadBuffer,
                        WriteBuffer)
 from .properties import ReduceOp
@@ -74,7 +72,7 @@ class DataManager:
         if m.is_local(vertex):
             self.exec.stats.local_reads += 1
             return m.props[prop][vertex - m.lo]
-        slot = m.ghosts.slot_of(np.asarray([vertex]))[0]
+        slot = m.ghosts.slot_of_one(vertex)
         if slot >= 0 and prop in self.exec.ghost_read_set and prop in m.ghosts.arrays:
             self.exec.stats.local_reads += 1
             self.exec.hooks.emit("ghost.hit", machine=m.index, prop=prop,
@@ -106,7 +104,7 @@ class DataManager:
             value = m.props[prop][vertex - m.lo]
             task.read_done(ctx, value, tag)
             return
-        slot = m.ghosts.slot_of(np.asarray([vertex]))[0]
+        slot = m.ghosts.slot_of_one(vertex)
         if slot >= 0 and prop in self.exec.ghost_read_set and prop in m.ghosts.arrays:
             self.exec.stats.local_reads += 1
             self.exec.hooks.emit("ghost.hit", machine=m.index, prop=prop,
@@ -144,7 +142,7 @@ class DataManager:
                 self.exec.stats.atomic_ops += 1
                 ws.pending_atomics += 1
             return
-        slot = m.ghosts.slot_of(np.asarray([vertex]))[0]
+        slot = m.ghosts.slot_of_one(vertex)
         if slot >= 0 and prop in self.exec.ghost_write_set and prop in m.ghosts.arrays:
             self.exec.stats.local_writes += 1
             self.exec.hooks.emit("ghost.hit", machine=m.index, prop=prop,
@@ -155,8 +153,12 @@ class DataManager:
             else:
                 col = m.ghosts.arrays[prop]
                 col[slot] = op.scalar(col[slot], value)
-                self.exec.stats.atomic_ops += 1
-                ws.pending_atomics += 1
+                # Gated exactly like the local branch above: pull-style
+                # regions (one writer per target) never pay atomic cost,
+                # ghosted or not.
+                if self.exec.job_uses_atomics:
+                    self.exec.stats.atomic_ops += 1
+                    ws.pending_atomics += 1
             return
         self.exec.hooks.emit("ghost.miss", machine=m.index, prop=prop,
                              mode="write", count=1, time=self.exec.sim.now)

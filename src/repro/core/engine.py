@@ -27,6 +27,7 @@ from ..graph.csr import Graph
 from ..graph.partition import Partitioning, make_partitioning
 from ..obs import HookBus, MetricsRecorder, MetricsRegistry
 from ..runtime.config import ClusterConfig
+from ..runtime.disk import DramCapacityError
 from ..runtime.network import Network
 from ..runtime.simulator import Simulator
 from ..runtime.stats import JobStats
@@ -198,6 +199,19 @@ class PgxdCluster:
                if ghost_threshold == "config" else ghost_threshold)
         ghosts = select_ghosts(graph, thr)
         dg = DistributedGraph(self, graph, part, ghosts)
+        if not self.config.engine.out_of_core:
+            # In-memory mode keeps both CSR directions resident: a machine
+            # whose edge arrays exceed its modeled DRAM cannot load.  The
+            # out-of-core mode lifts exactly this cap (edges live on the
+            # machine's local disk; vertex columns stay resident).
+            from .vector_kernels import CSR_BYTES_PER_EDGE
+
+            for m in dg.machines:
+                edge_bytes = ((m.out_csr.num_edges + m.in_csr.num_edges)
+                              * CSR_BYTES_PER_EDGE)
+                dram = m.machine_config.dram_bytes
+                if edge_bytes > dram:
+                    raise DramCapacityError(m.index, edge_bytes, dram)
         if timed:
             # Ingest + build both CSR directions + per-edge endpoint
             # resolution, cluster-parallel; plus a degree pass and the ghost
@@ -370,6 +384,7 @@ class PgxdCluster:
             m.request_queue.clear()
             m.chunk_queue.clear()
             m.cpu.reset_threads()
+            m.disk.reset()
 
     def _restore_last_checkpoint(self, dgraph: DistributedGraph) -> Optional[Path]:
         """Restore ``dgraph`` from the auto-checkpoint archive, if it has one.

@@ -64,6 +64,16 @@ class MachineGhosts:
         hit = self.gids[pos_clipped] == vertices
         return np.where(hit, pos_clipped, -1)
 
+    def slot_of_one(self, vertex: int) -> int:
+        """Scalar twin of :meth:`slot_of` — the scalar data-manager path
+        calls this per access, so it avoids building a 1-element array."""
+        if self.num_ghosts == 0:
+            return -1
+        pos = int(np.searchsorted(self.gids, vertex))
+        if pos >= self.num_ghosts:
+            pos = self.num_ghosts - 1
+        return pos if self.gids[pos] == vertex else -1
+
     def ensure_column(self, prop: str, dtype) -> np.ndarray:
         if prop not in self.arrays:
             self.arrays[prop] = np.zeros(self.num_ghosts, dtype=dtype)

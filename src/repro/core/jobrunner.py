@@ -30,7 +30,8 @@ from .job import EdgeMapJob, Job, NodeKernelJob, TaskJob
 from .messages import Message, MsgKind, SideStructure
 from .properties import ReduceOp
 from .routing_plan import canonical_apply
-from .task_manager import WorkerState, wake_worker
+from .task_manager import (MachineWindowStream, WorkerState, build_windows,
+                           wake_worker)
 from . import barrier as barrier_mod
 
 
@@ -67,6 +68,13 @@ class JobExecution:
         self.plan_cache_enabled = ecfg.routing_plan_cache
         self.combine_writes = ecfg.combine_writes
         self.combine_per_item = ecfg.combine_per_item
+        self.out_of_core = ecfg.out_of_core
+        self.ooc_window_edges = ecfg.ooc_window_edges
+        #: per-machine window streams, built in ``_phase_main`` when the
+        #: region iterates edges out-of-core; None keeps the in-memory
+        #: paths structurally untouched (one attribute load on the worker
+        #: done-rule is the entire off-mode cost).
+        self.window_streams: Optional[list[MachineWindowStream]] = None
 
         #: per-execution request-id source: id sequences restart at 0 for
         #: every region, making traces and golden tests independent of what
@@ -111,12 +119,14 @@ class JobExecution:
             self.emit_ghost_class = (hooks.has("ghost.hit")
                                      or hooks.has("ghost.miss"))
             self.emit_plan_cache = hooks.has("task.plan_cache")
+            self.emit_disk_read = hooks.has("disk.read")
         else:
             self.emit_chunk_start = self.emit_chunk_end = True
             self.emit_copier_start = self.emit_copier_done = True
             self.emit_queue_depth = self.emit_enqueue = True
             self.emit_flush = self.emit_ghost_class = True
             self.emit_plan_cache = True
+            self.emit_disk_read = True
 
         self.stats = JobStats(start_time=self.sim.now)
         self.ghosts_active = dgraph.num_ghosts > 0
@@ -349,7 +359,13 @@ class JobExecution:
     def _phase_main(self) -> None:
         self._set_phase("main")
         ecfg = self.cluster.config.engine
+        # Edge-iterating regions stream their windows in out-of-core mode;
+        # node kernels never touch the edge arrays, so they run in-memory
+        # regardless (vertex property columns are always DRAM-resident).
+        streaming = self.out_of_core and self.iter_kind != "node"
         total_chunks = 0
+        if streaming:
+            self.window_streams = []
         for m in self.machines:
             if self.iter_kind == "node":
                 chunks = node_chunks(m.n_local, max(1, ecfg.chunk_size))
@@ -357,7 +373,13 @@ class JobExecution:
                 chunks = make_chunks(m.csr(self.iter_kind).starts,
                                      ecfg.chunking, ecfg.chunk_size)
             m.chunk_queue.clear()
-            m.chunk_queue.extend(chunks)
+            if streaming:
+                windows = build_windows(chunks, m.csr(self.iter_kind).starts,
+                                        max(1, self.ooc_window_edges))
+                self.window_streams.append(MachineWindowStream(self, m,
+                                                               windows))
+            else:
+                m.chunk_queue.extend(chunks)
             total_chunks += len(chunks)
         self.chunks_remaining = total_chunks
 
@@ -366,9 +388,24 @@ class JobExecution:
             for m in self.machines
         ]
         self.workers_remaining = self.num_machines * ecfg.num_workers
+        if streaming:
+            for stream in self.window_streams:
+                stream.start()
         for mw in self.workers:
             for ws in mw:
                 wake_worker(self, ws)
+
+    def stream_cache_pressure(self, machine_index: int) -> float:
+        """Bytes of streamed edge windows resident in a machine's DRAM.
+
+        The comm manager folds this into a copier's working-set size: in
+        out-of-core mode the double-buffered window reads sweep the LLC,
+        so copier-side scatters/gathers see less cache residency.  Always
+        0.0 in-memory (the windowed path costs the off mode nothing).
+        """
+        if self.window_streams is None:
+            return 0.0
+        return self.window_streams[machine_index].resident_bytes
 
     def on_worker_done(self, ws: WorkerState) -> None:
         self.workers_remaining -= 1
@@ -556,6 +593,8 @@ class JobExecution:
                                 for m in self.machines},
             "retry_pending": (self.reliability.pending_count
                               if self.reliability is not None else 0),
+            "window_streams": ([s.diagnostics() for s in self.window_streams]
+                               if self.window_streams is not None else None),
             "workers": workers,
         }
 

@@ -20,6 +20,7 @@ from ..graph.csr import Graph
 from ..graph.partition import Partitioning
 from ..runtime.config import ClusterConfig
 from ..runtime.cpu import MachineCpu
+from ..runtime.disk import DiskModel
 from .ghost import MachineGhosts
 from .properties import PropertyStore, SegmentGroupCache
 from .routing_plan import RoutingPlanCache, StageOrderCache
@@ -87,6 +88,9 @@ class Machine:
         self.partitioning = partitioning
         self.machine_config = config.machine_config(index)
         self.cpu = MachineCpu(self.machine_config)
+        #: local-disk device timeline (out-of-core edge streaming,
+        #: checkpoint archive reads)
+        self.disk = DiskModel(self.machine_config)
         self.props = PropertyStore(self.n_local)
         self.ghosts = MachineGhosts(index, ghost_gids, partitioning,
                                     config.engine.num_workers)

@@ -135,13 +135,15 @@ class RoutingPlanCache:
     but not retained (counted under ``rejected``).
     """
 
-    __slots__ = ("_plans", "hits", "misses", "rejected", "nbytes", "max_bytes")
+    __slots__ = ("_plans", "hits", "misses", "rejected", "evicted", "nbytes",
+                 "max_bytes")
 
     def __init__(self, max_bytes: int = 1 << 30):
         self._plans: dict[tuple, ChunkPlan] = {}
         self.hits = 0
         self.misses = 0
         self.rejected = 0
+        self.evicted = 0
         self.nbytes = 0
         self.max_bytes = max_bytes
 
@@ -171,6 +173,25 @@ class RoutingPlanCache:
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def evict_chunks(self, direction: str, chunks: list) -> int:
+        """Drop the plans of a streamed window that left DRAM.
+
+        Out-of-core mode keys plan residency to window residency: a plan
+        holds views into the window's CSR slice, so once the window is
+        evicted its plans go too (both ghost_ok variants).  Returns the
+        number of plans dropped.  Purely host-side bookkeeping — the next
+        superstep rebuilds the plan when the window streams back in.
+        """
+        dropped = 0
+        for lo, hi in chunks:
+            for ghost_ok in (False, True):
+                plan = self._plans.pop((direction, lo, hi, ghost_ok), None)
+                if plan is not None:
+                    self.nbytes -= plan.nbytes
+                    dropped += 1
+        self.evicted += dropped
+        return dropped
 
     def clear(self) -> None:
         self._plans.clear()

@@ -20,8 +20,9 @@ from .messages import Message, MsgKind, ReadBuffer, SideStructure, WriteBuffer
 from .data_manager import ScalarReadBuffer, ScalarWriteBuffer
 from .properties import ReduceOp
 from .tasks import TaskContext
-from .vector_kernels import (GATHER_LOCALITY, RESPONSE_APPLY_LOCALITY,
-                             VALUE_BYTES, WorkTally, execute_edge_map_chunk,
+from .vector_kernels import (CSR_BYTES_PER_EDGE, GATHER_LOCALITY,
+                             RESPONSE_APPLY_LOCALITY, VALUE_BYTES, WorkTally,
+                             execute_edge_map_chunk,
                              execute_node_kernel_chunk)
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -294,6 +295,177 @@ class WorkerState:
 
 
 # ---------------------------------------------------------------------------
+# Out-of-core window streaming (EngineConfig.out_of_core)
+# ---------------------------------------------------------------------------
+
+
+def build_windows(chunks: list, starts: np.ndarray,
+                  window_edges: int) -> list:
+    """Group consecutive chunks into fixed-budget streaming windows.
+
+    Returns ``[(chunks, nbytes), ...]``: each window holds consecutive
+    chunks totalling at most ``window_edges`` edges (a single hub chunk
+    larger than the budget gets a window of its own); ``nbytes`` is the
+    window's modeled on-disk CSR footprint.  Chunk boundaries are exactly
+    the in-memory mode's — windows only gate *when* chunks become
+    runnable, never what a chunk contains.
+    """
+    windows = []
+    cur: list = []
+    cur_edges = 0
+    for lo, hi in chunks:
+        ce = int(starts[hi] - starts[lo])
+        if cur and cur_edges + ce > window_edges:
+            windows.append((cur, cur_edges * CSR_BYTES_PER_EDGE))
+            cur, cur_edges = [], 0
+        cur.append((lo, hi))
+        cur_edges += ce
+    if cur:
+        windows.append((cur, cur_edges * CSR_BYTES_PER_EDGE))
+    return windows
+
+
+class MachineWindowStream:
+    """Streams one machine's edge windows from the modeled local disk.
+
+    Double-buffered: while the active window's chunks execute, at most one
+    successor window is in flight on the disk (its read is issued at
+    activation time), so the next window's read overlaps the current
+    window's compute on the simulator event loop.  Workers idle when the
+    chunk queue drains mid-stream and are woken when the next window
+    activates; the worker done-rule gains a "stream exhausted" guard so
+    the main phase cannot end while windows remain.
+
+    Results are bit-identical to the in-memory mode: the same chunks run
+    with the same routing, and all remote/staged contributions are applied
+    in canonical content order at phase boundaries, so *when* a chunk ran
+    cannot change what it computed.
+    """
+
+    __slots__ = ("exc", "machine", "windows", "next_load", "inflight",
+                 "loaded", "active_window", "active_chunks", "drained_at",
+                 "resident_bytes")
+
+    def __init__(self, exc: "JobExecution", machine: "Machine",
+                 windows: list):
+        self.exc = exc
+        self.machine = machine
+        self.windows = windows
+        #: next window index whose disk read has not been issued yet
+        self.next_load = 0
+        #: reads issued to the disk whose completion event has not fired
+        self.inflight = 0
+        #: windows read in, awaiting activation: (index, start, duration)
+        self.loaded: deque = deque()
+        self.active_window = -1
+        #: chunks of the active window not yet grabbed by a worker
+        self.active_chunks = 0
+        #: when the previous window drained (stall clock), None while busy
+        self.drained_at: Optional[float] = None
+        #: streamed window bytes currently held in DRAM buffers (cache
+        #: pressure on the copiers' working sets, see comm_manager)
+        self.resident_bytes = 0.0
+
+    @property
+    def exhausted(self) -> bool:
+        """No chunks active, nothing loaded or on the disk, nothing left to
+        issue — the worker done-rule's streaming guard.  A read still in
+        flight on the disk must keep the machine's workers alive, or the
+        main phase would end with the final window undelivered."""
+        return (self.active_chunks == 0 and not self.loaded
+                and self.inflight == 0
+                and self.next_load >= len(self.windows))
+
+    def start(self) -> None:
+        """Issue the first window's read; workers stall until it lands."""
+        if not self.windows:
+            return
+        self.drained_at = self.exc.sim.now
+        self._issue_next()
+
+    def _issue_next(self) -> None:
+        if self.next_load >= len(self.windows):
+            return
+        w = self.next_load
+        self.next_load += 1
+        self.inflight += 1
+        nbytes = self.windows[w][1]
+        disk = self.machine.disk
+        end = disk.occupy(self.exc.sim.now, nbytes)
+        duration = disk.read_time(nbytes)
+        self.resident_bytes += nbytes
+        self.exc.sim.schedule_at_fast(end, self._window_loaded, w,
+                                      end - duration, duration)
+
+    def _window_loaded(self, w: int, start: float, duration: float) -> None:
+        self.inflight -= 1
+        self.loaded.append((w, start, duration))
+        self._maybe_activate()
+
+    def _maybe_activate(self) -> None:
+        exc = self.exc
+        if self.active_chunks > 0:
+            return
+        if not self.loaded:
+            if self.inflight == 0 and self.next_load >= len(self.windows):
+                # Stream exhausted: wake idlers so they can flush and finish.
+                for ws in exc.workers[self.machine.index]:
+                    wake_worker(exc, ws)
+            return
+        w, start, duration = self.loaded.popleft()
+        chunks, nbytes = self.windows[w]
+        now = exc.sim.now
+        stall = (max(0.0, now - self.drained_at)
+                 if self.drained_at is not None else 0.0)
+        self.drained_at = None
+        exc.stats.disk_bytes_read += nbytes
+        exc.stats.disk_stall_seconds += stall
+        if exc.emit_disk_read:
+            exc.hooks.emit("disk.read", machine=self.machine.index, window=w,
+                           nbytes=nbytes, start=start, duration=duration,
+                           stall=stall, time=now)
+        self.active_window = w
+        self.active_chunks = len(chunks)
+        self.machine.chunk_queue.extend(chunks)
+        self._issue_next()  # double buffer: prefetch the successor window
+        for ws in exc.workers[self.machine.index]:
+            wake_worker(exc, ws)
+
+    def chunk_done(self) -> None:
+        """One active-window chunk was grabbed and executed by a worker.
+
+        Called synchronously from inside the worker's work function, so the
+        drain transition defers through a zero-delay event — waking workers
+        here would re-enter the one that is still mid-chunk.
+        """
+        self.active_chunks -= 1
+        if self.active_chunks > 0:
+            return
+        exc = self.exc
+        chunks, nbytes = self.windows[self.active_window]
+        self.resident_bytes -= nbytes
+        if exc.plan_cache_enabled:
+            # The window's CSR slice leaves DRAM, and its routing plans
+            # reference it: only resident windows keep cached plans.
+            self.machine.plan_cache.evict_chunks(exc.iter_kind, chunks)
+        self.drained_at = exc.sim.now
+        exc.sim.schedule_fast(0.0, self._maybe_activate)
+
+    def diagnostics(self) -> dict:
+        """Stream state for :meth:`JobExecution.stall_diagnostics`."""
+        return {
+            "machine": self.machine.index,
+            "windows": len(self.windows),
+            "next_load": self.next_load,
+            "inflight": self.inflight,
+            "loaded": len(self.loaded),
+            "active_window": self.active_window,
+            "active_chunks": self.active_chunks,
+            "exhausted": self.exhausted,
+        }
+
+
+# ---------------------------------------------------------------------------
 # Worker event loop
 # ---------------------------------------------------------------------------
 
@@ -326,9 +498,12 @@ def worker_loop(exc: "JobExecution", ws: WorkerState) -> None:
         _start_work(exc, ws, WorkerState.flush_all, (ws,))
         return
     if ws.outstanding_reads == 0:
-        ws.done = True
-        exc.on_worker_done(ws)
-    # otherwise: idle until a response wakes us.
+        streams = exc.window_streams
+        if streams is None or streams[m.index].exhausted:
+            ws.done = True
+            exc.on_worker_done(ws)
+        return
+    # otherwise: idle until a response (or a window activation) wakes us.
 
 
 def _start_work(exc: "JobExecution", ws: WorkerState, fn, args: tuple,
@@ -379,6 +554,8 @@ def _execute_chunk(exc: "JobExecution", ws: WorkerState, lo: int, hi: int) -> Wo
         tally = _execute_scalar_chunk(exc, ws, lo, hi)
     exc.stats.tasks_executed += tally.tasks
     exc.chunks_remaining -= 1
+    if exc.window_streams is not None:
+        exc.window_streams[ws.machine.index].chunk_done()
     return tally
 
 

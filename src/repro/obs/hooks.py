@@ -59,6 +59,8 @@ KNOWN_HOOKS = (
     "sched.dispatch",      # session, job, priority, wait, running, depth, time
     "sched.preempt",       # session, by, job, time
     "sched.complete",      # session, job, priority, wait, turnaround, time
+    "disk.read",           # machine, window, nbytes, start, duration, stall,
+                           #   time (out-of-core window activation)
 )
 
 

@@ -60,6 +60,7 @@ _CRIT_PID = 1_000_000
 #: span kind -> Figure-5 layer (for folding into the overhead table)
 _LAYER_OF = {"chunk": "task", "continuation/flush": "task",
              "copier": "comm", "ghost-reduce": "ghost",
+             "disk-read": "disk",
              "message": "network", "barrier": "barrier"}
 
 
@@ -145,8 +146,8 @@ class _JobBuild:
     here — `_Slice`/`_Msg` objects are materialized once, at analysis."""
 
     __slots__ = ("name", "session", "ticket", "start", "end", "chunks",
-                 "copiers", "ghosts", "raw_msgs", "retries", "phases",
-                 "barrier", "dropped")
+                 "copiers", "ghosts", "disks", "raw_msgs", "retries",
+                 "phases", "barrier", "dropped")
 
     def __init__(self, name: str, start: float, session=None, ticket=None):
         self.name = name
@@ -157,6 +158,7 @@ class _JobBuild:
         self.chunks: list[tuple] = []    # (machine, worker, kind, start, dur)
         self.copiers: list[tuple] = []   # (machine, copier, kind, start, dur)
         self.ghosts: list[tuple] = []    # (machine, start, dur)
+        self.disks: list[tuple] = []     # (machine, start, dur)
         self.raw_msgs: list[tuple] = []  # (src, dst, kind, send, deliver, nb)
         self.retries: list[tuple] = []   # (machine, kind, attempt, time)
         self.phases: list[tuple] = []    # (phase, start, end)
@@ -173,6 +175,8 @@ class _JobBuild:
                       for m, c, kind, s, d in self.copiers)
         slices.extend(_Slice(m, "ghost", "ghost-reduce", s, s + d)
                       for m, s, d in self.ghosts)
+        slices.extend(_Slice(m, "disk", "disk-read", s, s + d)
+                      for m, s, d in self.disks)
         msgs = [_Msg(*raw) for raw in self.raw_msgs]
         return slices, msgs
 
@@ -675,6 +679,13 @@ class SpanProfiler:
             return
         b.ghosts.append((p["machine"], p["start"], p["duration"]))
 
+    def _on_disk_read(self, p: dict) -> None:
+        b = self._builds.get(self._key(p))
+        if b is None:
+            self.orphan_events += 1
+            return
+        b.disks.append((p["machine"], p["start"], p["duration"]))
+
     def _on_net_send(self, p: dict) -> None:
         t = p.get("ticket")
         b = self._builds.get(("t", t) if t is not None else self._solo_key)
@@ -717,6 +728,7 @@ class SpanProfiler:
             "task.chunk_end": self._on_chunk_end,
             "comm.copier_done": self._on_copier_done,
             "ghost.reduce_end": self._on_ghost_reduce_end,
+            "disk.read": self._on_disk_read,
             "net.send": self._on_net_send,
             "comm.retry": self._on_retry,
             "barrier.exit": self._on_barrier_exit,

@@ -114,6 +114,22 @@ class MetricsRecorder:
             "repro_job_recoveries_total",
             "Job restarts after injected machine crashes")
 
+        self.disk_bytes = r.counter(
+            "repro_disk_bytes_read",
+            "Bytes streamed from the modeled local disks (out-of-core)",
+            ("machine",))
+        self.disk_reads = r.counter(
+            "repro_disk_reads_total",
+            "Window reads served by the modeled local disks", ("machine",))
+        self.disk_read_seconds = r.counter(
+            "repro_disk_read_seconds_total",
+            "Seconds the modeled disks spent serving window reads",
+            ("machine",))
+        self.disk_stall = r.counter(
+            "repro_disk_stall_seconds",
+            "Seconds workers sat idle waiting for a window read",
+            ("machine",))
+
         self.phase_seconds = r.counter(
             "repro_job_phase_seconds_total",
             "Wall time spent per job phase", ("phase",))
@@ -185,6 +201,7 @@ class MetricsRecorder:
             "comm.dedup_drop": self._on_dedup_drop,
             "job.checkpoint": self._on_checkpoint,
             "job.recover": self._on_recover,
+            "disk.read": self._on_disk_read,
             "sched.admit": self._on_sched_admit,
             "sched.reject": self._on_sched_reject,
             "sched.dispatch": self._on_sched_dispatch,
@@ -325,6 +342,15 @@ class MetricsRecorder:
 
     def _on_recover(self, p: dict) -> None:
         self.recoveries.inc()
+
+    def _on_disk_read(self, p: dict) -> None:
+        machine = p["machine"]
+        self._machine_child(self.disk_bytes, machine).inc(p["nbytes"])
+        self._machine_child(self.disk_reads, machine).inc()
+        self._machine_child(self.disk_read_seconds,
+                            machine).inc(p["duration"])
+        if p["stall"] > 0.0:
+            self._machine_child(self.disk_stall, machine).inc(p["stall"])
 
     def _on_sched_admit(self, p: dict) -> None:
         self.sched_admitted.labels(priority=p["priority"]).inc()

@@ -39,10 +39,12 @@ class OverheadBreakdown:
     network: float = 0.0    # send-to-deliver transit seconds
     ghost: float = 0.0      # presync + postsync wall seconds
     barrier: float = 0.0    # barrier wall seconds
+    disk: float = 0.0       # local-disk window-read seconds (out-of-core)
 
     @property
     def total(self) -> float:
-        return self.task + self.comm + self.network + self.ghost + self.barrier
+        return (self.task + self.comm + self.network + self.ghost
+                + self.barrier + self.disk)
 
     def rows(self) -> list[tuple[str, float, float]]:
         t = self.total
@@ -50,7 +52,8 @@ class OverheadBreakdown:
                 for layer, secs in (("task", self.task), ("comm", self.comm),
                                     ("network", self.network),
                                     ("ghost", self.ghost),
-                                    ("barrier", self.barrier))]
+                                    ("barrier", self.barrier),
+                                    ("disk", self.disk))]
 
 
 def overhead_breakdown(registry: MetricsRegistry) -> OverheadBreakdown:
@@ -65,7 +68,19 @@ def overhead_breakdown(registry: MetricsRegistry) -> OverheadBreakdown:
         network=_family_sum(registry, "repro_net_transit_seconds_total"),
         ghost=ghost_sync,
         barrier=_family_sum(registry, "repro_barrier_seconds_total"),
+        disk=_family_sum(registry, "repro_disk_read_seconds_total"),
     )
+
+
+def disk_summary(registry: MetricsRegistry) -> dict[str, float]:
+    """Out-of-core disk-tier activity, zero-suppressed by the caller."""
+    return {
+        "bytes_read": _family_sum(registry, "repro_disk_bytes_read"),
+        "reads": _family_sum(registry, "repro_disk_reads_total"),
+        "read_seconds": _family_sum(registry,
+                                    "repro_disk_read_seconds_total"),
+        "stall_seconds": _family_sum(registry, "repro_disk_stall_seconds"),
+    }
 
 
 def traffic_by_kind(registry: MetricsRegistry) -> dict[str, float]:
@@ -190,6 +205,13 @@ def render_overhead_report(registry: MetricsRegistry, title: str = "",
         total = sum(traffic.values())
         kinds = ", ".join(f"{k} {v / 1e6:.2f}" for k, v in sorted(traffic.items()))
         parts.append(f"fabric traffic: {total / 1e6:.2f} MB ({kinds})")
+    ds = disk_summary(registry)
+    if any(ds.values()):
+        parts.append(
+            f"disk tier: {ds['bytes_read'] / 1e6:.2f} MB streamed over "
+            f"{ds['reads']:.0f} window reads "
+            f"({ds['read_seconds']:.6f} s on-device); "
+            f"worker stall {ds['stall_seconds']:.6f} s")
     hits, misses = ghost_hit_rate(registry)
     if hits or misses:
         rate = hits / (hits + misses) if (hits + misses) else 0.0

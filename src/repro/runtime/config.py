@@ -55,6 +55,20 @@ class MachineConfig:
     #: (contended fetch-and-add; drives the pull-vs-push gap in Table 3).
     atomic_op_time: float = 18.0e-9
 
+    #: Modeled DRAM capacity in bytes.  The paper's machines carry 256 GB;
+    #: a partition whose edge arrays exceed this must run out-of-core
+    #: (``EngineConfig.out_of_core``) or ``load_graph`` refuses it.
+    dram_bytes: float = 256.0e9
+
+    #: Sequential read bandwidth of the machine's local disk in bytes/sec
+    #: (datacenter SATA-SSD class).  Out-of-core edge windows stream at
+    #: this rate; there is no random tier because windows are laid out and
+    #: re-read in partition order.
+    disk_seq_bw: float = 500.0e6
+
+    #: Fixed positioning latency per disk read request, seconds.
+    disk_seek_time: float = 1.0e-4
+
 
 @dataclass(frozen=True)
 class NetworkConfig:
@@ -186,6 +200,20 @@ class EngineConfig:
     #: Off exists for A/B benchmarking (bench_wallclock measures both)
     #: and as a debugging fallback.
     array_native_events: bool = True
+
+    #: Out-of-core mode (GraphD-style): edge-partition CSR windows live on
+    #: each machine's modeled local disk and stream back during edge-map
+    #: execution, double-buffered so the next window's read overlaps the
+    #: current window's compute.  Vertex property columns and the ghost
+    #: table stay DRAM-resident.  Results are bit-identical to in-memory
+    #: runs — streaming only delays when chunks become runnable, and the
+    #: canonical staged apply already makes results schedule-invariant.
+    out_of_core: bool = False
+
+    #: Edge budget of one streamed window (out-of-core mode only).  A
+    #: window groups consecutive chunks until the budget fills; a single
+    #: hub chunk larger than the budget gets a window of its own.
+    ooc_window_edges: int = 65536
 
 
 @dataclass(frozen=True)

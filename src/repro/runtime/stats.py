@@ -54,6 +54,11 @@ class JobStats:
     local_reads: int = 0
     local_writes: int = 0
     atomic_ops: int = 0
+    #: bytes streamed from the modeled local disks (out-of-core mode)
+    disk_bytes_read: float = 0.0
+    #: seconds workers sat idle waiting for a window read (out-of-core);
+    #: 0.0 whenever compute fully hides the disk
+    disk_stall_seconds: float = 0.0
     #: worker busy intervals: machine -> worker -> list of (start, end)
     busy_intervals: dict[int, dict[int, list[tuple[float, float]]]] = field(
         default_factory=lambda: defaultdict(lambda: defaultdict(list)))
@@ -109,6 +114,8 @@ class JobStats:
         self.local_reads += other.local_reads
         self.local_writes += other.local_writes
         self.atomic_ops += other.atomic_ops
+        self.disk_bytes_read += other.disk_bytes_read
+        self.disk_stall_seconds += other.disk_stall_seconds
         for machine, workers in other.busy_intervals.items():
             for worker, intervals in workers.items():
                 self.busy_intervals[machine][worker].extend(intervals)

@@ -144,7 +144,10 @@ class TestSameShapeFastPath:
             lambda g, **kw: calls.append(g) or orig(g, **kw))
         dg2 = restore_checkpoint(target, path)
         assert not calls, "fast path must not re-partition"
-        assert dg2.load_time == 0.0
+        # The fast path skips re-partitioning but still pays the modeled
+        # archive read (it used to report load_time == 0.0, making restore
+        # look free — the accounting asymmetry fixed with the disk tier).
+        assert dg2.load_time > 0.0
         assert np.array_equal(dg2.partitioning.starts,
                               dg.partitioning.starts)
         assert np.array_equal(dg2.ghost_gids, dg.ghost_gids)

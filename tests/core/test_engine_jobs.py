@@ -361,6 +361,36 @@ class TestGhostEffects:
 
         assert atomics(True) < atomics(False)
 
+    def test_pull_ghost_writes_never_count_atomics(self, small_rmat):
+        """Pull regions (iter_kind == "in") have one worker per target, so
+        writing through the shared non-privatized ghost column must cost no
+        more atomics than the privatized one.  The shared branch used to
+        count one atomic per ghost write unconditionally — gated on
+        job_uses_atomics now, like the local branch."""
+        from repro import InNbrIterTask, TaskJob
+
+        class PullWriter(InNbrIterTask):
+            def run(self, ctx):
+                # A pull-style task that reduces into its in-neighbors:
+                # ghosted neighbors take data_manager's ghost write branch.
+                ctx.write_remote(ctx.nbr_id(), "t", 1.0, ReduceOp.SUM)
+
+        def atomics(privatize):
+            cluster = make_cluster(4, 20, ghost_privatization=privatize)
+            dg = cluster.load_graph(small_rmat)
+            dg.add_property("t", init=0.0)
+            ghost_writes = []
+            cluster.hooks.subscribe(
+                "ghost.hit",
+                lambda p: p["mode"] == "write" and ghost_writes.append(p))
+            stats = cluster.run_job(
+                dg, TaskJob(name="j", task_cls=PullWriter,
+                            writes=(("t", ReduceOp.SUM),)))
+            assert ghost_writes, "test must exercise the ghost write branch"
+            return stats.atomic_ops
+
+        assert atomics(False) == atomics(True)
+
 
 class TestRunJobs:
     """``run_jobs`` threads force_scalar/recover to every job and returns

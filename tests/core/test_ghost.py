@@ -52,6 +52,19 @@ class TestMachineGhosts:
         non_ghosts = np.setdiff1d(np.arange(50), gids)[:5]
         assert (mg.slot_of(non_ghosts) == -1).all()
 
+    def test_slot_of_one_matches_vector_twin(self, ghosts4):
+        """The scalar path's per-access lookup must agree with slot_of for
+        every vertex — ghosted, owned, and out of range."""
+        part, gids, mg = ghosts4
+        for v in range(int(gids.max()) + 2):
+            assert mg.slot_of_one(v) == int(mg.slot_of(np.array([v]))[0])
+
+    def test_slot_of_one_empty_table(self, small_rmat):
+        part = edge_partition(small_rmat, 4)
+        mg = MachineGhosts(1, np.array([], dtype=np.int64), part,
+                           num_workers=3)
+        assert mg.slot_of_one(0) == -1
+
     def test_owner_offsets_consistent(self, ghosts4):
         part, gids, mg = ghosts4
         for i, v in enumerate(gids):

@@ -1,0 +1,304 @@
+"""Out-of-core streaming: bit identity, windows, DRAM capacity, disk tier.
+
+The streamed mode may only change *when* chunks become runnable — never
+what they compute.  These tests pin that invariant (PageRank/SSSP/WCC
+fingerprints across window sizes and schedule perturbations), the window
+builder's edge cases, the DRAM capacity gate, fault recovery mid-stream,
+and the disk tier's observability surface (stats, metrics, report line,
+profiler spans).
+"""
+
+import numpy as np
+import pytest
+
+from repro import ClusterConfig, FaultPlan, MachineCrash, PgxdCluster, rmat
+from repro.algorithms import pagerank, sssp, wcc
+from repro.core.task_manager import build_windows
+from repro.obs.report import disk_summary, render_overhead_report
+from repro.runtime.disk import DiskModel, DramCapacityError
+from tests.conftest import make_cluster
+
+
+def _ooc_cluster(window_edges=512, tie_seed=None, **engine_kwargs):
+    cluster = make_cluster(out_of_core=True, ooc_window_edges=window_edges,
+                           **engine_kwargs)
+    if tie_seed is not None:
+        cluster.sim.set_tie_breaker(tie_seed)
+    return cluster
+
+
+def _results(cluster, graph, workload):
+    dg = cluster.load_graph(graph)
+    if workload == "pagerank":
+        r = pagerank(cluster, dg, max_iterations=3, tolerance=0.0)
+        return r.values["pr"]
+    if workload == "sssp":
+        r = sssp(cluster, dg, root=0, max_iterations=3)
+        return r.values["dist"]
+    r = wcc(cluster, dg, max_iterations=3)
+    return r.values["component"]
+
+
+class TestBitIdentity:
+    """Streamed results must equal the DRAM-resident run bit for bit."""
+
+    @pytest.mark.parametrize("workload", ["pagerank", "sssp", "wcc"])
+    def test_streamed_matches_inmemory(self, small_rmat_weighted, workload):
+        base = _results(make_cluster(), small_rmat_weighted, workload)
+        streamed = _results(_ooc_cluster(), small_rmat_weighted, workload)
+        assert np.array_equal(base, streamed)
+
+    @pytest.mark.parametrize("workload", ["pagerank", "sssp", "wcc"])
+    @pytest.mark.parametrize("tie_seed", [7001, 7002, 7003])
+    def test_streamed_under_schedule_perturbation(self, small_rmat_weighted,
+                                                  workload, tie_seed):
+        base = _results(make_cluster(), small_rmat_weighted, workload)
+        streamed = _results(_ooc_cluster(tie_seed=tie_seed),
+                            small_rmat_weighted, workload)
+        assert np.array_equal(base, streamed)
+
+    def test_window_size_never_changes_results(self, small_rmat_weighted):
+        base = _results(make_cluster(), small_rmat_weighted, "pagerank")
+        for window in (64, 512, 10**9):
+            got = _results(_ooc_cluster(window_edges=window),
+                           small_rmat_weighted, "pagerank")
+            assert np.array_equal(base, got), f"window={window}"
+
+    def test_work_counts_match_inmemory(self, small_rmat_weighted):
+        c0 = make_cluster()
+        dg0 = c0.load_graph(small_rmat_weighted)
+        s0 = pagerank(c0, dg0, max_iterations=2, tolerance=0.0).stats
+        c1 = _ooc_cluster()
+        dg1 = c1.load_graph(small_rmat_weighted)
+        s1 = pagerank(c1, dg1, max_iterations=2, tolerance=0.0).stats
+        for f in ("tasks_executed", "edges_processed", "local_reads",
+                  "remote_reads", "local_writes", "remote_writes"):
+            assert getattr(s0, f) == getattr(s1, f), f
+
+
+class TestPayForPlay:
+    """With the flag off, the windowed machinery must cost nothing."""
+
+    def test_inmemory_timing_unchanged_by_knob(self, small_rmat_weighted):
+        """The window-size knob is inert while out_of_core is off: the
+        simulated clock of the in-memory mode cannot move."""
+
+        def elapsed(**kw):
+            cluster = make_cluster(**kw)
+            dg = cluster.load_graph(small_rmat_weighted)
+            pagerank(cluster, dg, max_iterations=3, tolerance=0.0)
+            return cluster.now
+
+        assert elapsed() == elapsed(out_of_core=False, ooc_window_edges=17)
+
+    def test_no_disk_activity_when_off(self, small_rmat_weighted):
+        cluster = make_cluster()
+        dg = cluster.load_graph(small_rmat_weighted)
+        st = pagerank(cluster, dg, max_iterations=2, tolerance=0.0).stats
+        assert st.disk_bytes_read == 0.0
+        assert st.disk_stall_seconds == 0.0
+        assert not any(disk_summary(cluster.metrics).values())
+        for m in dg.machines:
+            assert m.disk.reads == 0
+
+
+class TestBuildWindows:
+    def test_groups_consecutive_chunks(self):
+        starts = np.array([0, 10, 20, 30, 40], dtype=np.int64)
+        chunks = [(0, 1), (1, 2), (2, 3), (3, 4)]
+        windows = build_windows(chunks, starts, 20)
+        assert [w[0] for w in windows] == [[(0, 1), (1, 2)],
+                                          [(2, 3), (3, 4)]]
+        assert all(nbytes > 0 for _, nbytes in windows)
+
+    def test_hub_chunk_gets_own_window(self):
+        # one vertex with more edges than the whole window budget
+        starts = np.array([0, 2, 1002, 1004], dtype=np.int64)
+        chunks = [(0, 1), (1, 2), (2, 3)]
+        windows = build_windows(chunks, starts, 16)
+        assert [w[0] for w in windows] == [[(0, 1)], [(1, 2)], [(2, 3)]]
+
+    def test_empty_chunks(self):
+        starts = np.array([0], dtype=np.int64)
+        assert build_windows([], starts, 16) == []
+
+    def test_chunk_boundaries_preserved(self):
+        """Windows regroup chunks; they never split or reorder them."""
+        starts = np.arange(0, 55, 6, dtype=np.int64)
+        chunks = [(i, i + 1) for i in range(len(starts) - 1)]
+        windows = build_windows(chunks, starts, 13)
+        flat = [c for w, _ in windows for c in w]
+        assert flat == chunks
+
+
+class TestWindowEdgeCases:
+    def test_window_smaller_than_hub_edge_list(self):
+        """A hub whose edge list exceeds the window budget streams as a
+        single-chunk window and still reproduces the in-memory result."""
+        g = rmat(200, 4000, seed=3)  # skewed: hubs exceed tiny windows
+        base = _results(make_cluster(), g, "pagerank")
+        got = _results(_ooc_cluster(window_edges=8), g, "pagerank")
+        assert np.array_equal(base, got)
+
+    def test_empty_partitions(self, tiny_graph):
+        """Machines that own no edges produce zero windows and must not
+        deadlock the done-rule."""
+        base = _results(make_cluster(num_machines=4), tiny_graph, "pagerank")
+        got = _results(_ooc_cluster(), tiny_graph, "pagerank")
+        assert np.array_equal(base, got)
+
+    def test_single_window_graph(self, small_rmat_weighted):
+        """A window budget above the whole graph degenerates to one read
+        per machine per job — still correct, minimal stall."""
+        cluster = _ooc_cluster(window_edges=10**9)
+        dg = cluster.load_graph(small_rmat_weighted)
+        st = pagerank(cluster, dg, max_iterations=1, tolerance=0.0).stats
+        assert st.disk_bytes_read > 0
+
+
+class TestFaultsWhileStreaming:
+    def test_crash_mid_window_recovers(self, small_rmat, tmp_path):
+        base = _results(make_cluster(), small_rmat, "pagerank")
+
+        # time an undisturbed streamed run to aim the crash mid-stream
+        probe = _ooc_cluster()
+        dgp = probe.load_graph(small_rmat)
+        pagerank(probe, dgp, max_iterations=3, tolerance=0.0)
+        crash_at = 0.5 * probe.now
+
+        plan = FaultPlan(seed=11,
+                         crashes=(MachineCrash(machine=2, at=crash_at),))
+        cluster = _ooc_cluster(fault_plan=plan)
+        dg = cluster.load_graph(small_rmat)
+        ckpt = str(tmp_path / "ooc.npz")
+        cluster.enable_auto_checkpoint(dg, ckpt, every=1, recover=True)
+        got = pagerank(cluster, dg, max_iterations=3,
+                       tolerance=0.0).values["pr"]
+        from repro.obs.report import fault_summary
+
+        fs = fault_summary(cluster.metrics)
+        assert fs["recoveries"] >= 1
+        assert np.array_equal(base, got)
+
+
+class TestDramCapacity:
+    def _tiny_dram_config(self, dram_bytes, **engine_kwargs):
+        return ClusterConfig(num_machines=4).with_machine(
+            dram_bytes=dram_bytes).with_engine(
+                ghost_threshold=40, chunk_size=256, num_workers=4,
+                num_copiers=2, **engine_kwargs)
+
+    def test_oversized_graph_refused_in_memory(self, small_rmat):
+        cluster = PgxdCluster(self._tiny_dram_config(1024.0))
+        with pytest.raises(DramCapacityError) as ei:
+            cluster.load_graph(small_rmat)
+        assert "out_of_core" in str(ei.value)
+
+    def test_oversized_graph_streams(self, small_rmat):
+        """A graph whose edge arrays exceed a machine's DRAM by >= 10x
+        completes streamed on the 4-machine cluster, bit-identically."""
+        base = _results(make_cluster(), small_rmat, "pagerank")
+        per_machine = (small_rmat.num_edges * 2 * 24.0) / 4
+        dram = per_machine / 10.0  # edge bytes >= 10x modeled DRAM
+        cfg = self._tiny_dram_config(dram, out_of_core=True,
+                                     ooc_window_edges=256)
+        cluster = PgxdCluster(cfg)
+        got = _results(cluster, small_rmat, "pagerank")
+        assert np.array_equal(base, got)
+        assert disk_summary(cluster.metrics)["bytes_read"] > 0
+
+
+class TestDiskModel:
+    def test_read_time(self):
+        cfg = ClusterConfig().machine
+        dm = DiskModel(cfg)
+        assert dm.read_time(0) == 0.0
+        expected = cfg.disk_seek_time + 1e6 / cfg.disk_seq_bw
+        assert dm.read_time(1e6) == pytest.approx(expected)
+
+    def test_serial_timeline(self):
+        dm = DiskModel(ClusterConfig().machine)
+        end1 = dm.occupy(0.0, 1e6)
+        end2 = dm.occupy(0.0, 1e6)  # issued concurrently -> queues
+        assert end2 == pytest.approx(2 * end1)
+        assert dm.reads == 2
+        assert dm.bytes_read == 2e6
+        dm.reset()
+        assert dm.occupy(0.0, 1e6) == pytest.approx(end1)
+
+
+class TestDiskObservability:
+    def test_stats_and_metrics(self, small_rmat_weighted):
+        cluster = _ooc_cluster(window_edges=256)
+        dg = cluster.load_graph(small_rmat_weighted)
+        st = pagerank(cluster, dg, max_iterations=2, tolerance=0.0).stats
+        assert st.disk_bytes_read > 0
+        assert st.disk_stall_seconds >= 0.0
+        ds = disk_summary(cluster.metrics)
+        assert ds["bytes_read"] == pytest.approx(st.disk_bytes_read)
+        assert ds["reads"] > 0
+        assert ds["read_seconds"] > 0
+
+    def test_report_line(self, small_rmat_weighted):
+        cluster = _ooc_cluster(window_edges=256)
+        dg = cluster.load_graph(small_rmat_weighted)
+        pagerank(cluster, dg, max_iterations=2, tolerance=0.0)
+        text = render_overhead_report(cluster.metrics)
+        assert "disk tier:" in text
+        assert "disk" in [line.split()[0] for line in text.splitlines()
+                          if line and "|" in line]
+
+    def test_report_suppressed_when_off(self, small_rmat_weighted):
+        cluster = make_cluster()
+        dg = cluster.load_graph(small_rmat_weighted)
+        pagerank(cluster, dg, max_iterations=2, tolerance=0.0)
+        assert "disk tier:" not in render_overhead_report(cluster.metrics)
+
+    def test_profiler_disk_spans(self, small_rmat_weighted):
+        from repro.obs.profiler import SpanProfiler
+
+        cluster = _ooc_cluster(window_edges=256)
+        dg = cluster.load_graph(small_rmat_weighted)
+        with SpanProfiler(cluster) as prof:
+            pagerank(cluster, dg, max_iterations=2, tolerance=0.0)
+        slices = [sl for p in prof.profiles for sl in p.slices
+                  if sl.kind == "disk-read"]
+        assert slices, "disk reads must appear as profiler spans"
+        assert all(sl.lane == "disk" for sl in slices)
+
+    def test_plan_cache_evicts_with_windows(self, small_rmat_weighted):
+        cluster = _ooc_cluster(window_edges=256)
+        dg = cluster.load_graph(small_rmat_weighted)
+        pagerank(cluster, dg, max_iterations=2, tolerance=0.0)
+        assert sum(m.plan_cache.evicted for m in dg.machines) > 0
+
+
+class TestAuditIntegration:
+    def test_out_of_core_scenario_passes(self, small_rmat_weighted):
+        from repro.audit.harness import AuditHarness, AuditScenario
+
+        harness = AuditHarness(small_rmat_weighted,
+                               ClusterConfig(num_machines=2).with_engine(
+                                   num_workers=2, num_copiers=1),
+                               schedules=2, iterations=2)
+        sc = AuditScenario("pagerank/out-of-core", "pagerank",
+                           out_of_core=True)
+        assert sc.engine_overrides()["out_of_core"] is True
+        verdict = harness.run_scenario(sc)
+        assert verdict.passed, verdict.diffs
+
+    def test_streamed_fingerprint_equals_inmemory(self, small_rmat_weighted):
+        """Cross-scenario check: the streamed schedule's fingerprint equals
+        the in-memory one (the audit matrix only compares within a
+        scenario; the acceptance bar compares across modes)."""
+        from repro.audit.harness import AuditHarness, AuditScenario
+
+        harness = AuditHarness(small_rmat_weighted,
+                               ClusterConfig(num_machines=2).with_engine(
+                                   num_workers=2, num_copiers=1),
+                               schedules=1, iterations=2)
+        runs = {}
+        for name, ooc in (("mem", False), ("ooc", True)):
+            sc = AuditScenario(name, "sssp", out_of_core=ooc)
+            runs[name] = harness._run_solo(sc, None).fingerprints["solo"]
+        assert runs["mem"] == runs["ooc"]
