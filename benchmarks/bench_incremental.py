@@ -1,0 +1,270 @@
+#!/usr/bin/env python
+"""Incremental-recompute benchmark: update latency vs full rerun.
+
+Sweeps delta sizes (fraction of the edge set changed per batch) and, for
+each of SSSP / WCC / PageRank, compares the incremental recompute against
+a cold full rerun of the *same* driver loop on the same epoch's snapshot:
+recomputed-vertex counts (the work measure), simulated seconds (the
+latency measure), and correctness (exact for SSSP/WCC, documented
+tolerance for PageRank).  A final oversized batch demonstrates the
+fallback engaging above the configured full-rerun fraction.  Results
+land in ``BENCH_incremental.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_incremental.py            # full run
+    PYTHONPATH=src python benchmarks/bench_incremental.py --tiny     # CI smoke
+    PYTHONPATH=src python benchmarks/bench_incremental.py --check BENCH_incremental.json
+
+``--check`` validates an existing result file: every entry's results
+must match its oracle, trickle entries (<= 1% of edges changed) must
+recompute at least ``--min-ratio`` (default 5x) fewer vertices than the
+full rerun, and the oversized batch must have fallen back.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+SCHEMA = "repro-bench-incremental/v1"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+TRICKLE_FRACTION = 0.01  # "trickle update" regime for the ratio gate
+ALGOS = ("sssp", "wcc", "pagerank")
+
+
+def build_engine(edges, num_nodes: int, machines: int, seed: int,
+                 full_rerun_fraction: float = 0.2):
+    from repro import ClusterConfig, PgxdCluster
+    from repro.core.incremental import (IncrementalConfig, IncrementalEngine,
+                                        hash_weights)
+    from repro.dynamic import DynamicGraph
+
+    cluster = PgxdCluster(ClusterConfig(num_machines=machines))
+    dyn = DynamicGraph(num_nodes, edges)
+    eng = IncrementalEngine(
+        cluster, dyn, weight_fn=hash_weights(seed=seed),
+        config=IncrementalConfig(full_rerun_fraction=full_rerun_fraction))
+    return eng
+
+
+def base_edges(num_nodes: int, num_edges: int, seed: int):
+    import numpy as np
+    from repro import rmat
+
+    g = rmat(num_nodes, num_edges, seed=seed)
+    src = np.repeat(np.arange(num_nodes), np.diff(g.out_starts))
+    return list(zip(src.tolist(), g.out_nbrs.tolist()))
+
+
+def apply_batch(eng, rng, delta_edges: int):
+    """One batch: half removals of existing edges, half random inserts."""
+    dyn = eng.dynamic
+    removes = delta_edges // 2
+    existing = dyn.edge_list()
+    seen = set()
+    for i in rng.choice(len(existing), size=min(removes, len(existing)),
+                        replace=False):
+        e = existing[i]
+        if e not in seen:
+            seen.add(e)
+            dyn.remove_edge(*e)
+    for _ in range(delta_edges - removes):
+        dyn.add_edge(int(rng.integers(dyn.num_nodes)),
+                     int(rng.integers(dyn.num_nodes)))
+    applies = []
+    eng.cluster.hooks.subscribe("dynamic.apply", applies.append)
+    eng.mutate()
+    return applies[-1]
+
+
+def pagerank_tolerance(n: int, threshold: float = 1e-4,
+                       damping: float = 0.85, epochs: int = 1) -> float:
+    # Mirrors the oracle harness bound (docs/incremental.md).
+    return epochs * n * threshold * damping / (1.0 - damping)
+
+
+def compare(algo: str, warm, cold, n: int) -> bool:
+    import numpy as np
+
+    key = {"sssp": "dist", "wcc": "component", "pagerank": "pr"}[algo]
+    a, b = warm.values[key], cold.values[key]
+    if algo == "pagerank":
+        return bool(np.max(np.abs(a - b)) <= pagerank_tolerance(n))
+    return bool(np.array_equal(a, b))
+
+
+def bench_delta(num_nodes: int, num_edges: int, machines: int, seed: int,
+                delta_fraction: float,
+                full_rerun_fraction: float = 0.2) -> list[dict]:
+    """One delta size: warm engine mutated once, vs cold full rerun of the
+    same loops on the post-batch snapshot."""
+    import numpy as np
+
+    edges = base_edges(num_nodes, num_edges, seed)
+    warm_eng = build_engine(edges, num_nodes, machines, seed,
+                            full_rerun_fraction)
+    for algo in ALGOS:
+        getattr(warm_eng, algo)()  # warm epoch-0 state
+    rng = np.random.default_rng(seed + 1)
+    delta_edges = max(2, int(round(delta_fraction * num_edges)))
+    apply_ev = apply_batch(warm_eng, rng, delta_edges)
+
+    # Cold oracle: a fresh engine over the post-batch multiset; its runs
+    # go through the identical driver loops, so recomputed-vertex counts
+    # and simulated seconds are directly comparable.
+    cold_eng = build_engine(warm_eng.dynamic.edge_list(), num_nodes,
+                            machines, seed, full_rerun_fraction)
+    out = []
+    for algo in ALGOS:
+        warm = getattr(warm_eng, algo)()
+        cold = getattr(cold_eng, algo)()
+        # A trickle batch can recompute zero vertices (residual below the
+        # threshold everywhere); clamp the denominator so the ratio stays
+        # strict-JSON-representable.
+        ratio = cold.recomputed_vertices / max(1, warm.recomputed_vertices)
+        out.append({
+            "name": f"{algo}_delta_{delta_fraction:g}",
+            "algo": algo,
+            "delta_fraction": delta_fraction,
+            "delta_edges": delta_edges,
+            "machines": machines,
+            "mode": warm.mode,
+            "fallback": warm.fallback,
+            "results_match": compare(algo, warm, cold, num_nodes),
+            "incremental_recomputed": int(warm.recomputed_vertices),
+            "full_recomputed": int(cold.recomputed_vertices),
+            "recompute_ratio": round(ratio, 2),
+            "incremental_sim_seconds": warm.total_time,
+            "full_sim_seconds": cold.total_time,
+            "update_speedup": round(cold.total_time
+                                    / max(warm.total_time, 1e-12), 2),
+            "apply_sim_seconds": apply_ev["duration"],
+            "machines_patched": apply_ev["machines_patched"],
+            "machines_reused": apply_ev["machines_reused"],
+        })
+    return out
+
+
+REQUIRED_ENTRY_KEYS = frozenset({"name", "algo", "delta_fraction", "mode",
+                                 "fallback", "results_match",
+                                 "incremental_recomputed", "full_recomputed",
+                                 "recompute_ratio"})
+
+
+def check_schema(path: Path, min_ratio: float = 5.0) -> list[str]:
+    """Validate a result file; returns a list of problems (empty = ok)."""
+    problems = []
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, ValueError) as e:
+        return [f"cannot read {path}: {e}"]
+    if doc.get("schema") != SCHEMA:
+        problems.append(f"schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+    entries = doc.get("entries")
+    if not isinstance(entries, list) or not entries:
+        return problems + ["entries must be a non-empty list"]
+    fallback_seen = trickle_seen = False
+    for i, e in enumerate(entries):
+        missing = REQUIRED_ENTRY_KEYS - set(e)
+        if missing:
+            problems.append(f"entry {i} missing keys: {sorted(missing)}")
+            continue
+        if not e["results_match"]:
+            problems.append(f"entry {i} ({e['name']}): incremental result "
+                            "diverged from the full-rerun oracle")
+        if e["fallback"]:
+            fallback_seen = True
+            if e["mode"] != "full":
+                problems.append(f"entry {i} ({e['name']}): fallback entry "
+                                "did not run in full mode")
+            continue
+        if e["delta_fraction"] <= TRICKLE_FRACTION:
+            trickle_seen = True
+            if e["mode"] != "incremental":
+                problems.append(f"entry {i} ({e['name']}): trickle update "
+                                "did not take the incremental path")
+            if e["recompute_ratio"] < min_ratio:
+                problems.append(
+                    f"entry {i} ({e['name']}): recompute_ratio "
+                    f"{e['recompute_ratio']} < required {min_ratio}")
+    if not trickle_seen:
+        problems.append(f"no trickle entries (delta <= {TRICKLE_FRACTION})")
+    if not fallback_seen:
+        problems.append("no entry demonstrates the full-rerun fallback")
+    return problems
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--nodes", type=int, default=3_000)
+    ap.add_argument("--edges", type=int, default=24_000)
+    ap.add_argument("--machines", type=int, default=4)
+    ap.add_argument("--deltas", type=float, nargs="+",
+                    default=[0.002, 0.01, 0.05])
+    ap.add_argument("--fallback-delta", type=float, default=0.3,
+                    help="oversized batch (must exceed the engine's "
+                         "full-rerun fraction, default 0.2)")
+    ap.add_argument("--min-ratio", type=float, default=5.0,
+                    help="required full/incremental recomputed-vertex "
+                         "ratio on trickle updates")
+    ap.add_argument("--seed", type=int, default=7)
+    ap.add_argument("--tiny", action="store_true",
+                    help="small graph (CI smoke)")
+    ap.add_argument("--out", type=Path,
+                    default=REPO_ROOT / "BENCH_incremental.json")
+    ap.add_argument("--check", type=Path, metavar="JSON",
+                    help="validate an existing result file and exit")
+    args = ap.parse_args(argv)
+
+    if args.check:
+        problems = check_schema(args.check, min_ratio=args.min_ratio)
+        for p in problems:
+            print(f"SCHEMA ERROR: {p}", file=sys.stderr)
+        print(f"{args.check}: {'FAIL' if problems else 'ok'}")
+        return 1 if problems else 0
+
+    if args.tiny:
+        args.nodes, args.edges = 500, 4_000
+        args.deltas = [0.002, 0.01]
+
+    t0 = time.perf_counter()
+    entries: list[dict] = []
+    for frac in args.deltas:
+        entries.extend(bench_delta(args.nodes, args.edges, args.machines,
+                                   args.seed, frac))
+    entries.extend(bench_delta(args.nodes, args.edges, args.machines,
+                               args.seed, args.fallback_delta))
+    doc = {
+        "schema": SCHEMA,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "graph": {"kind": "rmat", "nodes": args.nodes, "edges": args.edges,
+                  "seed": args.seed},
+        "config": {"machines": args.machines, "deltas": args.deltas,
+                   "fallback_delta": args.fallback_delta,
+                   "min_ratio": args.min_ratio},
+        "host_seconds": round(time.perf_counter() - t0, 2),
+        "entries": entries,
+    }
+    args.out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {args.out} ({len(entries)} entries)")
+    for e in entries:
+        tag = "fallback" if e["fallback"] else e["mode"]
+        print(f"  {e['name']:24s} {tag:11s} "
+              f"recomputed {e['incremental_recomputed']:>8d} vs "
+              f"{e['full_recomputed']:>8d} full "
+              f"(ratio {e['recompute_ratio']:>8.1f}x)  "
+              f"match={e['results_match']}")
+    problems = check_schema(args.out, min_ratio=args.min_ratio)
+    for p in problems:
+        print(f"SCHEMA ERROR: {p}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

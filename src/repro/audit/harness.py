@@ -66,6 +66,12 @@ class AuditScenario:
     #: bit-identical to the DRAM-resident schedule (streaming only delays
     #: when chunks become runnable, never what they compute)
     out_of_core: bool = False
+    #: run the incremental-recompute workload over a mutating graph: a
+    #: deterministic batch sequence applied through MutationJobs, then
+    #: incremental SSSP/WCC/PageRank — fingerprints must agree across
+    #: schedules, and (two_tenant) while a reader of the pinned epoch
+    #: interleaves with the mutation jobs
+    dynamic: bool = False
     #: True for the negative control: the scenario PASSES when the harness
     #: detects bit divergence (the auditor must catch the broken staging)
     expect_divergence: bool = False
@@ -131,7 +137,8 @@ class ScenarioVerdict:
                        "ghost_privatization": s.ghost_privatization,
                        "two_tenant": s.two_tenant,
                        "content_sorted_staging": s.content_sorted,
-                       "out_of_core": s.out_of_core},
+                       "out_of_core": s.out_of_core,
+                       "dynamic": s.dynamic},
             "expect_divergence": s.expect_divergence,
             "schedules": len(self.runs),
             "bit_identical": self.bit_identical,
@@ -157,6 +164,8 @@ def default_scenarios(schedules_hint: int = 0) -> list[AuditScenario]:
         out.append(AuditScenario(f"{wl}/out-of-core", wl, out_of_core=True))
     out.append(AuditScenario("wcc/baseline", "wcc"))
     out.append(AuditScenario("wcc/out-of-core", "wcc", out_of_core=True))
+    out.append(AuditScenario("dynamic/incremental", "pagerank",
+                             dynamic=True, two_tenant=True))
     out.append(AuditScenario("negative-control/unsorted-staging", "pagerank",
                              content_sorted=False, expect_divergence=True))
     return out
@@ -287,6 +296,103 @@ class AuditHarness:
         run.elapsed = cluster.sim.now
         return run
 
+    def _dynamic_engine(self, cluster):
+        """A DynamicGraph + IncrementalEngine seeded from the audit graph.
+
+        The batch sequence is derived from ``base_seed`` only — the same
+        mutations replay under every tie seed, so any fingerprint drift is
+        the engine's fault, never the scenario generator's.
+        """
+        from ..core.incremental import IncrementalEngine, hash_weights
+        from ..dynamic import DynamicGraph
+
+        g = self.graph
+        src = np.repeat(np.arange(g.num_nodes), np.diff(g.out_starts))
+        edges = list(zip(src.tolist(), g.out_nbrs.tolist()))
+        dyn = DynamicGraph(g.num_nodes, edges)
+        eng = IncrementalEngine(cluster, dyn,
+                                weight_fn=hash_weights(seed=self.base_seed))
+        return eng
+
+    def _dynamic_batches(self, eng, rounds: int = 2,
+                         inserts: int = 4, removes: int = 4):
+        """Queue ``rounds`` deterministic batches; yields after each queue
+        so the caller decides how the batch runs (inline vs scheduler)."""
+        rng = np.random.default_rng(self.base_seed)
+        n = eng.dynamic.num_nodes
+        for _ in range(rounds):
+            existing = eng.dynamic.edge_list()
+            seen = set()
+            for i in rng.choice(len(existing), size=min(removes,
+                                                        len(existing)),
+                                replace=False):
+                e = existing[i]
+                if e not in seen:
+                    seen.add(e)
+                    eng.dynamic.remove_edge(*e)
+            for _ in range(inserts):
+                eng.dynamic.add_edge(int(rng.integers(n)),
+                                     int(rng.integers(n)))
+            yield
+
+    @staticmethod
+    def _fingerprint_arrays(arrays: dict[str, np.ndarray]) -> str:
+        h = hashlib.sha256()
+        for name in sorted(arrays):
+            arr = np.ascontiguousarray(arrays[name])
+            h.update(name.encode())
+            h.update(str(arr.dtype).encode())
+            h.update(arr.tobytes())
+        return h.hexdigest()
+
+    def _run_dynamic(self, scenario: AuditScenario,
+                     tie_seed: Optional[int],
+                     two_tenant: bool) -> ScheduleRun:
+        run = ScheduleRun(tie_seed=tie_seed,
+                          mode="dynamic_two_tenant" if two_tenant
+                          else "dynamic_solo")
+        cluster = self._cluster(scenario, tie_seed)
+        eng = self._dynamic_engine(cluster)
+        try:
+            # Warm the per-algorithm state on epoch 0 so the post-batch
+            # runs exercise the incremental path, not a cold full rerun.
+            eng.sssp(root=0)
+            eng.wcc()
+            eng.pagerank()
+            if two_tenant:
+                sched = JobScheduler(cluster,
+                                     SchedulerConfig(max_concurrent_jobs=2))
+                reader_dg = eng.pin()
+                jobs = self._stream(scenario.workload, reader_dg)
+                sched.submit_many("reader", reader_dg, jobs)
+                for _ in self._dynamic_batches(eng):
+                    sched.submit("mutator", eng, eng.stage())
+                sched.drain()
+                run.fingerprints["tenantB"] = self._fingerprint(
+                    reader_dg, RESULT_PROPS[scenario.workload])
+                run.dispatch["reader"] = sched.dispatch_log_for("reader")
+                run.dispatch["mutator"] = sched.dispatch_log_for("mutator")
+            else:
+                for _ in self._dynamic_batches(eng):
+                    eng.mutate()
+            results = [eng.sssp(root=0), eng.wcc(), eng.pagerank()]
+        except AuditViolation as av:
+            run.violations.extend(av.violations)
+            run.elapsed = cluster.sim.now
+            return run
+        key = "tenantA" if two_tenant else "solo"
+        run.fingerprints[key] = self._fingerprint_arrays(
+            {f"{r.algo}:{k}": v for r in results
+             for k, v in r.values.items()})
+        run.stats[key] = {
+            "epoch": int(eng.epoch),
+            **{f"{r.algo}_iterations": int(r.iterations) for r in results},
+            **{f"{r.algo}_recomputed": int(r.recomputed_vertices)
+               for r in results},
+        }
+        run.elapsed = cluster.sim.now
+        return run
+
     # -- scenario driver ---------------------------------------------------
 
     def tie_seeds(self) -> list[Optional[int]]:
@@ -297,9 +403,16 @@ class AuditHarness:
     def run_scenario(self, scenario: AuditScenario) -> ScenarioVerdict:
         runs: list[ScheduleRun] = []
         for seed in self.tie_seeds():
-            runs.append(self._run_solo(scenario, seed))
-            if scenario.two_tenant:
-                runs.append(self._run_two_tenant(scenario, seed))
+            if scenario.dynamic:
+                runs.append(self._run_dynamic(scenario, seed,
+                                              two_tenant=False))
+                if scenario.two_tenant:
+                    runs.append(self._run_dynamic(scenario, seed,
+                                                  two_tenant=True))
+            else:
+                runs.append(self._run_solo(scenario, seed))
+                if scenario.two_tenant:
+                    runs.append(self._run_two_tenant(scenario, seed))
         return self._verdict(scenario, runs)
 
     def _verdict(self, scenario: AuditScenario,
@@ -345,7 +458,7 @@ class AuditHarness:
 
         # Dispatch-log consistency: per-session FIFO subsequences.
         dispatch_consistent = True
-        for key in ("tenantA", "tenantB"):
+        for key in ("tenantA", "tenantB", "reader", "mutator"):
             seen = [(r.tie_seed, r.dispatch[key]) for r in runs
                     if key in r.dispatch]
             if not seen:

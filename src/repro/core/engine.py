@@ -36,7 +36,7 @@ from .data_manager import DataManager
 from .faults import EngineStallError, FaultController, MachineCrashError
 from .ghost import select_ghosts
 from .job import Job
-from .jobrunner import JobExecution
+from .jobrunner import JobExecution, make_execution
 from .machine import Machine
 from .messages import MessagePool, RmiRegistry
 from .properties import ReduceOp
@@ -79,13 +79,19 @@ class DistributedGraph:
     """A graph loaded into the cluster: partitioned CSR + property columns."""
 
     def __init__(self, cluster: "PgxdCluster", graph: Graph,
-                 partitioning: Partitioning, ghost_gids: np.ndarray):
+                 partitioning: Partitioning, ghost_gids: np.ndarray,
+                 reuse_machines: Optional[dict] = None):
         self.cluster = cluster
         self.graph = graph
         self.partitioning = partitioning
         self.ghost_gids = ghost_gids
+        #: epoch patching (repro.core.incremental): machines whose edge
+        #: ranges were untouched by a mutation batch adopt the previous
+        #: epoch's immutable CSR slices instead of rebuilding them.
+        reuse = reuse_machines or {}
         self.machines = [
-            Machine(i, graph, partitioning, ghost_gids, cluster.config)
+            Machine(i, graph, partitioning, ghost_gids, cluster.config,
+                    csr_from=reuse.get(i))
             for i in range(cluster.config.num_machines)
         ]
         for m in self.machines:
@@ -262,7 +268,7 @@ class PgxdCluster:
         pool_hits_before = self.sim.event_pool_hits
         recoveries = 0
         while True:
-            exc = JobExecution(self, dgraph, job, force_scalar=force_scalar)
+            exc = make_execution(self, dgraph, job, force_scalar=force_scalar)
             crash_events = (self.faults.arm_crashes()
                             if self.faults is not None else [])
             try:

@@ -107,6 +107,35 @@ class NodeKernelJob(Job):
 
 
 @dataclass
+class MutationJob(Job):
+    """A dynamic-graph mutation batch as a first-class scheduled job.
+
+    Carries one applied :class:`~repro.dynamic.UpdateBatch` worth of edge
+    changes plus the owning :class:`~repro.core.incremental.IncrementalEngine`.
+    Running it (via :meth:`PgxdCluster.run_job` or through the
+    :class:`~repro.core.scheduler.JobScheduler`) builds the next epoch's
+    partitions — patching only the machines whose edge ranges changed —
+    and installs them on the engine.  The scheduler's graph-lock token for
+    a mutation job is the engine itself, so mutations serialize against
+    each other while readers of the previous (pinned) epoch's
+    ``DistributedGraph`` keep running concurrently: snapshot isolation.
+    """
+
+    engine: Optional[object] = None   #: the owning IncrementalEngine
+    epoch: int = 0                    #: epoch this batch produces
+    inserted: tuple = ()              #: inserted (u, v) edges
+    removed: tuple = ()               #: removed (u, v) edges
+
+    def __post_init__(self):
+        if self.engine is None:
+            raise ValueError("MutationJob requires an IncrementalEngine")
+
+    @property
+    def kind(self) -> str:
+        return "mutation"
+
+
+@dataclass
 class JobSequence:
     """Convenience container for the Figure 2 pattern: a list of jobs executed
     back-to-back inside one iteration of the main sequential loop."""

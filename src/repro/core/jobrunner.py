@@ -615,3 +615,24 @@ class JobExecution:
             check_execution(self, raise_on_violation=True)
         if self.on_done is not None:
             self.on_done(self)
+
+
+def make_execution(cluster, dgraph, job: Job, force_scalar: bool = False,
+                   scope=None):
+    """Build the execution for ``job`` — the single dispatch point shared by
+    the serial engine path and the scheduler.
+
+    Mutation jobs (``job.kind == "mutation"``) get a
+    :class:`~repro.core.incremental.MutationExecution`: same interface
+    (``start``/``done``/``on_done``/``stats``/``stall_diagnostics``), but
+    ``dgraph`` is the owning :class:`IncrementalEngine` — the graph-lock
+    token serializing mutations against each other while readers of the
+    previous epoch's ``DistributedGraph`` proceed.  Everything else runs as
+    a regular :class:`JobExecution`.
+    """
+    if job.kind == "mutation":
+        from .incremental import MutationExecution
+
+        return MutationExecution(cluster, job, scope=scope)
+    return JobExecution(cluster, dgraph, job, force_scalar=force_scalar,
+                        scope=scope)

@@ -80,7 +80,8 @@ class Machine:
     """State of one simulated PGX.D process."""
 
     def __init__(self, index: int, graph: Graph, partitioning: Partitioning,
-                 ghost_gids: np.ndarray, config: ClusterConfig):
+                 ghost_gids: np.ndarray, config: ClusterConfig,
+                 csr_from: Optional["Machine"] = None):
         self.index = index
         self.config = config
         self.lo, self.hi = partitioning.machine_range(index)
@@ -95,18 +96,30 @@ class Machine:
         self.ghosts = MachineGhosts(index, ghost_gids, partitioning,
                                     config.engine.num_workers)
 
-        in_weights = None
-        if graph.edge_weights is not None:
-            in_weights = graph.edge_weights[graph.in_edge_index]
-        self.out_csr = _build_local_csr(graph.out_starts, graph.out_nbrs,
-                                        graph.edge_weights, self.lo, self.hi,
-                                        partitioning, self.ghosts,
-                                        edge_props=graph.edge_props)
-        self.in_csr = _build_local_csr(graph.in_starts, graph.in_nbrs,
-                                       in_weights, self.lo, self.hi,
-                                       partitioning, self.ghosts,
-                                       edge_props=graph.edge_props,
-                                       reorder=graph.in_edge_index)
+        if csr_from is not None:
+            # Epoch patching (repro.core.incremental): this machine's edge
+            # ranges are untouched by the mutation batch, so both local CSR
+            # slices are adopted verbatim from the previous epoch's machine.
+            # CSRs are immutable after load, and the adopter shares the same
+            # pivots and ghost table, so the endpoint resolution carries over
+            # too.  Everything mutable — property columns, queues, caches —
+            # is still built fresh, which is what keeps the previous epoch's
+            # snapshot readable while this one goes live.
+            self.out_csr = csr_from.out_csr
+            self.in_csr = csr_from.in_csr
+        else:
+            in_weights = None
+            if graph.edge_weights is not None:
+                in_weights = graph.edge_weights[graph.in_edge_index]
+            self.out_csr = _build_local_csr(graph.out_starts, graph.out_nbrs,
+                                            graph.edge_weights, self.lo,
+                                            self.hi, partitioning, self.ghosts,
+                                            edge_props=graph.edge_props)
+            self.in_csr = _build_local_csr(graph.in_starts, graph.in_nbrs,
+                                           in_weights, self.lo, self.hi,
+                                           partitioning, self.ghosts,
+                                           edge_props=graph.edge_props,
+                                           reorder=graph.in_edge_index)
 
         # Built-in degree properties (computed at load, like the paper's
         # edge-partitioning pass; algorithms read them locally).

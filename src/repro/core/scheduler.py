@@ -42,7 +42,7 @@ from ..obs import HookBus, MetricsRecorder, MetricsRegistry
 from ..obs.hooks import ScopedHookBus
 from .faults import EngineStallError, MachineCrashError
 from .job import Job
-from .jobrunner import JobExecution
+from .jobrunner import JobExecution, make_execution
 from ..runtime.stats import JobStats
 
 
@@ -364,8 +364,8 @@ class JobScheduler:
     def _start(self, ticket: JobTicket) -> None:
         cl = self.cluster
         scope = JobScope(cl, ticket)
-        exc = JobExecution(cl, ticket.dgraph, ticket.job,
-                           force_scalar=ticket.force_scalar, scope=scope)
+        exc = make_execution(cl, ticket.dgraph, ticket.job,
+                             force_scalar=ticket.force_scalar, scope=scope)
         ticket.execution = exc
         ticket.scope = scope
         ticket.dispatch_time = cl.sim.now

@@ -146,24 +146,44 @@ class ContinuousPatternMonitor:
         self._known = self._all_matches()
         return len(self._known)
 
+    def _row_edges(self, row: tuple[int, ...]):
+        """The concrete (u, v) edges a match row binds the pattern edges to."""
+        for s, d in self._pattern_edges:
+            yield (row[self._name_pos[s]], row[self._name_pos[d]])
+
     def _uses_batch_edge(self, row: tuple[int, ...],
                          batch: UpdateBatch) -> bool:
         inserted = set(batch.inserted)
-        for s, d in self._pattern_edges:
-            e = (row[self._name_pos[s]], row[self._name_pos[d]])
-            if e in inserted:
-                return True
-        return False
+        return any(e in inserted for e in self._row_edges(row))
 
     def on_batch(self, batch: UpdateBatch) -> dict[str, list[tuple[int, ...]]]:
         """Process one applied batch; returns {'appeared': [...],
-        'disappeared': [...]} match tuples."""
-        current = self._all_matches()
-        appeared = sorted(current - self._known)
-        disappeared = sorted(self._known - current)
-        # Invariant of incremental matching: every appearing match uses an
-        # inserted edge (checked, not assumed).
-        for row in appeared:
-            assert self._uses_batch_edge(row, batch) or not batch.inserted
-        self._known = current
-        return {"appeared": list(appeared), "disappeared": list(disappeared)}
+        'disappeared': [...]} match tuples.
+
+        Truly incremental in both directions: matching is monotone in the
+        edge set, so a known match can only disappear when one of its
+        bound edges drops out of the graph entirely — a removal that still
+        leaves a multigraph copy behind keeps the match.  Remove-only
+        batches therefore never rescan; they drop exactly the known
+        matches bound to a vanished edge, so no stale match is observable
+        at the next epoch.  New matches must use at least one inserted
+        edge, so the rescan runs only when the batch inserted something.
+        """
+        gone = {e for e in set(batch.removed)
+                if not self.dynamic.has_edge(*e)}
+        if batch.inserted:
+            current = self._all_matches()
+            appeared = current - self._known
+            disappeared = self._known - current
+            # Invariant of incremental matching: every appearing match
+            # uses an inserted edge (checked, not assumed).
+            for row in appeared:
+                assert self._uses_batch_edge(row, batch)
+            self._known = current
+        else:
+            appeared = set()
+            disappeared = {row for row in self._known
+                           if any(e in gone for e in self._row_edges(row))}
+            self._known -= disappeared
+        return {"appeared": sorted(appeared),
+                "disappeared": sorted(disappeared)}

@@ -168,6 +168,29 @@ class MetricsRecorder:
             "repro_sched_turnaround_seconds",
             "Turnaround per job: admission to completion", ("session",))
 
+        self.incremental_batches = r.counter(
+            "repro_incremental_batches_total",
+            "Mutation batches applied as epoch-building jobs")
+        self.incremental_edges = r.counter(
+            "repro_incremental_edges_changed_total",
+            "Edges changed by applied mutation batches", ("op",))
+        self.incremental_machines = r.counter(
+            "repro_incremental_machines_total",
+            "Machines patched vs reused across epoch builds", ("action",))
+        self.incremental_apply_seconds = r.counter(
+            "repro_incremental_apply_seconds_total",
+            "Simulated seconds spent building epochs from mutation batches")
+        self.incremental_runs = r.counter(
+            "repro_incremental_runs_total",
+            "Incremental recomputes by algorithm and mode", ("algo", "mode"))
+        self.incremental_recomputed = r.counter(
+            "repro_incremental_recomputed_vertices_total",
+            "Active-frontier vertices processed by recomputes", ("algo",))
+        self.incremental_fallbacks = r.counter(
+            "repro_incremental_fallbacks_total",
+            "Warm recomputes that fell back to a full rerun because the "
+            "delta exceeded the configured fraction", ("algo",))
+
         # Updated by PgxdCluster.run_job (no hook needed — the driver knows).
         r.counter("repro_jobs_total", "Parallel regions executed", ("kind",))
         r.histogram("repro_job_seconds", "Job elapsed time distribution")
@@ -207,6 +230,8 @@ class MetricsRecorder:
             "sched.dispatch": self._on_sched_dispatch,
             "sched.preempt": self._on_sched_preempt,
             "sched.complete": self._on_sched_complete,
+            "dynamic.apply": self._on_dynamic_apply,
+            "job.incremental": self._on_job_incremental,
         })
 
     def close(self) -> None:
@@ -371,3 +396,20 @@ class MetricsRecorder:
         self.sched_completed.labels(session=p["session"]).inc()
         self.sched_turnaround.labels(session=p["session"]).observe(
             p["turnaround"])
+
+    def _on_dynamic_apply(self, p: dict) -> None:
+        self.incremental_batches.inc()
+        self.incremental_edges.labels(op="insert").inc(p["inserted"])
+        self.incremental_edges.labels(op="remove").inc(p["removed"])
+        self.incremental_machines.labels(action="patched").inc(
+            p["machines_patched"])
+        self.incremental_machines.labels(action="reused").inc(
+            p["machines_reused"])
+        self.incremental_apply_seconds.inc(p["duration"])
+
+    def _on_job_incremental(self, p: dict) -> None:
+        self.incremental_runs.labels(algo=p["algo"], mode=p["mode"]).inc()
+        self.incremental_recomputed.labels(algo=p["algo"]).inc(
+            p["recomputed_vertices"])
+        if p.get("fallback"):
+            self.incremental_fallbacks.labels(algo=p["algo"]).inc()

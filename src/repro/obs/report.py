@@ -129,6 +129,28 @@ def scheduler_summary(registry: MetricsRegistry) -> dict[str, float]:
     }
 
 
+def incremental_summary(registry: MetricsRegistry) -> dict[str, float]:
+    """Dynamic-graph epoch builds + incremental recomputes, zero-suppressed."""
+    return {
+        "batches": _family_sum(registry, "repro_incremental_batches_total"),
+        "edges_changed": _family_sum(
+            registry, "repro_incremental_edges_changed_total"),
+        "machines_patched": _family_sum(
+            registry, "repro_incremental_machines_total",
+            {"action": "patched"}),
+        "machines_reused": _family_sum(
+            registry, "repro_incremental_machines_total",
+            {"action": "reused"}),
+        "apply_seconds": _family_sum(
+            registry, "repro_incremental_apply_seconds_total"),
+        "runs": _family_sum(registry, "repro_incremental_runs_total"),
+        "recomputed_vertices": _family_sum(
+            registry, "repro_incremental_recomputed_vertices_total"),
+        "fallbacks": _family_sum(registry,
+                                 "repro_incremental_fallbacks_total"),
+    }
+
+
 def _histogram_sum(registry: MetricsRegistry, name: str) -> float:
     metric = registry.get(name)
     if metric is None:
@@ -240,6 +262,17 @@ def render_overhead_report(registry: MetricsRegistry, title: str = "",
             f"{ss['completed']:.0f} completed; "
             f"mean wait {ss['wait_seconds'] / dispatched:.6f} s; "
             f"mean turnaround {ss['turnaround_seconds'] / completed:.6f} s")
+    inc = incremental_summary(registry)
+    if any(inc.values()):
+        parts.append(
+            f"dynamic: {inc['batches']:.0f} batches "
+            f"({inc['edges_changed']:.0f} edges changed); machines "
+            f"{inc['machines_patched']:.0f} patched / "
+            f"{inc['machines_reused']:.0f} reused; "
+            f"apply {inc['apply_seconds']:.6f} s; "
+            f"recomputes: {inc['runs']:.0f} "
+            f"({inc['fallbacks']:.0f} full-rerun fallbacks, "
+            f"{inc['recomputed_vertices']:.0f} frontier vertices)")
     fs = fault_summary(registry)
     if any(fs.values()):
         parts.append(

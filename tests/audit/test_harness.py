@@ -77,6 +77,29 @@ class TestPositiveScenarios:
         v = harness.run_scenario(AuditScenario("wcc", "wcc"))
         assert v.passed and v.bit_identical
 
+    def test_dynamic_incremental_scenario(self, harness):
+        """Incremental recompute over a mutating graph: bit-identical
+        fingerprints across tie seeds, solo vs two-tenant (mutation jobs
+        interleaved with a pinned-epoch reader), stable work counts."""
+        v = harness.run_scenario(AuditScenario(
+            "dyn", "pagerank", dynamic=True, two_tenant=True))
+        assert v.passed and v.bit_identical and v.stats_identical
+        assert v.dispatch_consistent and v.violation_count == 0
+        assert len(v.runs) == 6  # 3 schedules x (solo + two-tenant)
+        solo = [r for r in v.runs if r.mode == "dynamic_solo"]
+        duo = [r for r in v.runs if r.mode == "dynamic_two_tenant"]
+        # The incremental results do not depend on the reader tenant.
+        assert solo[0].fingerprints["solo"] == duo[0].fingerprints["tenantA"]
+        # Both tenants actually dispatched through the scheduler.
+        assert duo[0].dispatch["reader"] and duo[0].dispatch["mutator"]
+        # The mutation stream advanced the engine's epochs.
+        assert solo[0].stats["solo"]["epoch"] == 2
+
+    def test_dynamic_scenario_in_default_matrix(self):
+        scs = default_scenarios()
+        dyn = [s for s in scs if s.dynamic]
+        assert len(dyn) == 1 and dyn[0].two_tenant
+
     def test_verdict_dict_shape(self, harness):
         v = harness.run_scenario(AuditScenario("pr2", "pagerank"))
         d = v.as_dict()

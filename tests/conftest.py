@@ -50,3 +50,179 @@ def loaded(small_rmat):
     """(cluster, distributed graph) over 4 machines with ghosts on."""
     cluster = make_cluster()
     return cluster, cluster.load_graph(small_rmat)
+
+
+# -- seeded mutation-scenario oracle harness ---------------------------------
+#
+# Shared by every incremental-recompute test: a scenario generator that
+# derives randomized insert/delete batch sequences from a seed, and an
+# oracle that computes the expected result of each algorithm by a full
+# rerun on the epoch's snapshot.  Incremental SSSP/WCC must match the
+# oracle exactly; incremental PageRank within `pagerank_tolerance`.
+
+from dataclasses import dataclass  # noqa: E402
+
+
+def pagerank_tolerance(n: int, threshold: float = 1e-4,
+                       damping: float = 0.85, epochs: int = 1) -> float:
+    """Documented bound on |incremental - full| for approximate PageRank.
+
+    Each frontier-localized run truncates per-vertex residuals below
+    ``threshold``; summed over all vertices and amplified by the geometric
+    propagation factor d/(1-d), the accumulated L1 (hence L-inf) drift
+    after ``epochs`` warm restarts is at most
+    ``epochs * n * threshold * damping / (1 - damping)``.
+    (Empirically the max-abs diff sits ~30x below this bound.)
+    """
+    return epochs * n * threshold * damping / (1.0 - damping)
+
+
+@dataclass(frozen=True)
+class OracleExpectation:
+    """Expected values for one algorithm at one epoch (full-rerun oracle)."""
+
+    algo: str
+    epoch: int
+    values: np.ndarray
+    tolerance: float = 0.0  # 0.0 => bit-exact comparison
+
+
+@dataclass
+class ValidationResult:
+    """Outcome of comparing an incremental result against the oracle."""
+
+    ok: bool
+    algo: str
+    epoch: int
+    mode: str
+    max_diff: float
+    mismatches: int
+    detail: str = ""
+
+    def __bool__(self) -> bool:  # allows `assert oracle.validate(...)`
+        return self.ok
+
+
+class MutationOracle:
+    """Seeded mutation scenario: a DynamicGraph + IncrementalEngine pair
+    with randomized batches and a full-rerun oracle per epoch."""
+
+    def __init__(self, num_nodes=120, num_edges=700, seed=0,
+                 num_machines=4, weight_seed=11, config=None):
+        from repro.core.incremental import IncrementalEngine, hash_weights
+        from repro.dynamic import DynamicGraph
+
+        self.rng = np.random.default_rng(seed)
+        self.num_nodes = num_nodes
+        self.weight_seed = weight_seed
+        self.num_machines = num_machines
+        base = rmat(num_nodes, num_edges, seed=seed + 1)
+        src = np.repeat(np.arange(num_nodes), np.diff(base.out_starts))
+        edges = list(zip(src.tolist(), base.out_nbrs.tolist()))
+        self.dynamic = DynamicGraph(num_nodes, edges)
+        self.cluster = make_cluster(num_machines=num_machines)
+        self.engine = IncrementalEngine(
+            self.cluster, self.dynamic,
+            weight_fn=hash_weights(seed=weight_seed), config=config)
+
+    # -- scenario generation ------------------------------------------------
+
+    def random_batch(self, inserts=5, removes=5):
+        """Queue a randomized batch (unique removals of existing edges +
+        random insertions) and apply it through the engine."""
+        existing = self.dynamic.edge_list()
+        k = min(removes, len(existing))
+        chosen, seen = [], set()
+        if k:
+            for i in self.rng.choice(len(existing), size=k, replace=False):
+                e = existing[i]
+                if e not in seen:  # one copy per distinct edge per batch
+                    seen.add(e)
+                    chosen.append(e)
+        for (u, v) in chosen:
+            self.dynamic.remove_edge(u, v)
+        for _ in range(inserts):
+            self.dynamic.add_edge(int(self.rng.integers(self.num_nodes)),
+                                  int(self.rng.integers(self.num_nodes)))
+        batch, stats = self.engine.mutate()
+        return batch
+
+    def run_scenario(self, rounds=3, inserts=5, removes=5):
+        return [self.random_batch(inserts=inserts, removes=removes)
+                for _ in range(rounds)]
+
+    # -- oracle -------------------------------------------------------------
+
+    def expected(self, algo: str, root: int = 0,
+                 threshold: float = 1e-4) -> OracleExpectation:
+        """Full rerun of ``algo`` on the current epoch's snapshot, on a
+        fresh cluster (so the oracle shares nothing with the engine)."""
+        from repro.algorithms.pagerank import pagerank_approx
+        from repro.algorithms.sssp import sssp
+        from repro.algorithms.wcc import wcc
+
+        snap = self.engine._snapshot_graph()
+        cl = make_cluster(num_machines=self.num_machines)
+        dg = cl.load_graph(snap)
+        if algo == "sssp":
+            vals = sssp(cl, dg, root=root).values["dist"]
+            tol = 0.0
+        elif algo == "wcc":
+            vals = wcc(cl, dg).values["component"]
+            tol = 0.0
+        elif algo == "pagerank":
+            vals = pagerank_approx(cl, dg, threshold=threshold).values["pr"]
+            tol = pagerank_tolerance(self.num_nodes, threshold,
+                                     epochs=max(1, self.engine.epoch))
+        else:
+            raise ValueError(f"unknown algo {algo!r}")
+        return OracleExpectation(algo=algo, epoch=self.engine.epoch,
+                                 values=np.asarray(vals), tolerance=tol)
+
+    def validate(self, result, expectation: OracleExpectation) -> ValidationResult:
+        """Compare an IncrementalResult against the oracle expectation."""
+        key = {"sssp": "dist", "wcc": "component", "pagerank": "pr"}[expectation.algo]
+        got = np.asarray(result.values[key])
+        want = expectation.values
+        if result.epoch != expectation.epoch:
+            return ValidationResult(False, expectation.algo, result.epoch,
+                                    result.mode, np.inf, got.size,
+                                    detail=f"epoch mismatch: result at "
+                                           f"{result.epoch}, oracle at "
+                                           f"{expectation.epoch}")
+        with np.errstate(invalid="ignore"):
+            diff = np.abs(got - want)
+        diff = np.where(np.isnan(diff), np.where(got == want, 0.0, np.inf), diff)
+        # inf == inf (unreachable SSSP vertices) counts as equal
+        both_inf = np.isinf(got) & np.isinf(want) & (np.sign(got) == np.sign(want))
+        diff = np.where(both_inf, 0.0, diff)
+        max_diff = float(np.max(diff)) if diff.size else 0.0
+        if expectation.tolerance == 0.0:
+            bad = int(np.count_nonzero(diff != 0.0))
+            ok = bad == 0
+        else:
+            bad = int(np.count_nonzero(diff > expectation.tolerance))
+            ok = bad == 0
+        detail = "" if ok else (f"{bad} vertices differ "
+                                f"(max |diff| {max_diff:.3e}, "
+                                f"tolerance {expectation.tolerance:.3e})")
+        return ValidationResult(ok, expectation.algo, result.epoch,
+                                result.mode, max_diff, bad, detail=detail)
+
+    def check(self, algo: str, root: int = 0) -> ValidationResult:
+        """Run the incremental algorithm and validate it in one step."""
+        if algo == "sssp":
+            result = self.engine.sssp(root=root)
+        elif algo == "wcc":
+            result = self.engine.wcc()
+        elif algo == "pagerank":
+            result = self.engine.pagerank()
+        else:
+            raise ValueError(f"unknown algo {algo!r}")
+        return self.validate(result, self.expected(algo, root=root))
+
+
+@pytest.fixture
+def mutation_oracle():
+    """Factory for seeded mutation scenarios with a full-rerun oracle."""
+    return MutationOracle

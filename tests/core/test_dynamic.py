@@ -146,6 +146,55 @@ class TestContinuousPatterns:
         assert len(report["disappeared"]) == 3
         assert report["appeared"] == []
 
+    def test_remove_only_batch_drops_stale_match(self):
+        """Regression: a batch that removes an edge used by a previously
+        reported match must drop that match immediately — no stale match
+        may be observable at the next epoch, even though remove-only
+        batches skip the rescan."""
+        dyn = DynamicGraph(6, [(0, 1), (1, 2), (2, 0), (3, 4)])
+        monitor = ContinuousPatternMonitor(dyn, triangle_pattern(),
+                                           cluster_factory=self.factory())
+        assert len(monitor._known) == 3  # the triangle, 3 rotations
+        dyn.remove_edge(2, 0)
+        report = monitor.on_batch(dyn.apply_updates())
+        assert len(report["disappeared"]) == 3
+        # The monitor's view at the new epoch matches a fresh full scan:
+        # nothing stale survives.
+        assert monitor._known == monitor._all_matches() == set()
+        # Next epoch sees a consistent world too.
+        dyn.add_edge(4, 3)
+        report = monitor.on_batch(dyn.apply_updates())
+        assert report["appeared"] == [] and report["disappeared"] == []
+
+    def test_multigraph_copy_keeps_match_until_last_copy_removed(self):
+        """Removing one duplicate copy of a bound edge keeps the match
+        alive; only when the last copy vanishes does it disappear."""
+        dyn = DynamicGraph(3, [(0, 1), (1, 2), (2, 0), (2, 0)])
+        monitor = ContinuousPatternMonitor(dyn, triangle_pattern(),
+                                           cluster_factory=self.factory())
+        assert len(monitor._known) == 3
+        dyn.remove_edge(2, 0)  # one copy survives
+        report = monitor.on_batch(dyn.apply_updates())
+        assert report["disappeared"] == []
+        assert monitor._known == monitor._all_matches()
+        dyn.remove_edge(2, 0)  # last copy
+        report = monitor.on_batch(dyn.apply_updates())
+        assert len(report["disappeared"]) == 3
+        assert monitor._known == set()
+
+    def test_mixed_batch_stays_consistent_with_full_scan(self):
+        """Inserts and removals in one batch: the incremental view equals
+        a from-scratch match of the post-batch snapshot."""
+        dyn = DynamicGraph(8, [(0, 1), (1, 2), (2, 0), (4, 5), (5, 6)])
+        monitor = ContinuousPatternMonitor(dyn, triangle_pattern(),
+                                           cluster_factory=self.factory())
+        dyn.remove_edge(2, 0)   # breaks triangle 0-1-2
+        dyn.add_edge(6, 4)      # closes triangle 4-5-6
+        report = monitor.on_batch(dyn.apply_updates())
+        assert len(report["appeared"]) == 3
+        assert len(report["disappeared"]) == 3
+        assert monitor._known == monitor._all_matches()
+
     def test_stream_of_batches(self):
         rng = np.random.default_rng(11)
         dyn = DynamicGraph(30)

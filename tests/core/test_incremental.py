@@ -1,0 +1,330 @@
+"""Incremental recompute over mutating graphs, validated against a
+full-rerun oracle.
+
+The contract under test (docs/incremental.md):
+
+* incremental SSSP and WCC are **exact** — bit-identical to a full rerun
+  on the same epoch's snapshot, for every seeded mutation scenario;
+* incremental PageRank matches the full-rerun fixed point within the
+  documented tolerance (``pagerank_tolerance``);
+* epoch builds patch only the machines whose edge ranges changed, and
+  readers holding a pinned epoch keep a consistent view (snapshot
+  isolation);
+* the delta-fraction fallback swaps in a full rerun, through the same
+  loop, when a batch is too large;
+* everything is deterministic across schedule-perturbation tie seeds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.incremental import (IncrementalConfig, IncrementalEngine,
+                                    hash_weights)
+from repro.core.scheduler import JobScheduler, SchedulerConfig
+from repro.dynamic import DynamicGraph
+from repro.obs.report import incremental_summary, render_overhead_report
+from tests.conftest import MutationOracle, make_cluster, pagerank_tolerance
+
+
+class TestOracleScenarios:
+    """Seeded randomized batch sequences, every epoch checked against a
+    full rerun on that epoch's snapshot."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_sssp_exact_across_scenario(self, mutation_oracle, seed):
+        oracle = mutation_oracle(seed=seed)
+        for _ in range(3):
+            oracle.random_batch(inserts=5, removes=5)
+            v = oracle.check("sssp")
+            assert v, v.detail
+            assert v.max_diff == 0.0
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_wcc_exact_across_scenario(self, mutation_oracle, seed):
+        oracle = mutation_oracle(seed=seed)
+        for _ in range(3):
+            oracle.random_batch(inserts=5, removes=5)
+            v = oracle.check("wcc")
+            assert v, v.detail
+            assert v.max_diff == 0.0
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_pagerank_within_tolerance(self, mutation_oracle, seed):
+        oracle = mutation_oracle(seed=seed)
+        for _ in range(3):
+            oracle.random_batch(inserts=5, removes=5)
+            v = oracle.check("pagerank")
+            assert v, v.detail
+            assert v.max_diff <= pagerank_tolerance(
+                oracle.num_nodes, epochs=oracle.engine.epoch)
+
+    def test_small_batches_run_incrementally(self, mutation_oracle):
+        oracle = mutation_oracle(seed=3)
+        oracle.engine.sssp()   # cold start: full mode, warms the state
+        oracle.engine.wcc()
+        oracle.engine.pagerank()
+        oracle.random_batch(inserts=3, removes=3)
+        for algo in ("sssp", "wcc", "pagerank"):
+            v = oracle.check(algo)
+            assert v, v.detail
+            assert v.mode == "incremental"
+
+    def test_incremental_recomputes_far_fewer_vertices(self, mutation_oracle):
+        oracle = mutation_oracle(seed=4)
+        full = {a: getattr(oracle.engine, a)() for a in ("sssp", "wcc",
+                                                         "pagerank")}
+        oracle.random_batch(inserts=3, removes=3)
+        for algo, cold in full.items():
+            warm = getattr(oracle.engine, algo)()
+            assert warm.mode == "incremental"
+            assert warm.recomputed_vertices * 5 <= cold.recomputed_vertices, \
+                (algo, warm.recomputed_vertices, cold.recomputed_vertices)
+
+    def test_insert_then_remove_in_one_batch(self, mutation_oracle):
+        """An edge inserted and removed in the same window must leave no
+        trace in any warm-started result."""
+        oracle = mutation_oracle(seed=5)
+        for algo in ("sssp", "wcc", "pagerank"):
+            getattr(oracle.engine, algo)()
+        oracle.dynamic.add_edge(0, oracle.num_nodes - 1)
+        oracle.engine.mutate()
+        oracle.dynamic.remove_edge(0, oracle.num_nodes - 1)
+        oracle.dynamic.add_edge(1, 2)
+        oracle.engine.mutate()
+        for algo in ("sssp", "wcc", "pagerank"):
+            v = oracle.check(algo)
+            assert v, (algo, v.detail)
+
+    def test_remove_only_batches_stay_exact(self, mutation_oracle):
+        oracle = mutation_oracle(seed=6)
+        oracle.engine.sssp()
+        oracle.engine.wcc()
+        for _ in range(2):
+            oracle.random_batch(inserts=0, removes=8)
+            assert oracle.check("sssp"), "sssp diverged on deletions"
+            assert oracle.check("wcc"), "wcc diverged on deletions"
+
+
+class TestEpochBuild:
+    """Machine patching and snapshot isolation of the epoch flip."""
+
+    def _engine(self, **kw):
+        oracle = MutationOracle(seed=11, **kw)
+        return oracle
+
+    def test_unchanged_machines_are_reused(self):
+        oracle = self._engine()
+        eng = oracle.engine
+        old = eng.dg
+        # One edge entirely inside machine 0's range: only machine 0
+        # (owner of both endpoints) rebuilds.
+        lo, hi = old.partitioning.machine_range(0)
+        eng.dynamic.add_edge(int(lo), int(min(lo + 1, hi - 1)))
+        eng.mutate()
+        new = eng.dg
+        assert new is not old
+        assert new.machines[0].out_csr is not old.machines[0].out_csr
+        for i in range(1, len(new.machines)):
+            assert new.machines[i].out_csr is old.machines[i].out_csr
+            assert new.machines[i].in_csr is old.machines[i].in_csr
+        # Pivots and ghost table are adopted verbatim.
+        assert new.partitioning is old.partitioning
+        assert new.ghost_gids is old.ghost_gids
+
+    def test_pinned_epoch_is_isolated_from_mutations(self):
+        oracle = self._engine()
+        eng = oracle.engine
+        pinned = eng.pin()
+        before = eng.sssp().values["dist"].copy()
+        oracle.random_batch(inserts=6, removes=6)
+        assert eng.pin() is not pinned  # new epoch installed
+        # The reader's pinned graph still computes epoch-0 answers.
+        from repro.algorithms.sssp import sssp
+        again = sssp(oracle.cluster, pinned, root=0).values["dist"]
+        np.testing.assert_array_equal(before, again)
+
+    def test_epoch_tracks_dynamic_graph(self):
+        oracle = self._engine()
+        assert oracle.engine.epoch == 0
+        oracle.random_batch()
+        assert oracle.engine.epoch == oracle.dynamic.epoch == 1
+        oracle.random_batch()
+        assert oracle.engine.epoch == 2
+
+    def test_mutation_emits_dynamic_apply_hook(self):
+        oracle = self._engine()
+        seen = []
+        oracle.cluster.hooks.subscribe("dynamic.apply", seen.append)
+        oracle.random_batch(inserts=2, removes=1)
+        assert len(seen) == 1
+        ev = seen[0]
+        assert ev["epoch"] == 1
+        assert ev["inserted"] == 2 and ev["removed"] == 1
+        assert ev["machines_patched"] + ev["machines_reused"] == 4
+        assert ev["duration"] > 0.0
+
+
+class TestFallback:
+    def test_large_delta_falls_back_to_full(self):
+        oracle = MutationOracle(seed=21, config=IncrementalConfig(
+            full_rerun_fraction=0.01))
+        eng = oracle.engine
+        eng.sssp(); eng.wcc(); eng.pagerank()
+        oracle.random_batch(inserts=30, removes=0)  # 30 > 1% of 700
+        for algo in ("sssp", "wcc", "pagerank"):
+            v = oracle.check(algo)
+            assert v, (algo, v.detail)
+            assert v.mode == "full"
+
+    def test_changed_root_forces_full_sssp(self, mutation_oracle):
+        oracle = mutation_oracle(seed=22)
+        eng = oracle.engine
+        eng.sssp(root=0)
+        oracle.random_batch(inserts=2, removes=2)
+        r = eng.sssp(root=1)
+        assert r.mode == "full"
+        v = oracle.validate(r, oracle.expected("sssp", root=1))
+        assert v, v.detail
+
+    def test_fallback_threshold_is_configurable(self):
+        tight = MutationOracle(seed=23, config=IncrementalConfig(
+            full_rerun_fraction=1.0))
+        tight.engine.wcc()
+        tight.random_batch(inserts=30, removes=30)
+        assert tight.engine.wcc().mode == "incremental"
+
+
+class TestSchedulerIntegration:
+    """Mutations as first-class scheduler jobs, interleaved with readers."""
+
+    def test_mutation_job_through_scheduler_queue(self):
+        oracle = MutationOracle(seed=31)
+        eng = oracle.engine
+        sched = JobScheduler(oracle.cluster,
+                             SchedulerConfig(max_concurrent_jobs=2))
+        eng.dynamic.add_edge(1, 2)
+        job = eng.stage()
+        ticket = sched.submit("mutator", eng, job)
+        assert eng.epoch == 0  # queued, not yet applied to the engine
+        sched.drain()
+        assert ticket.state == "done"
+        assert eng.epoch == 1
+
+    def test_mutation_interleaves_with_pinned_reader(self):
+        from repro.algorithms.streams import pagerank_stream
+        oracle = MutationOracle(seed=32)
+        eng = oracle.engine
+        sched = JobScheduler(oracle.cluster,
+                             SchedulerConfig(max_concurrent_jobs=2))
+        reader_dg = eng.pin()
+        epoch0_graph = reader_dg.graph
+        jobs = pagerank_stream(reader_dg, iterations=2, variant="pull")
+        eng.dynamic.add_edge(2, 3)
+        mjob = eng.stage()
+        sched.submit_many("reader", reader_dg, jobs)
+        sched.submit("mutator", eng, mjob)
+        sched.drain()
+        # Both tenants ran; the mutation's lock token is the engine, not
+        # the reader's pinned graph, so neither blocked the other's queue.
+        sessions = {s for (_, _, s, _, _, _) in sched.dispatch_log}
+        assert sessions == {"reader", "mutator"}
+        assert eng.epoch == 1
+        # Reader computed on the epoch-0 snapshot (its pin predates the
+        # mutation): identical to running the same stream alone on a
+        # quiet cluster loaded with the epoch-0 graph.
+        assert reader_dg is not eng.pin()
+        quiet = make_cluster()
+        qdg = quiet.load_graph(epoch0_graph)
+        for job in pagerank_stream(qdg, iterations=2, variant="pull"):
+            quiet.run_job(qdg, job)
+        np.testing.assert_array_equal(reader_dg.gather("pr"),
+                                      qdg.gather("pr"))
+
+    def test_serialized_mutations_keep_epoch_order(self):
+        oracle = MutationOracle(seed=33)
+        eng = oracle.engine
+        sched = JobScheduler(oracle.cluster,
+                             SchedulerConfig(max_concurrent_jobs=4))
+        eng.dynamic.add_edge(1, 2)
+        j1 = eng.stage()
+        eng.dynamic.add_edge(3, 4)
+        j2 = eng.stage()
+        sched.submit("mutator", eng, j1)
+        sched.submit("mutator", eng, j2)
+        sched.drain()
+        assert eng.epoch == 2
+        # Both epochs' snapshots were captured at stage() time, so the
+        # serialized builds each applied exactly their own batch.
+        assert eng.dg.num_edges == oracle.dynamic.num_edges
+
+
+class TestDeterminism:
+    """Bit-identical incremental results across schedule tie seeds."""
+
+    def _scenario_values(self, tie_seed):
+        oracle = MutationOracle(seed=41)
+        if tie_seed is not None:
+            oracle.cluster.sim.set_tie_breaker(tie_seed)
+        for _ in range(2):
+            oracle.random_batch(inserts=4, removes=4)
+        return {
+            "dist": oracle.engine.sssp().values["dist"],
+            "comp": oracle.engine.wcc().values["component"],
+            "pr": oracle.engine.pagerank().values["pr"],
+        }
+
+    def test_results_identical_across_three_tie_seeds(self):
+        base = self._scenario_values(None)
+        for seed in (101, 202, 303):
+            perturbed = self._scenario_values(seed)
+            for key, arr in base.items():
+                assert np.array_equal(arr, perturbed[key],
+                                      equal_nan=False) or \
+                    np.array_equal(np.nan_to_num(arr, posinf=1e30),
+                                   np.nan_to_num(perturbed[key], posinf=1e30)), \
+                    f"{key} diverged under tie seed {seed}"
+
+
+class TestObservability:
+    def test_incremental_metrics_and_report_row(self):
+        oracle = MutationOracle(seed=51)
+        oracle.random_batch(inserts=3, removes=2)
+        oracle.engine.sssp()
+        oracle.engine.wcc()
+        summary = incremental_summary(oracle.cluster.metrics)
+        assert summary["batches"] == 1
+        assert summary["edges_changed"] == 5
+        assert summary["machines_patched"] >= 1
+        assert summary["runs"] >= 2
+        assert summary["apply_seconds"] > 0.0
+        report = render_overhead_report(oracle.cluster.metrics)
+        assert "dynamic:" in report
+
+    def test_no_mutations_keeps_report_quiet(self):
+        cluster = make_cluster()
+        report = render_overhead_report(cluster.metrics)
+        assert "dynamic:" not in report
+
+
+class TestWeightsAndErrors:
+    def test_sssp_requires_weights(self):
+        dyn = DynamicGraph(4, [(0, 1), (1, 2)])
+        cluster = make_cluster(num_machines=2)
+        eng = IncrementalEngine(cluster, dyn)  # no weight_fn
+        with pytest.raises(ValueError, match="weight"):
+            eng.sssp()
+
+    def test_hash_weights_deterministic_and_bounded(self):
+        fn = hash_weights(0.2, 0.9, seed=5)
+        src = np.array([0, 1, 2, 0], dtype=np.int64)
+        dst = np.array([1, 2, 3, 1], dtype=np.int64)
+        w1, w2 = fn(src, dst), fn(src, dst)
+        np.testing.assert_array_equal(w1, w2)
+        assert np.all((w1 >= 0.2) & (w1 < 0.9))
+        # Different seed, different weights (with overwhelming likelihood).
+        assert not np.array_equal(w1, hash_weights(0.2, 0.9, seed=6)(src, dst))
+
+    def test_mutation_job_requires_engine(self):
+        from repro.core.job import MutationJob
+        with pytest.raises(ValueError):
+            MutationJob(name="m")
