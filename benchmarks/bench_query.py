@@ -1,0 +1,268 @@
+#!/usr/bin/env python
+"""Query serving benchmark: cached vs fresh reads under skewed traffic.
+
+Replays a seeded, Zipf-skewed read trace (a pool of filter/order/aggregate
+queries over the degree properties) against a mutating dynamic graph — a
+trickle of edge-change batches bumps the epoch every ``mutate_every``
+reads — once with the epoch-keyed result cache enabled and once without.
+Reports p50/p99 hit/miss simulated latency from the
+``repro_cache_read_seconds`` histograms, the hit rate, and a bit-identity
+check: every cached answer must equal the same query served fresh at the
+same epoch.  Results land in ``BENCH_query.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_query.py            # full run
+    PYTHONPATH=src python benchmarks/bench_query.py --tiny     # CI smoke
+    PYTHONPATH=src python benchmarks/bench_query.py --check BENCH_query.json
+
+``--check`` validates an existing result file: cached results must match
+the fresh-serve oracle, the p50 hit/miss speedup must reach ``--min-
+speedup`` (default 10x), and the hit rate must reach ``--min-hit-rate``
+(default 0.4).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+SCHEMA = "repro-bench-query/v1"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def build_serving(num_nodes: int, num_edges: int, machines: int, seed: int,
+                  use_cache: bool, read_rate=None):
+    import numpy as np
+    from repro import ClusterConfig, PgxdCluster, rmat
+    from repro.core.incremental import IncrementalEngine, hash_weights
+    from repro.core.scheduler import SchedulerConfig
+    from repro.dynamic import DynamicGraph
+    from repro.server import PgxdServer
+
+    g = rmat(num_nodes, num_edges, seed=seed)
+    src = np.repeat(np.arange(num_nodes), np.diff(g.out_starts))
+    dyn = DynamicGraph(num_nodes,
+                       list(zip(src.tolist(), g.out_nbrs.tolist())))
+    cluster = PgxdCluster(ClusterConfig(num_machines=machines))
+    server = PgxdServer(cluster, scheduler_config=SchedulerConfig(
+        read_rate_per_session=read_rate))
+    if use_cache:
+        server.enable_cache()
+    engine = IncrementalEngine(cluster, dyn,
+                               weight_fn=hash_weights(seed=seed))
+    session = server.create_session("reader")
+    session.attach_graph("g", engine.pin())
+    return server, engine, session
+
+
+def run_trace(num_nodes: int, num_edges: int, machines: int, seed: int,
+              reads: int, pool: int, zipf_s: float, mutate_every: int,
+              use_cache: bool):
+    """Replay the seeded trace; returns (per-read results, server, engine)."""
+    import numpy as np
+    from repro.core.result_cache import zipf_weights
+    from repro.query import apply_spec, pool_specs
+
+    server, engine, session = build_serving(num_nodes, num_edges, machines,
+                                            seed, use_cache)
+    rng = np.random.default_rng(seed + 1)
+    specs = pool_specs(pool, seed=seed)
+    choices = rng.choice(pool, size=reads, p=zipf_weights(pool, zipf_s))
+    results = []
+    for i, qi in enumerate(choices):
+        if mutate_every and i and i % mutate_every == 0:
+            dyn = engine.dynamic
+            dyn.add_edge(int(rng.integers(dyn.num_nodes)),
+                         int(rng.integers(dyn.num_nodes)))
+            existing = dyn.edge_list()
+            dyn.remove_edge(*existing[int(rng.integers(len(existing)))])
+            engine.mutate(session="mutator")
+            session.attach_graph("g", engine.pin())
+        results.append(apply_spec(session.query("g"), specs[int(qi)]))
+    return results, server, engine
+
+
+def results_equal(a, b) -> bool:
+    """Exact equality for trace results (counts, aggregates, row lists)."""
+    if len(a) != len(b):
+        return False
+    for x, y in zip(a, b):
+        if isinstance(x, list) != isinstance(y, list):
+            return False
+        if isinstance(x, list):
+            if len(x) != len(y):
+                return False
+            for (id_x, row_x), (id_y, row_y) in zip(x, y):
+                if id_x != id_y or set(row_x) != set(row_y):
+                    return False
+                if any(float(row_x[k]) != float(row_y[k]) for k in row_x):
+                    return False
+        elif float(x) != float(y):
+            return False
+    return True
+
+
+def bench_trace(num_nodes: int, num_edges: int, machines: int, seed: int,
+                reads: int, pool: int, zipf_s: float,
+                mutate_every: int) -> dict:
+    """One trace config: cached run vs uncached oracle run of the same
+    seeded trace (identical graphs, mutations and query sequence)."""
+    cached_results, server, engine = run_trace(
+        num_nodes, num_edges, machines, seed, reads, pool, zipf_s,
+        mutate_every, use_cache=True)
+    fresh_results, fresh_server, _ = run_trace(
+        num_nodes, num_edges, machines, seed, reads, pool, zipf_s,
+        mutate_every, use_cache=False)
+
+    registry = server.cluster.metrics
+    hist = registry.get("repro_cache_read_seconds")
+    hit_h = hist.labels(result="hit")
+    miss_h = hist.labels(result="miss")
+    from repro.obs.report import cache_summary
+    cs = cache_summary(registry)
+    p50_hit = hit_h.quantile(0.5)
+    p50_miss = miss_h.quantile(0.5)
+    reader = server.session("reader").usage
+    fresh_reader = fresh_server.session("reader").usage
+    return {
+        "name": f"trace_n{num_nodes}_z{zipf_s:g}_m{machines}",
+        "nodes": num_nodes,
+        "edges": num_edges,
+        "machines": machines,
+        "reads": reads,
+        "pool": pool,
+        "zipf_s": zipf_s,
+        "mutate_every": mutate_every,
+        "epochs": engine.epoch + 1,
+        "hits": int(cs["hits"]),
+        "misses": int(cs["misses"]),
+        "hit_rate": round(cs["hit_rate"], 4),
+        "evictions": int(cs["evictions"]),
+        "p50_hit_seconds": p50_hit,
+        "p99_hit_seconds": hit_h.quantile(0.99),
+        "p50_miss_seconds": p50_miss,
+        "p99_miss_seconds": miss_h.quantile(0.99),
+        "p50_speedup": round(p50_miss / max(p50_hit, 1e-12), 2),
+        "mean_hit_seconds": hit_h.sum / max(hit_h.count, 1),
+        "mean_miss_seconds": miss_h.sum / max(miss_h.count, 1),
+        "saved_seconds": cs["saved_seconds"],
+        "cached_read_seconds": reader.simulated_seconds,
+        "fresh_read_seconds": fresh_reader.simulated_seconds,
+        "trace_speedup": round(fresh_reader.simulated_seconds
+                               / max(reader.simulated_seconds, 1e-12), 2),
+        "results_match": results_equal(cached_results, fresh_results),
+    }
+
+
+REQUIRED_ENTRY_KEYS = frozenset({"name", "reads", "hits", "misses",
+                                 "hit_rate", "p50_hit_seconds",
+                                 "p50_miss_seconds", "p50_speedup",
+                                 "results_match"})
+
+
+def check_schema(path: Path, min_speedup: float = 10.0,
+                 min_hit_rate: float = 0.4) -> list[str]:
+    """Validate a result file; returns a list of problems (empty = ok)."""
+    problems = []
+    try:
+        doc = json.loads(path.read_text())
+    except (OSError, ValueError) as e:
+        return [f"cannot read {path}: {e}"]
+    if doc.get("schema") != SCHEMA:
+        problems.append(f"schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+    entries = doc.get("entries")
+    if not isinstance(entries, list) or not entries:
+        return problems + ["entries must be a non-empty list"]
+    for i, e in enumerate(entries):
+        missing = REQUIRED_ENTRY_KEYS - set(e)
+        if missing:
+            problems.append(f"entry {i} missing keys: {sorted(missing)}")
+            continue
+        if not e["results_match"]:
+            problems.append(f"entry {i} ({e['name']}): cached trace results "
+                            "diverged from the fresh-serve oracle")
+        if e["p50_speedup"] < min_speedup:
+            problems.append(f"entry {i} ({e['name']}): p50 speedup "
+                            f"{e['p50_speedup']}x < required {min_speedup}x")
+        if e["hit_rate"] < min_hit_rate:
+            problems.append(f"entry {i} ({e['name']}): hit rate "
+                            f"{e['hit_rate']} < required {min_hit_rate}")
+        if e["hits"] + e["misses"] < e["reads"]:
+            problems.append(f"entry {i} ({e['name']}): lookups "
+                            f"{e['hits'] + e['misses']} < reads {e['reads']}")
+    return problems
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    ap.add_argument("--nodes", type=int, default=4_000)
+    ap.add_argument("--edges", type=int, default=24_000)
+    ap.add_argument("--machines", type=int, default=4)
+    ap.add_argument("--reads", type=int, default=400)
+    ap.add_argument("--pool", type=int, default=16)
+    ap.add_argument("--zipf", type=float, nargs="+", default=[1.2, 0.8])
+    ap.add_argument("--mutate-every", type=int, default=120)
+    ap.add_argument("--seed", type=int, default=7)
+    ap.add_argument("--min-speedup", type=float, default=10.0,
+                    help="required p50 miss/hit latency ratio")
+    ap.add_argument("--min-hit-rate", type=float, default=0.4)
+    ap.add_argument("--tiny", action="store_true",
+                    help="small trace (CI smoke)")
+    ap.add_argument("--out", type=Path,
+                    default=REPO_ROOT / "BENCH_query.json")
+    ap.add_argument("--check", type=Path, metavar="JSON",
+                    help="validate an existing result file and exit")
+    args = ap.parse_args(argv)
+
+    if args.check:
+        problems = check_schema(args.check, min_speedup=args.min_speedup,
+                                min_hit_rate=args.min_hit_rate)
+        for p in problems:
+            print(f"SCHEMA ERROR: {p}", file=sys.stderr)
+        print(f"{args.check}: {'FAIL' if problems else 'ok'}")
+        return 1 if problems else 0
+
+    if args.tiny:
+        args.nodes, args.edges = 800, 5_000
+        args.reads, args.mutate_every = 150, 50
+        args.zipf = [1.2]
+
+    t0 = time.perf_counter()
+    entries = [bench_trace(args.nodes, args.edges, args.machines, args.seed,
+                           args.reads, args.pool, s, args.mutate_every)
+               for s in args.zipf]
+    doc = {
+        "schema": SCHEMA,
+        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "graph": {"kind": "rmat", "nodes": args.nodes, "edges": args.edges,
+                  "seed": args.seed},
+        "config": {"machines": args.machines, "reads": args.reads,
+                   "pool": args.pool, "zipf": args.zipf,
+                   "mutate_every": args.mutate_every,
+                   "min_speedup": args.min_speedup,
+                   "min_hit_rate": args.min_hit_rate},
+        "host_seconds": round(time.perf_counter() - t0, 2),
+        "entries": entries,
+    }
+    args.out.write_text(json.dumps(doc, indent=2) + "\n")
+    print(f"wrote {args.out} ({len(entries)} entries)")
+    for e in entries:
+        print(f"  {e['name']:26s} hit rate {e['hit_rate']:6.1%}  "
+              f"p50 hit {e['p50_hit_seconds']:.3g}s vs miss "
+              f"{e['p50_miss_seconds']:.3g}s ({e['p50_speedup']:>6.1f}x)  "
+              f"trace speedup {e['trace_speedup']:>5.1f}x  "
+              f"match={e['results_match']}")
+    problems = check_schema(args.out, min_speedup=args.min_speedup,
+                            min_hit_rate=args.min_hit_rate)
+    for p in problems:
+        print(f"SCHEMA ERROR: {p}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

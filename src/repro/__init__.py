@@ -20,9 +20,11 @@ from .core.faults import (EngineStallError, FaultPlan, MachineCrash,
                           RetryExhaustedError)
 from .core.job import EdgeMapJob, NodeKernelJob, TaskJob
 from .core.properties import ReduceOp
+from .core.result_cache import CacheConfig, ResultCache
 from .core.scheduler import (AdmissionError, JobScheduler, JobTicket,
                              QueueFullError, QuotaExceededError,
-                             SchedulerConfig, SchedulerError)
+                             ReadRateLimitError, SchedulerConfig,
+                             SchedulerError)
 from .core.tasks import (EdgeMapSpec, InNbrIterTask, NodeIterTask,
                          OutNbrIterTask, Task)
 from .graph.csr import Graph, from_edges
@@ -45,6 +47,7 @@ __all__ = [
     "EngineStallError", "MachineCrashError", "RetryExhaustedError",
     "JobScheduler", "SchedulerConfig", "JobTicket",
     "SchedulerError", "AdmissionError", "QuotaExceededError",
-    "QueueFullError",
+    "QueueFullError", "ReadRateLimitError",
+    "ResultCache", "CacheConfig",
     "__version__",
 ]

@@ -72,6 +72,12 @@ class AuditScenario:
     #: schedules, and (two_tenant) while a reader of the pinned epoch
     #: interleaves with the mutation jobs
     dynamic: bool = False
+    #: run the serving-tier workload: a deterministic read trace (queries +
+    #: a cached algorithm) over a mutating graph, once through the result
+    #: cache and once fresh — the two fingerprints must agree with each
+    #: other and across perturbed schedules (cached answers are
+    #: bit-identical to fresh computation, before and after epoch bumps)
+    cached: bool = False
     #: True for the negative control: the scenario PASSES when the harness
     #: detects bit divergence (the auditor must catch the broken staging)
     expect_divergence: bool = False
@@ -138,7 +144,8 @@ class ScenarioVerdict:
                        "two_tenant": s.two_tenant,
                        "content_sorted_staging": s.content_sorted,
                        "out_of_core": s.out_of_core,
-                       "dynamic": s.dynamic},
+                       "dynamic": s.dynamic,
+                       "cached": s.cached},
             "expect_divergence": s.expect_divergence,
             "schedules": len(self.runs),
             "bit_identical": self.bit_identical,
@@ -166,6 +173,8 @@ def default_scenarios(schedules_hint: int = 0) -> list[AuditScenario]:
     out.append(AuditScenario("wcc/out-of-core", "wcc", out_of_core=True))
     out.append(AuditScenario("dynamic/incremental", "pagerank",
                              dynamic=True, two_tenant=True))
+    out.append(AuditScenario("serving/cached-vs-fresh", "pagerank",
+                             cached=True))
     out.append(AuditScenario("negative-control/unsorted-staging", "pagerank",
                              content_sorted=False, expect_divergence=True))
     return out
@@ -393,6 +402,82 @@ class AuditHarness:
         run.elapsed = cluster.sim.now
         return run
 
+    def _run_cached(self, scenario: AuditScenario,
+                    tie_seed: Optional[int]) -> ScheduleRun:
+        """Serving-tier equality: the same deterministic read trace runs
+        once through the result cache and once fresh.
+
+        The cache-on outputs land under the ``solo`` fingerprint key and
+        the cache-off outputs under ``tenantA`` — the verdict's own-key
+        comparison then enforces both cache-on/off bit-identity *and*
+        identity across perturbed schedules in one sweep.  The trace
+        interleaves repeated query passes (second pass hits when cached),
+        a cached algorithm lookup, and one mutation epoch bump, so stale
+        serving after invalidation would flip the fingerprint.
+        """
+        from ..algorithms import pagerank
+        from ..query import apply_spec
+        from ..server import PgxdServer
+
+        run = ScheduleRun(tie_seed=tie_seed, mode="cached_vs_fresh")
+        specs = [("count", 2, 0), ("sum", 1, 0), ("max", 1, 0),
+                 ("top", 2, 8)]
+        for key, use_cache in (("solo", True), ("tenantA", False)):
+            cluster = self._cluster(scenario, tie_seed)
+            server = PgxdServer(cluster, scheduler_config=SchedulerConfig(
+                max_concurrent_jobs=2))
+            if use_cache:
+                server.enable_cache()
+            eng = self._dynamic_engine(cluster)
+            sess = server.create_session("reader")
+            sess.attach_graph("g", eng.pin())
+            outputs: list[np.ndarray] = []
+
+            def read_pass():
+                for spec in specs:
+                    out = apply_spec(sess.query("g"), spec)
+                    if isinstance(out, list):
+                        outputs.append(np.array([r[0] for r in out],
+                                                dtype=np.int64))
+                        outputs.append(np.array(
+                            [r[1]["out_degree"] for r in out],
+                            dtype=np.float64))
+                    else:
+                        outputs.append(np.array([float(out)]))
+
+            def algo_pass():
+                r = sess.run_cached("g", pagerank,
+                                    max_iterations=self.iterations)
+                outputs.append(np.array(r.values["pr"]))
+
+            try:
+                read_pass()
+                read_pass()      # second pass: served from cache when on
+                algo_pass()
+                algo_pass()
+                for _ in self._dynamic_batches(eng, rounds=1):
+                    eng.mutate(session="mutator")
+                sess.attach_graph("g", eng.pin())
+                read_pass()      # post-epoch: stale entries must be gone
+                read_pass()
+                algo_pass()
+            except AuditViolation as av:
+                run.violations.extend(av.violations)
+                run.elapsed = cluster.sim.now
+                return run
+            run.fingerprints[key] = self._fingerprint_arrays(
+                {f"out{i:03d}": arr for i, arr in enumerate(outputs)})
+            cache = server.cache
+            run.stats[key] = {
+                "reads": int(sess.usage.jobs_run),
+                "epoch": int(eng.epoch),
+                "cache_hits": int(cache.hits) if cache else 0,
+                "cache_misses": int(cache.misses) if cache else 0,
+                "cache_evictions": int(cache.evictions) if cache else 0,
+            }
+            run.elapsed = cluster.sim.now
+        return run
+
     # -- scenario driver ---------------------------------------------------
 
     def tie_seeds(self) -> list[Optional[int]]:
@@ -403,7 +488,9 @@ class AuditHarness:
     def run_scenario(self, scenario: AuditScenario) -> ScenarioVerdict:
         runs: list[ScheduleRun] = []
         for seed in self.tie_seeds():
-            if scenario.dynamic:
+            if scenario.cached:
+                runs.append(self._run_cached(scenario, seed))
+            elif scenario.dynamic:
                 runs.append(self._run_dynamic(scenario, seed,
                                               two_tenant=False))
                 if scenario.two_tenant:

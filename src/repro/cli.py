@@ -310,6 +310,90 @@ def cmd_audit(args) -> int:
     return 0 if doc["passed"] else 1
 
 
+def _serve_cache_trace(args) -> int:
+    """Trace-driven load generator for the serving tier: seeded Zipf-skewed
+    read traffic over a query pool with a trickle of mutations, served
+    through the epoch-keyed result cache, reporting p50/p99 hit/miss
+    latency from the cache histograms."""
+    import numpy as np
+
+    from .core.incremental import IncrementalEngine, hash_weights
+    from .core.result_cache import zipf_weights
+    from .core.scheduler import ReadRateLimitError, SchedulerConfig
+    from .dynamic import DynamicGraph
+    from .obs.report import cache_summary
+    from .query import apply_spec, pool_specs
+    from .server import PgxdServer
+
+    cluster = PgxdCluster(scaled_cluster_config(args.machines, args.scale))
+    server = PgxdServer(cluster, scheduler_config=SchedulerConfig(
+        max_concurrent_jobs=args.max_concurrent,
+        read_rate_per_session=args.read_rate))
+    server.enable_cache()
+    cache = server.cache
+    g = paper_graph(args.graph, scale=args.scale)
+    src = np.repeat(np.arange(g.num_nodes), np.diff(g.out_starts))
+    dyn = DynamicGraph(g.num_nodes,
+                       list(zip(src.tolist(), g.out_nbrs.tolist())))
+    engine = IncrementalEngine(cluster, dyn,
+                               weight_fn=hash_weights(seed=args.seed))
+    reader = server.create_session("reader")
+    reader.attach_graph("g", engine.pin())
+    print(f"serve: cached read trace on {args.graph} "
+          f"(scale {args.scale:g}, {args.machines} machines, "
+          f"{args.reads} reads, Zipf s={args.zipf:g} over "
+          f"{args.pool} queries, mutation every {args.mutate_every}, "
+          f"seed {args.seed})")
+
+    rng = np.random.default_rng(args.seed)
+    specs = pool_specs(args.pool, seed=args.seed)
+    choices = rng.choice(args.pool, size=args.reads,
+                         p=zipf_weights(args.pool, args.zipf))
+    rejected = epoch_bumps = 0
+    for i, qi in enumerate(choices):
+        if args.mutate_every and i and i % args.mutate_every == 0:
+            dyn.add_edge(int(rng.integers(g.num_nodes)),
+                         int(rng.integers(g.num_nodes)))
+            existing = dyn.edge_list()
+            dyn.remove_edge(*existing[int(rng.integers(len(existing)))])
+            engine.mutate(session="mutator")
+            reader.attach_graph("g", engine.pin())
+            epoch_bumps += 1
+        try:
+            apply_spec(reader.query("g"), specs[qi])
+        except ReadRateLimitError:
+            rejected += 1
+
+    cs = cache_summary(cluster.metrics)
+    hist = cluster.metrics.get("repro_cache_read_seconds")
+    hit_h = hist.labels(result="hit")
+    miss_h = hist.labels(result="miss")
+    print(f"reads: {args.reads} ({rejected} rate-limited); "
+          f"mutations: {epoch_bumps} epoch bumps, "
+          f"{cs['evictions']:.0f} evictions")
+    print(f"cache: {cs['hits']:.0f} hits / {cs['misses']:.0f} misses "
+          f"(hit rate {cs['hit_rate']:.1%}); "
+          f"saved {cs['saved_seconds']:.6f} simulated s")
+    p50h, p99h = hit_h.quantile(0.5), hit_h.quantile(0.99)
+    p50m, p99m = miss_h.quantile(0.5), miss_h.quantile(0.99)
+    mean_h = hit_h.sum / max(hit_h.count, 1)
+    mean_m = miss_h.sum / max(miss_h.count, 1)
+    print(f"latency (simulated): hit p50={p50h:.3g}s p99={p99h:.3g}s; "
+          f"miss p50={p50m:.3g}s p99={p99m:.3g}s; "
+          f"p50 speedup {p50m / max(p50h, 1e-12):.1f}x, "
+          f"mean speedup {mean_m / max(mean_h, 1e-12):.1f}x")
+    u = reader.usage
+    print(f"reader usage: jobs={u.jobs_run} "
+          f"seconds={u.simulated_seconds:.6f}")
+    if args.metrics_out:
+        from .obs.exporters import write_metrics
+
+        prom_path, json_path = write_metrics(cluster.metrics,
+                                             args.metrics_out)
+        print(f"  metrics: {prom_path} + {json_path}")
+    return 0
+
+
 def cmd_serve(args) -> int:
     """Replay a synthetic multi-tenant trace through the job scheduler."""
     from .algorithms.streams import pagerank_stream, sssp_stream
@@ -317,6 +401,8 @@ def cmd_serve(args) -> int:
     from .obs.report import scheduler_summary
     from .server import PgxdServer
 
+    if args.cache:
+        return _serve_cache_trace(args)
     cluster = PgxdCluster(scaled_cluster_config(args.machines, args.scale))
     server = PgxdServer(cluster, fair_share_window=1.5,
                         scheduler_config=SchedulerConfig(
@@ -635,6 +721,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_srv.add_argument("--metrics-out", default=None, metavar="PREFIX",
                        help="write PREFIX.prom and PREFIX.json after the "
                             "trace drains")
+    p_srv.add_argument("--cache", action="store_true",
+                       help="serving-tier trace instead: Zipf-skewed reads "
+                            "with a trickle of mutations through the "
+                            "epoch-keyed result cache")
+    p_srv.add_argument("--reads", type=int, default=200,
+                       help="[--cache] reads to replay")
+    p_srv.add_argument("--pool", type=int, default=12,
+                       help="[--cache] distinct queries in the pool")
+    p_srv.add_argument("--zipf", type=float, default=1.2,
+                       help="[--cache] Zipf skew over the query pool")
+    p_srv.add_argument("--mutate-every", type=int, default=60,
+                       help="[--cache] mutation batch every N reads "
+                            "(0 disables)")
+    p_srv.add_argument("--read-rate", type=float, default=None,
+                       help="[--cache] per-session read rate limit "
+                            "(reads per simulated second)")
     p_srv.set_defaults(fn=cmd_serve)
 
     p_mut = sub.add_parser(

@@ -171,6 +171,10 @@ class PgxdCluster:
         #: set, run_job routes through the scheduler so queued background
         #: tenants interleave with synchronous driver jobs.
         self.scheduler = None
+        #: epoch-keyed result cache for served reads; attach with
+        #: ResultCache(cluster) or PgxdServer.enable_cache().  When set,
+        #: scheduled read jobs consult it before computing.
+        self.result_cache = None
         #: causal span profiler; set by SpanProfiler.install().  When
         #: present, completed jobs get critical-path fields on their stats.
         self.profiler = None

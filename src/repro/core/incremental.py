@@ -299,8 +299,14 @@ class IncrementalEngine:
         return new_dg, sorted(changed), len(reuse), cost
 
     def _install_epoch(self, epoch: int, dg: DistributedGraph) -> None:
+        prev = self.dg
         self.epoch = epoch
         self.dg = dg
+        cache = getattr(self.cluster, "result_cache", None)
+        if cache is not None:
+            # Serving-tier invalidation: precisely this engine's cached
+            # results are stale now; other graphs' entries survive.
+            cache.on_epoch(self, prev, dg, epoch)
 
     # -- changeset bookkeeping ---------------------------------------------
 

@@ -136,6 +136,33 @@ class MutationJob(Job):
 
 
 @dataclass
+class ReadJob(Job):
+    """A served read — a :class:`~repro.query.PropertyQuery` operation or a
+    cached-algorithm lookup — admitted through the scheduler as a
+    first-class job.
+
+    ``compute()`` runs host-side and returns ``(result, cost_seconds)``
+    without touching the simulated clock; the
+    :class:`~repro.core.result_cache.ReadExecution` charges that cost (or
+    the cache's hit cost) as the job's elapsed time, so read traffic shows
+    up in the fairness ledger and per-session accounting like any other
+    job.  ``fingerprint`` keys the cluster's result cache; empty disables
+    caching for this read.  ``result``/``cached``/``cost`` are filled by
+    the execution.
+    """
+
+    compute: Optional[Callable[[], tuple]] = None
+    fingerprint: str = ""
+    result: object = None
+    cached: bool = False
+    cost: float = 0.0
+
+    @property
+    def kind(self) -> str:
+        return "read"
+
+
+@dataclass
 class JobSequence:
     """Convenience container for the Figure 2 pattern: a list of jobs executed
     back-to-back inside one iteration of the main sequential loop."""

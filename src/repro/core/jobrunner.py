@@ -627,12 +627,19 @@ def make_execution(cluster, dgraph, job: Job, force_scalar: bool = False,
     (``start``/``done``/``on_done``/``stats``/``stall_diagnostics``), but
     ``dgraph`` is the owning :class:`IncrementalEngine` — the graph-lock
     token serializing mutations against each other while readers of the
-    previous epoch's ``DistributedGraph`` proceed.  Everything else runs as
-    a regular :class:`JobExecution`.
+    previous epoch's ``DistributedGraph`` proceed.  Read jobs
+    (``job.kind == "read"``) get a
+    :class:`~repro.core.result_cache.ReadExecution` — the serving tier's
+    cache-aware read path.  Everything else runs as a regular
+    :class:`JobExecution`.
     """
     if job.kind == "mutation":
         from .incremental import MutationExecution
 
         return MutationExecution(cluster, job, scope=scope)
+    if job.kind == "read":
+        from .result_cache import ReadExecution
+
+        return ReadExecution(cluster, dgraph, job, scope=scope)
     return JobExecution(cluster, dgraph, job, force_scalar=force_scalar,
                         scope=scope)

@@ -75,6 +75,12 @@ class QueueFullError(AdmissionError):
     reason = "queue_full"
 
 
+class ReadRateLimitError(AdmissionError):
+    """The session exceeded its served-read rate (token bucket empty)."""
+
+    reason = "read_rate"
+
+
 @dataclass(frozen=True)
 class SchedulerConfig:
     """Knobs of one :class:`JobScheduler`.
@@ -90,6 +96,11 @@ class SchedulerConfig:
     max_running_per_session: int = 1
     priorities: tuple[str, ...] = ("high", "normal", "low")
     default_priority: str = "normal"
+    #: served reads admitted per session per simulated second (token
+    #: bucket over the simulated clock); ``None`` disables the limit
+    read_rate_per_session: Optional[float] = None
+    #: token-bucket burst capacity for served reads
+    read_burst: float = 8.0
 
 
 #: Ticket lifecycle states.
@@ -190,6 +201,8 @@ class JobScheduler:
         self._seq = 0
         self._recoveries = 0
         self._inline_session = "driver"
+        #: session -> (tokens, last-refill simulated time) for served reads
+        self._read_buckets: dict[str, tuple[float, float]] = {}
         #: every ticket ever admitted or run inline, in seq order
         self.tickets: list[JobTicket] = []
         #: (index, time, session, job, priority, wait) per dispatch — the
@@ -258,6 +271,35 @@ class JobScheduler:
 
     # -- admission ---------------------------------------------------------
 
+    def admit_read(self, session: str, job_name: str) -> None:
+        """Per-session rate limit for served reads (the serving tier).
+
+        A token bucket over *simulated* time refills at
+        ``read_rate_per_session`` tokens/sec up to ``read_burst``; each
+        admitted read spends one token.  A dry bucket emits
+        ``sched.reject`` (reason ``read_rate``, feeding the existing
+        ``repro_sched_rejected_total`` family) and raises
+        :class:`ReadRateLimitError` — the same typed-backpressure contract
+        as the queue quotas.  No-op when the limit is unset.
+        """
+        rate = self.config.read_rate_per_session
+        if rate is None:
+            return
+        now = self.cluster.sim.now
+        tokens, last = self._read_buckets.get(
+            session, (self.config.read_burst, now))
+        tokens = min(self.config.read_burst, tokens + (now - last) * rate)
+        if tokens < 1.0:
+            self._read_buckets[session] = (tokens, now)
+            self.cluster.hooks.emit("sched.reject", session=session,
+                                    job=job_name, reason="read_rate",
+                                    time=now)
+            raise ReadRateLimitError(
+                session, job_name,
+                f"read rate {rate}/s exhausted "
+                f"(burst {self.config.read_burst})")
+        self._read_buckets[session] = (tokens - 1.0, now)
+
     def submit(self, session: str, dgraph, job: Job, *,
                priority: Optional[str] = None, force_scalar: bool = False,
                recover: Optional[bool] = None) -> JobTicket:
@@ -287,6 +329,8 @@ class JobScheduler:
             raise QueueFullError(
                 session, job.name,
                 f"admission queue at capacity ({self.config.max_queue_depth})")
+        if job.kind == "read":
+            self.admit_read(session, job.name)
         ticket = JobTicket(seq=self._next_seq(), session=session,
                            dgraph=dgraph, job=job, priority=prio,
                            force_scalar=force_scalar, recover=recover,
@@ -468,6 +512,8 @@ class JobScheduler:
         """
         cl = self.cluster
         sess = session if session is not None else self._inline_session
+        if job.kind == "read":
+            self.admit_read(sess, job.name)
         ticket = JobTicket(seq=self._next_seq(), session=sess, dgraph=dgraph,
                            job=job, priority=self.config.default_priority,
                            force_scalar=force_scalar, recover=recover,

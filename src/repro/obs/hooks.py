@@ -61,6 +61,10 @@ KNOWN_HOOKS = (
     "sched.complete",      # session, job, priority, wait, turnaround, time
     "disk.read",           # machine, window, nbytes, start, duration, stall,
                            #   time (out-of-core window activation)
+    "cache.hit",           # job, fingerprint, cost, saved, entries, time
+    "cache.miss",          # job, fingerprint, cost, entries, time
+    "cache.evict",         # reason ("epoch"|"capacity"|"manual"), count,
+                           #   family, epoch, entries, time
 )
 
 

@@ -191,6 +191,24 @@ class MetricsRecorder:
             "Warm recomputes that fell back to a full rerun because the "
             "delta exceeded the configured fraction", ("algo",))
 
+        self.cache_requests = r.counter(
+            "repro_cache_requests_total",
+            "Result-cache lookups by served reads", ("result",))
+        self.cache_evictions = r.counter(
+            "repro_cache_evictions_total",
+            "Result-cache entries evicted", ("reason",))
+        self.cache_entries = r.gauge(
+            "repro_cache_entries",
+            "Entries resident in the result cache")
+        self.cache_read_seconds = r.histogram(
+            "repro_cache_read_seconds",
+            "Served-read latency (simulated seconds) by cache outcome",
+            ("result",))
+        self.cache_saved_seconds = r.counter(
+            "repro_cache_saved_seconds_total",
+            "Simulated seconds saved by cache hits versus their entries' "
+            "fresh compute cost")
+
         # Updated by PgxdCluster.run_job (no hook needed — the driver knows).
         r.counter("repro_jobs_total", "Parallel regions executed", ("kind",))
         r.histogram("repro_job_seconds", "Job elapsed time distribution")
@@ -232,6 +250,9 @@ class MetricsRecorder:
             "sched.complete": self._on_sched_complete,
             "dynamic.apply": self._on_dynamic_apply,
             "job.incremental": self._on_job_incremental,
+            "cache.hit": self._on_cache_hit,
+            "cache.miss": self._on_cache_miss,
+            "cache.evict": self._on_cache_evict,
         })
 
     def close(self) -> None:
@@ -413,3 +434,18 @@ class MetricsRecorder:
             p["recomputed_vertices"])
         if p.get("fallback"):
             self.incremental_fallbacks.labels(algo=p["algo"]).inc()
+
+    def _on_cache_hit(self, p: dict) -> None:
+        self.cache_requests.labels(result="hit").inc()
+        self.cache_read_seconds.labels(result="hit").observe(p["cost"])
+        self.cache_saved_seconds.inc(p["saved"])
+        self.cache_entries.set(p["entries"])
+
+    def _on_cache_miss(self, p: dict) -> None:
+        self.cache_requests.labels(result="miss").inc()
+        self.cache_read_seconds.labels(result="miss").observe(p["cost"])
+        self.cache_entries.set(p["entries"])
+
+    def _on_cache_evict(self, p: dict) -> None:
+        self.cache_evictions.labels(reason=p["reason"]).inc(p["count"])
+        self.cache_entries.set(p["entries"])

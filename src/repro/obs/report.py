@@ -151,6 +151,22 @@ def incremental_summary(registry: MetricsRegistry) -> dict[str, float]:
     }
 
 
+def cache_summary(registry: MetricsRegistry) -> dict[str, float]:
+    """Serving-tier result-cache activity, zero-suppressed."""
+    hits = _family_sum(registry, "repro_cache_requests_total",
+                       {"result": "hit"})
+    misses = _family_sum(registry, "repro_cache_requests_total",
+                         {"result": "miss"})
+    return {
+        "hits": hits,
+        "misses": misses,
+        "hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+        "evictions": _family_sum(registry, "repro_cache_evictions_total"),
+        "saved_seconds": _family_sum(registry,
+                                     "repro_cache_saved_seconds_total"),
+    }
+
+
 def _histogram_sum(registry: MetricsRegistry, name: str) -> float:
     metric = registry.get(name)
     if metric is None:
@@ -273,6 +289,13 @@ def render_overhead_report(registry: MetricsRegistry, title: str = "",
             f"recomputes: {inc['runs']:.0f} "
             f"({inc['fallbacks']:.0f} full-rerun fallbacks, "
             f"{inc['recomputed_vertices']:.0f} frontier vertices)")
+    cs = cache_summary(registry)
+    if cs["hits"] or cs["misses"] or cs["evictions"]:
+        parts.append(
+            f"cache: {cs['hits']:.0f} hits / {cs['misses']:.0f} misses "
+            f"({cs['hit_rate']:.1%} hit rate); "
+            f"{cs['evictions']:.0f} evictions; "
+            f"saved {cs['saved_seconds']:.6f} s")
     fs = fault_summary(registry)
     if any(fs.values()):
         parts.append(

@@ -25,14 +25,20 @@ See ``docs/serving.md`` for the admission/fairness/backpressure contract.
 
 from __future__ import annotations
 
+import copy
+
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
+import numpy as np
+
 from .core.engine import DistributedGraph, PgxdCluster
-from .core.job import Job
+from .core.job import Job, ReadJob
+from .core.result_cache import CacheConfig, ResultCache
 from .core.scheduler import JobScheduler, JobTicket, SchedulerConfig
 from .graph.csr import Graph
 from .obs.profiler import SpanProfiler
+from .query import PropertyQuery
 from .runtime.stats import JobStats
 
 
@@ -67,6 +73,16 @@ class Session:
         dg = self._server.cluster.load_graph(graph, **load_kwargs)
         self._graphs[graph_name] = dg
         self.usage.graphs_loaded += 1
+        return dg
+
+    def attach_graph(self, graph_name: str,
+                     dg: DistributedGraph) -> DistributedGraph:
+        """Register an already-loaded graph under this session — e.g. an
+        :class:`~repro.core.incremental.IncrementalEngine` epoch snapshot
+        from ``engine.pin()``.  Rebinding an existing name is allowed:
+        serving follows an engine's epoch chain by re-attaching each new
+        pin."""
+        self._graphs[graph_name] = dg
         return dg
 
     def graph(self, graph_name: str) -> DistributedGraph:
@@ -110,6 +126,82 @@ class Session:
         dg = self._graphs[graph_name]
         with self._server.scheduler.session_scope(self.name):
             return algorithm(self._server.cluster, dg, *args, **kwargs)
+
+    # -- served reads ------------------------------------------------------
+
+    def query(self, graph_name: str) -> "SessionQuery":
+        """A :class:`~repro.query.PropertyQuery` builder whose terminal
+        operations (``execute``/``count``/``aggregate``) run as admitted
+        read jobs: rate-limited per session, accounted in the fairness
+        ledger, and served from the result cache when one is enabled."""
+        return SessionQuery(self, graph_name)
+
+    def run_cached(self, graph_name: str, algorithm: Callable, /,
+                   *args, **kwargs):
+        """Algorithm lookup through the result cache.
+
+        A hit serves the stored result as a near-zero-cost read job; a
+        miss runs the algorithm normally under this session's accounting
+        and installs a snapshot of its result for subsequent lookups.
+        Without an enabled cache this degrades to a rate-limited
+        :meth:`run_algorithm` call, so results are identical either way.
+        """
+        return self._server.cached_algorithm(self, graph_name, algorithm,
+                                             *args, **kwargs)
+
+    def _read(self, dg: DistributedGraph, name: str, fingerprint: str,
+              compute: Callable[[], tuple]):
+        return self._server.read(self, dg, name, fingerprint, compute)
+
+
+class SessionQuery(PropertyQuery):
+    """A session-bound query: same builder surface as
+    :class:`~repro.query.PropertyQuery`, but the terminal operations route
+    through the server's read path (scheduler admission + per-session
+    read rate limiting + the epoch-keyed result cache) instead of
+    executing driver-side."""
+
+    def __init__(self, session: Session, graph_name: str):
+        super().__init__(session._server.cluster, session.graph(graph_name))
+        self._session = session
+        self._graph_name = graph_name
+
+    def execute(self) -> list[tuple[int, dict[str, float]]]:
+        return self._session._read(
+            self.dgraph, f"read:{self._graph_name}:execute",
+            self.fingerprint("execute"), self._execute_priced)
+
+    def count(self) -> int:
+        return self._session._read(
+            self.dgraph, f"read:{self._graph_name}:count",
+            self.fingerprint("count"), self._count_priced)
+
+    def aggregate(self, prop: str, how: str = "sum") -> float:
+        return self._session._read(
+            self.dgraph, f"read:{self._graph_name}:aggregate",
+            self.fingerprint("aggregate", prop, how),
+            lambda: self._aggregate_priced(prop, how))
+
+
+def _algorithm_fingerprint(algorithm: Callable, args, kwargs) -> str:
+    """Deterministic cache key for an algorithm invocation."""
+    name = getattr(algorithm, "__name__", repr(algorithm))
+    parts = [f"algo:{name}"]
+    parts.extend(repr(a) for a in args)
+    parts.extend(f"{k}={kwargs[k]!r}" for k in sorted(kwargs))
+    return "|".join(parts)
+
+
+def _snapshot_result(result):
+    """Freeze an algorithm result for caching: later jobs may overwrite
+    the live property columns a result's ``values`` can reference, so the
+    cached copy owns its arrays."""
+    values = getattr(result, "values", None)
+    if not isinstance(values, dict):
+        return result
+    snapshot = copy.copy(result)
+    snapshot.values = {k: np.array(v, copy=True) for k, v in values.items()}
+    return snapshot
 
 
 class PgxdServer:
@@ -185,6 +277,74 @@ class PgxdServer:
     def drain(self) -> None:
         """Run until every queued background job has completed."""
         self.scheduler.drain()
+
+    # -- the serving tier (result cache + admitted reads) ------------------
+
+    def enable_cache(self, config: Optional[CacheConfig] = None) -> ResultCache:
+        """Attach an epoch-keyed :class:`ResultCache` to the cluster
+        (idempotent).  From here on, served reads
+        (:meth:`Session.query`, :meth:`Session.run_cached`) answer
+        repeated questions at the cache's near-zero hit cost until a
+        mutation epoch invalidates them."""
+        if self.cluster.result_cache is not None:
+            return self.cluster.result_cache
+        return ResultCache(self.cluster, config)
+
+    @property
+    def cache(self) -> Optional[ResultCache]:
+        return self.cluster.result_cache
+
+    def read(self, session: Session, dg: DistributedGraph, name: str,
+             fingerprint: str, compute: Callable[[], tuple]):
+        """Run one admitted read job on behalf of ``session``.
+
+        The job consults the result cache (when enabled), computes via the
+        priced host-side ``compute`` thunk on a miss, and charges its cost
+        on the simulated clock through the scheduler — so reads are
+        rate-limited, accounted, and interleave with background tenants
+        like any other job.  Raises
+        :class:`~repro.core.scheduler.ReadRateLimitError` as backpressure
+        when the session's read budget is exhausted.
+        """
+        job = ReadJob(name=name, fingerprint=fingerprint, compute=compute)
+        self.submission_log.append((session.name, name))
+        self.scheduler.run_inline(dg, job, session=session.name)
+        return job.result
+
+    def cached_algorithm(self, session: Session, graph_name: str,
+                         algorithm: Callable, *args, **kwargs):
+        """Cached-algorithm lookup (the ``Session.run_cached`` backend).
+
+        Hits are served through a read job at the cache's hit cost.
+        Misses run the algorithm for real — every parallel region an
+        inline ticket under the session's accounting, exactly like
+        :meth:`Session.run_algorithm` — then install a snapshot of the
+        result keyed at the graph's current epoch, priced at the observed
+        fresh cost.  The miss path charges the same one read-admission
+        token as a hit, so rate limiting treats both uniformly.
+        """
+        dg = session.graph(graph_name)
+        fp = _algorithm_fingerprint(algorithm, args, kwargs)
+        name = (f"read:{graph_name}:"
+                f"{getattr(algorithm, '__name__', 'algorithm')}")
+        cache = self.cache
+        if cache is not None and cache.peek(dg, fp) is not None:
+            job = ReadJob(name=name, fingerprint=fp)
+            self.submission_log.append((session.name, name))
+            self.scheduler.run_inline(dg, job, session=session.name)
+            return job.result
+        # Miss (or no cache): one admission token, then the real run.  The
+        # algorithm cannot execute inside a read job — its parallel
+        # regions are themselves scheduled jobs — so it runs first and the
+        # cache is installed afterwards at the observed cost.
+        self.scheduler.admit_read(session.name, name)
+        t0 = self.cluster.sim.now
+        result = session.run_algorithm(graph_name, algorithm, *args, **kwargs)
+        cost = self.cluster.sim.now - t0
+        if cache is not None:
+            cache.put(dg, fp, _snapshot_result(result), cost)
+            cache.note_miss(self.cluster.hooks, name, fp, cost)
+        return result
 
     def _on_ticket_complete(self, ticket: JobTicket) -> None:
         session = self._sessions.get(ticket.session)

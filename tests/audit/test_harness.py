@@ -95,6 +95,29 @@ class TestPositiveScenarios:
         # The mutation stream advanced the engine's epochs.
         assert solo[0].stats["solo"]["epoch"] == 2
 
+    def test_cached_serving_scenario(self, harness):
+        """Serving-tier equality: the same read trace (queries + a cached
+        algorithm lookup + one mutation epoch) with the result cache on
+        vs off, bit-identical across perturbed schedules."""
+        v = harness.run_scenario(AuditScenario("cache", "pagerank",
+                                               cached=True))
+        assert v.passed and v.bit_identical and v.stats_identical
+        assert v.violation_count == 0
+        assert len(v.runs) == 3  # one cached-vs-fresh pair per schedule
+        r = v.runs[0]
+        assert r.mode == "cached_vs_fresh"
+        # Cache-on ("solo") and cache-off ("tenantA") produced the same
+        # bits for every read in the trace.
+        assert r.fingerprints["solo"] == r.fingerprints["tenantA"]
+        assert r.stats["solo"]["cache_hits"] > 0
+        assert r.stats["tenantA"]["cache_hits"] == 0
+        assert r.stats["solo"]["epoch"] >= 1
+
+    def test_cached_scenario_in_default_matrix(self):
+        scs = default_scenarios()
+        cached = [s for s in scs if s.cached]
+        assert len(cached) == 1 and "serving" in cached[0].name
+
     def test_dynamic_scenario_in_default_matrix(self):
         scs = default_scenarios()
         dyn = [s for s in scs if s.dynamic]

@@ -1,0 +1,69 @@
+"""The query serving benchmark: tiny end-to-end run + schema gates."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+import bench_query  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def tiny_result(tmp_path_factory):
+    out = tmp_path_factory.mktemp("bench") / "BENCH_query.json"
+    rc = bench_query.main(["--tiny", "--out", str(out)])
+    assert rc == 0
+    return out
+
+
+class TestTinyRun:
+    def test_writes_valid_schema(self, tiny_result):
+        assert bench_query.check_schema(tiny_result) == []
+
+    def test_cached_results_match_fresh_oracle(self, tiny_result):
+        doc = json.loads(tiny_result.read_text())
+        assert doc["schema"] == bench_query.SCHEMA
+        for e in doc["entries"]:
+            assert e["results_match"], \
+                "cached trace diverged from the fresh-serve oracle"
+
+    def test_hit_latency_beats_miss_latency(self, tiny_result):
+        doc = json.loads(tiny_result.read_text())
+        for e in doc["entries"]:
+            assert e["p50_speedup"] >= 10.0
+            assert e["p99_hit_seconds"] < e["p50_miss_seconds"]
+            assert e["mean_hit_seconds"] < e["mean_miss_seconds"] / 10
+            assert 0.0 < e["hit_rate"] < 1.0
+            assert e["hits"] + e["misses"] >= e["reads"]
+
+    def test_mutations_bumped_epochs_and_evicted(self, tiny_result):
+        doc = json.loads(tiny_result.read_text())
+        for e in doc["entries"]:
+            assert e["epochs"] > 1
+            assert e["evictions"] > 0
+            assert e["trace_speedup"] > 1.0
+
+    def test_check_mode_passes(self, tiny_result, capsys):
+        assert bench_query.main(["--check", str(tiny_result)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_check_mode_rejects_bad_speedup(self, tiny_result, tmp_path,
+                                            capsys):
+        doc = json.loads(tiny_result.read_text())
+        doc["entries"][0]["p50_speedup"] = 1.5
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(doc))
+        assert bench_query.main(["--check", str(bad)]) == 1
+        assert "p50 speedup" in capsys.readouterr().err
+
+
+class TestCommittedResults:
+    def test_committed_results_pass_the_gate(self):
+        path = REPO_ROOT / "BENCH_query.json"
+        assert path.exists(), "BENCH_query.json must be committed"
+        assert bench_query.check_schema(path, min_speedup=10.0,
+                                        min_hit_rate=0.4) == []

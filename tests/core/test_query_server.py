@@ -5,7 +5,8 @@ import pytest
 
 from repro import ReduceOp, rmat
 from repro.algorithms import pagerank, wcc
-from repro.query import PropertyQuery
+from repro.core import barrier as barrier_mod
+from repro.query import PropertyQuery, apply_spec, pool_specs
 from repro.server import PgxdServer
 from tests.conftest import make_cluster
 
@@ -156,3 +157,117 @@ class TestServer:
         usage = server.close_session("tmp")
         assert usage.graphs_loaded == 1
         assert "tmp" not in server.session_names()
+
+
+class TestPartitionInvariance:
+    """The ordering bugfix: query results — including tied order keys —
+    must be identical regardless of how many machines hold the graph.
+    Both the machine-local top-k and the driver merge sort on the
+    composite (order value, global node id) key."""
+
+    GRAPH = rmat(240, 1400, seed=3)
+    # 5 distinct values over 240 nodes: 48-way ties, so any top-50 cut
+    # slices straight through a tie group.
+    TIED = (np.arange(240) % 5).astype(np.float64)
+
+    def _rows(self, machines, descending):
+        cluster = make_cluster(machines)
+        dg = cluster.load_graph(self.GRAPH)
+        dg.add_property("score", from_global=self.TIED)
+        return (PropertyQuery(cluster, dg)
+                .where("out_degree", ">=", 0)
+                .order_by("score", descending=descending)
+                .limit(50).select("score").execute())
+
+    @pytest.mark.parametrize("descending", [True, False])
+    def test_tied_top_k_invariant_to_machine_count(self, descending):
+        one = self._rows(1, descending)
+        four = self._rows(4, descending)
+        assert len(one) == 50
+        assert one == four  # ids AND values, exact
+
+    def test_ties_break_toward_smaller_global_id(self):
+        rows = self._rows(4, True)
+        for (id_a, row_a), (id_b, row_b) in zip(rows, rows[1:]):
+            if row_a["score"] == row_b["score"]:
+                assert id_a < id_b
+
+    @pytest.mark.parametrize("machines", [2, 3])
+    def test_serving_spec_pool_invariant_to_machine_count(self, machines):
+        """The whole serve-trace operator mix (count/sum/max/top-k) gives
+        one answer per spec, machine-count be damned."""
+        def answers(m):
+            cluster = make_cluster(m)
+            dg = cluster.load_graph(self.GRAPH)
+            return [apply_spec(PropertyQuery(cluster, dg), sp)
+                    for sp in pool_specs(8, seed=1)]
+
+        assert answers(machines) == answers(4)
+
+
+class TestScanPricing:
+    """The unpriced-scan bugfix: count()/aggregate() pay a modeled
+    full-column scan plus a scalar all-reduce on the simulated clock, and
+    execute() pays for its order-key gather and row materialization."""
+
+    def _expected_reduce(self, cluster):
+        return barrier_mod.all_reduce_latency(cluster.config.num_machines,
+                                              cluster.config.network)
+
+    def test_count_cost_is_scan_plus_reduce(self, ranked):
+        cluster, dg, g, _ = ranked
+        t0 = cluster.now
+        PropertyQuery(cluster, dg).where("pr", ">", 0).count()
+        want = (g.num_nodes * 8.0 / PropertyQuery.SCAN_BW
+                + self._expected_reduce(cluster))
+        assert cluster.now - t0 == pytest.approx(want)
+
+    def test_aggregate_scans_filter_and_value_columns(self, ranked):
+        cluster, dg, g, _ = ranked
+        t0 = cluster.now
+        PropertyQuery(cluster, dg).where("out_degree", ">", 0) \
+            .aggregate("pr", "max")
+        want = (g.num_nodes * 8.0 * 2 / PropertyQuery.SCAN_BW
+                + self._expected_reduce(cluster))
+        assert cluster.now - t0 == pytest.approx(want)
+
+    def test_avg_pays_for_sum_plus_count(self, ranked):
+        cluster, dg, _, _ = ranked
+
+        def cost(fn):
+            t0 = cluster.now
+            fn(PropertyQuery(cluster, dg).where("pr", ">", 0))
+            return cluster.now - t0
+
+        avg = cost(lambda q: q.aggregate("pr", "avg"))
+        parts = (cost(lambda q: q.aggregate("pr", "sum"))
+                 + cost(lambda q: q.count()))
+        assert avg == pytest.approx(parts)
+
+    def test_extra_filters_cost_extra_scans(self, ranked):
+        cluster, dg, _, _ = ranked
+
+        def cost(q):
+            t0 = cluster.now
+            q.count()
+            return cluster.now - t0
+
+        one = cost(PropertyQuery(cluster, dg).where("pr", ">", 0))
+        two = cost(PropertyQuery(cluster, dg).where("pr", ">", 0)
+                   .where("out_degree", ">=", 0))
+        assert two > one
+
+    def test_execute_prices_order_and_materialization(self, ranked):
+        cluster, dg, _, _ = ranked
+
+        def cost(q):
+            t0 = cluster.now
+            q.execute()
+            return cluster.now - t0
+
+        plain = cost(PropertyQuery(cluster, dg)
+                     .where("pr", ">", 0).select("pr"))
+        ordered = cost(PropertyQuery(cluster, dg)
+                       .where("pr", ">", 0).order_by("pr").select("pr"))
+        assert plain > 0  # filter scan + row shipping + driver overhead
+        assert ordered > plain  # the order-key gather is priced too

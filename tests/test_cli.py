@@ -174,6 +174,36 @@ class TestServe:
         out = capsys.readouterr().out
         assert "over fair share: tenant0" in out
 
+    def test_serve_cache_trace_reports_latency_split(self, capsys):
+        assert main(["serve", "--cache", "--graph", "LJ", *SMALL,
+                     "--machines", "2", "--seed", "7", "--reads", "60",
+                     "--pool", "6", "--mutate-every", "25"]) == 0
+        out = capsys.readouterr().out
+        assert "cached read trace" in out
+        assert "hit rate" in out and "epoch bumps" in out
+        assert "hit p50=" in out and "miss p50=" in out
+        assert "mean speedup" in out
+        assert "reader usage:" in out
+
+    def test_serve_cache_rate_limit_rejects(self, capsys):
+        assert main(["serve", "--cache", "--graph", "LJ", *SMALL,
+                     "--machines", "2", "--seed", "7", "--reads", "40",
+                     "--pool", "4", "--read-rate", "1e-9"]) == 0
+        out = capsys.readouterr().out
+        # burst of 8 tokens, then every further read is rate-limited
+        assert "(32 rate-limited)" in out
+
+    def test_serve_cache_metrics_out_includes_cache_families(
+            self, tmp_path, capsys):
+        prefix = tmp_path / "c"
+        assert main(["serve", "--cache", "--graph", "LJ", *SMALL,
+                     "--machines", "2", "--seed", "7", "--reads", "40",
+                     "--metrics-out", str(prefix)]) == 0
+        prom = (tmp_path / "c.prom").read_text()
+        assert "repro_cache_requests_total" in prom
+        assert "repro_cache_read_seconds_bucket" in prom
+        assert "repro_cache_saved_seconds_total" in prom
+
     def test_serve_metrics_out_includes_sched_families(self, tmp_path,
                                                        capsys):
         prefix = tmp_path / "s"
